@@ -1,0 +1,58 @@
+// Ablation: candidate-pool shape. The reproduction caps candidate
+// cuboids at 5% of the fact rows (standing in for the paper's external
+// candidate selection [8]); without the cap, a single near-fact-
+// granularity "super view" — (day, department), ~9% of the fact rows but
+// only ~3% of its bytes — answers the whole workload and inflates every
+// improvement rate beyond what the paper reports.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+
+using namespace cloudview;
+using bench::Pct;
+using bench::Unwrap;
+
+namespace {
+
+void RatesUnderCap(double rows_fraction, size_t max_candidates,
+                   bool queries_only, TablePrinter* table) {
+  ExperimentConfig config;
+  config.scenario.candidates.max_rows_fraction = rows_fraction;
+  config.scenario.candidates.max_candidates = max_candidates;
+  config.scenario.candidates.queries_only = queries_only;
+  ExperimentRunner runner =
+      Unwrap(ExperimentRunner::Create(config), "runner");
+  std::vector<MV1Row> rows = Unwrap(runner.RunMV1(), "mv1");
+  for (const MV1Row& row : rows) {
+    table->AddRow({StrFormat("%.0f%%", rows_fraction * 100),
+                   std::to_string(max_candidates),
+                   queries_only ? "yes" : "no",
+                   std::to_string(row.num_queries),
+                   std::to_string(row.views_selected),
+                   Pct(row.ip_rate), Pct(row.paper_rate)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: candidate-generation knobs vs MV1 rates "
+               "===\n\n";
+  TablePrinter table({"rows cap", "max cands", "queries-only", "queries",
+                      "views", "IP rate", "paper"});
+  table.SetTitle("MV1 improvement rates under different Vcand pools");
+  RatesUnderCap(0.05, 16, false, &table);   // The reproduction default.
+  RatesUnderCap(1.00, 16, false, &table);   // No cap: super view allowed.
+  RatesUnderCap(0.05, 4, false, &table);    // Tiny pool.
+  RatesUnderCap(0.05, 16, true, &table);    // Exact-match views only.
+  table.Print(std::cout);
+  std::cout
+      << "\nReading: without the rows cap the optimizer materializes the\n"
+         "near-fact-granularity cuboid and the rates overshoot the paper;\n"
+         "with it, coverage must be assembled from mid-lattice views and\n"
+         "the budget starts to bind — the paper's regime.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation: how the Section 6 rates shift under alternative billing
+// semantics — compute granularity (started-hour vs per-minute vs
+// per-second), storage tier evaluation (flat-bracket vs marginal), and
+// per-activity vs single-session compute rounding.
+//
+// This is the evidence behind DESIGN.md §5.4's per-scenario billing
+// choices: MV1's sub-dollar budgets need fine-grained billing, while
+// MV2's flat 75% emerges from the started-hour rule.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+
+using namespace cloudview;
+using bench::Pct;
+using bench::Unwrap;
+
+namespace {
+
+ExperimentConfig WithGranularity(BillingGranularity g, bool session) {
+  ExperimentConfig config;
+  config.scenario.pricing =
+      AwsPricing2012().WithComputeGranularity(g);
+  config.scenario.single_compute_session = session;
+  return config;
+}
+
+void GranularityAblation() {
+  TablePrinter table({"compute billing", "session rounding", "queries",
+                      "MV1 IP rate", "MV1 feasible"});
+  table.SetTitle(
+      "Ablation A: MV1 rates vs billing granularity (paper: 25/36/60%)");
+  for (BillingGranularity g :
+       {BillingGranularity::kSecond, BillingGranularity::kMinute,
+        BillingGranularity::kHour}) {
+    for (bool session : {true, false}) {
+      ExperimentRunner runner = Unwrap(
+          ExperimentRunner::Create(WithGranularity(g, session)),
+          "runner");
+      std::vector<MV1Row> rows = Unwrap(runner.RunMV1(), "mv1");
+      for (const MV1Row& row : rows) {
+        table.AddRow({ToString(g), session ? "single" : "per-activity",
+                      std::to_string(row.num_queries), Pct(row.ip_rate),
+                      row.feasible ? "yes" : "NO"});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void StorageSemanticsAblation() {
+  TablePrinter table({"storage billing", "volume", "monthly cost"});
+  table.SetTitle(
+      "Ablation B: flat-bracket (paper Formula 5) vs marginal tiers "
+      "(real AWS) storage billing");
+  PricingModel flat = AwsPricing2012();
+  PricingModel marginal =
+      flat.WithStorageBilling(StorageBilling::kMarginalTiers);
+  for (int64_t gb : {500, 1024, 2560, 10240, 102400}) {
+    DataSize v = DataSize::FromGB(gb);
+    table.AddRow({"flat-bracket", v.ToString(),
+                  flat.MonthlyStorageCost(v).ToString()});
+    table.AddRow({"marginal", v.ToString(),
+                  marginal.MonthlyStorageCost(v).ToString()});
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: the two agree below the first tier bound (1 TB)\n"
+               "and diverge above it; at a bracket boundary flat-bracket\n"
+               "billing is discontinuous (2560 GB bills the whole volume\n"
+               "at $0.125). Example 3's arithmetic uses flat-bracket.\n\n";
+}
+
+void SessionRoundingOnMV2() {
+  TablePrinter table({"session rounding", "queries", "cost w/o MV",
+                      "cost w/ MV", "IC rate"});
+  table.SetTitle(
+      "Ablation C: MV2 under per-activity vs single-session rounding "
+      "(paper: 75/72/75%)");
+  for (bool session : {true, false}) {
+    ExperimentRunner runner = Unwrap(
+        ExperimentRunner::Create(
+            WithGranularity(BillingGranularity::kSecond, session)),
+        "runner");
+    std::vector<MV2Row> rows = Unwrap(runner.RunMV2(), "mv2");
+    for (const MV2Row& row : rows) {
+      table.AddRow({session ? "single" : "per-activity",
+                    std::to_string(row.num_queries),
+                    row.cost_without.ToString(),
+                    row.cost_with.ToString(), Pct(row.ic_rate)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablations: billing semantics (DESIGN.md section 5) "
+               "===\n\n";
+  GranularityAblation();
+  StorageSemanticsAblation();
+  SessionRoundingOnMV2();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Engine microbenchmarks: hash-aggregation throughput, roll-up from
+// views vs from base, view maintenance — plus a speedup table showing
+// why materialized views pay (the simulated-cluster analogue of which
+// drives every Section 6 number).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "engine/aggregator.h"
+#include "engine/cluster.h"
+#include "engine/executor.h"
+#include "engine/sales_generator.h"
+#include "engine/view_store.h"
+
+using namespace cloudview;
+using bench::Unwrap;
+
+namespace {
+
+SalesConfig BenchConfig(uint64_t rows) {
+  SalesConfig config;
+  config.sample_rows = rows;
+  config.logical_size = DataSize::FromGB(10);
+  return config;
+}
+
+void PrintSpeedupTable() {
+  SalesConfig config = BenchConfig(200'000);
+  SalesDataset dataset =
+      Unwrap(GenerateSalesDataset(config), "generate");
+  CubeLattice lattice = Unwrap(
+      CubeLattice::Build(dataset.schema()), "lattice");
+  MapReduceParams params;
+  params.job_startup = Duration::FromSeconds(45);
+  params.map_throughput_per_unit = DataSize::FromBytes(2'100 * 1024);
+  MapReduceSimulator sim(lattice, params);
+  ClusterSpec cluster{InstanceType{.name = "small",
+                                   .price_per_hour = Money::FromCents(12),
+                                   .compute_units = 1.0},
+                      5};
+
+  TablePrinter table({"query cuboid", "rows (est)", "from fact",
+                      "best view", "from view", "speedup"});
+  table.SetTitle(
+      "Simulated cluster: fact-scan vs view-backed query times "
+      "(5 x small, 10 GB dataset)");
+  for (CuboidId q = 0; q < lattice.num_nodes(); ++q) {
+    // Best view = the query's own cuboid (smallest possible source).
+    Duration from_fact = sim.QueryTimeFromFact(q, cluster);
+    Duration from_view = sim.QueryTimeFromView(q, q, cluster);
+    table.AddRow({lattice.NameOf(q),
+                  std::to_string(lattice.EstimateRows(q)),
+                  StrFormat("%.0f s", from_fact.seconds()),
+                  lattice.NameOf(q),
+                  StrFormat("%.0f s", from_view.seconds()),
+                  StrFormat("%.1fx", from_fact.seconds() /
+                                         from_view.seconds())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_AggregateFromBase(benchmark::State& state) {
+  SalesConfig config = BenchConfig(state.range(0));
+  SalesDataset dataset = GenerateSalesDataset(config).MoveValue();
+  CubeLattice lattice = CubeLattice::Build(dataset.schema()).MoveValue();
+  CuboidId target = lattice.NodeByLevels({"month", "region"}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AggregateFromBase(dataset, lattice, target).value().num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateFromBase)->Arg(50'000)->Arg(400'000);
+
+void BM_AggregateFromView(benchmark::State& state) {
+  SalesConfig config = BenchConfig(400'000);
+  SalesDataset dataset = GenerateSalesDataset(config).MoveValue();
+  CubeLattice lattice = CubeLattice::Build(dataset.schema()).MoveValue();
+  CuboidId source_id = lattice.NodeByLevels({"day", "region"}).value();
+  CuboidId target = lattice.NodeByLevels({"month", "country"}).value();
+  CuboidTable source =
+      AggregateFromBase(dataset, lattice, source_id).MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AggregateFromView(dataset, lattice, source, target)
+            .value()
+            .num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * source.num_rows());
+}
+BENCHMARK(BM_AggregateFromView);
+
+void BM_IncrementalMerge(benchmark::State& state) {
+  SalesConfig config = BenchConfig(200'000);
+  SalesDataset dataset = GenerateSalesDataset(config).MoveValue();
+  CubeLattice lattice = CubeLattice::Build(dataset.schema()).MoveValue();
+  CuboidId id = lattice.NodeByLevels({"month", "region"}).value();
+  CuboidTable view = AggregateFromBase(dataset, lattice, id).MoveValue();
+  SalesDataset delta =
+      GenerateSalesDelta(config, 20'000, 5).MoveValue();
+  CuboidTable delta_agg =
+      AggregateFromBase(delta, lattice, id).MoveValue();
+  for (auto _ : state) {
+    CuboidTable copy = view;
+    benchmark::DoNotOptimize(
+        MergeCuboidTables(dataset.schema(), &copy, delta_agg).ok());
+  }
+}
+BENCHMARK(BM_IncrementalMerge);
+
+void BM_ExecutorPlanning(benchmark::State& state) {
+  SalesConfig config = BenchConfig(50'000);
+  SalesDataset dataset = GenerateSalesDataset(config).MoveValue();
+  CubeLattice lattice = CubeLattice::Build(dataset.schema()).MoveValue();
+  ViewStore store(lattice);
+  for (const char* time : {"month", "year"}) {
+    for (const char* geo : {"region", "country"}) {
+      CuboidId id = lattice.NodeByLevels({time, geo}).value();
+      (void)store.Materialize(
+          AggregateFromBase(dataset, lattice, id).MoveValue());
+    }
+  }
+  QueryExecutor executor(dataset, lattice, store);
+  CuboidId query = lattice.NodeByLevels({"year", "country"}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Plan(query).source);
+  }
+}
+BENCHMARK(BM_ExecutorPlanning);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSpeedupTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

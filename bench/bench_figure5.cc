@@ -1,0 +1,60 @@
+// Figure 5 data series, as CSV — the exact series behind the paper's
+// four plots, ready for gnuplot/matplotlib:
+//
+//   figure,queries,arm,time_hours,cost_dollars,objective
+//
+//   (a) MV1: response time with/without views under the budget limits
+//   (b) MV2: cost with/without views under the time limits
+//   (c) MV3, alpha = 0.3: blended objective with/without views
+//   (d) MV3, alpha = 0.65: blended objective with/without views
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/experiments.h"
+
+using namespace cloudview;
+using bench::Unwrap;
+
+namespace {
+
+void EmitRow(const char* figure, size_t queries, const char* arm,
+             double time_hours, double cost_dollars, double objective) {
+  std::cout << figure << "," << queries << "," << arm << ","
+            << StrFormat("%.4f", time_hours) << ","
+            << StrFormat("%.4f", cost_dollars) << ","
+            << StrFormat("%.4f", objective) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  ExperimentRunner runner =
+      Unwrap(ExperimentRunner::Create(ExperimentConfig{}), "runner");
+
+  std::cout << "figure,queries,arm,time_hours,cost_dollars,objective\n";
+
+  for (const MV1Row& row : Unwrap(runner.RunMV1(), "mv1")) {
+    EmitRow("5a", row.num_queries, "without_views",
+            row.time_without.hours(), row.cost_without.dollars(), 1.0);
+    EmitRow("5a", row.num_queries, "with_views", row.time_with.hours(),
+            row.cost_with.dollars(), 1.0 - row.ip_rate);
+  }
+  for (const MV2Row& row : Unwrap(runner.RunMV2(), "mv2")) {
+    EmitRow("5b", row.num_queries, "without_views",
+            row.time_without.hours(), row.cost_without.dollars(), 1.0);
+    EmitRow("5b", row.num_queries, "with_views", row.time_with.hours(),
+            row.cost_with.dollars(), 1.0 - row.ic_rate);
+  }
+  for (const MV3Row& row : Unwrap(runner.RunMV3(0.3), "mv3c")) {
+    EmitRow("5c", row.num_queries, "without_views", 0, 0, 1.0);
+    EmitRow("5c", row.num_queries, "with_views", row.time_with.hours(),
+            row.cost_with.dollars(), row.objective_with);
+  }
+  for (const MV3Row& row : Unwrap(runner.RunMV3(0.65), "mv3d")) {
+    EmitRow("5d", row.num_queries, "without_views", 0, 0, 1.0);
+    EmitRow("5d", row.num_queries, "with_views", row.time_with.hours(),
+            row.cost_with.dollars(), row.objective_with);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Regenerates the paper's pricing tables (Tables 2, 3, 4) from the
+// encoded AWS-2012 catalog, then microbenchmarks the pricing kernels
+// (tier evaluation, compute cost) with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "pricing/billing.h"
+#include "pricing/providers.h"
+
+using namespace cloudview;
+
+namespace {
+
+void PrintTable2() {
+  PricingModel aws = AwsPricing2012();
+  TablePrinter table({"Instance configuration", "Price per hour",
+                      "Compute units", "RAM", "Local storage"});
+  table.SetTitle("Table 2: EC2 computing prices (encoded catalog)");
+  for (const InstanceType& type : aws.instances().types()) {
+    table.AddRow({type.name, type.price_per_hour.ToString(),
+                  StrFormat("%.1f", type.compute_units),
+                  type.ram.ToString(), type.local_storage.ToString()});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void PrintRateTable(const char* title, const TieredRate& rate) {
+  TablePrinter table({"Data volume (cumulative bound)", "Price per GB"});
+  table.SetTitle(title);
+  for (const RateTier& tier : rate.tiers()) {
+    std::string bound = tier.upper_bound.bytes() ==
+                                std::numeric_limits<int64_t>::max()
+                            ? "above"
+                            : "up to " + tier.upper_bound.ToString();
+    table.AddRow({bound, tier.rate_per_gb.ToString()});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void PrintWorkedExamples() {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  TablePrinter table({"Worked example", "Formula", "Value"});
+  table.SetTitle("Paper worked examples, recomputed");
+  table.AddRow({"Example 1 (transfer, 10 GB result)",
+                "(10-1) x $0.12", aws.TransferOutCost(DataSize::FromGB(10))
+                                      .ToString()});
+  table.AddRow({"Example 2 (compute, 2 x small x 50 h)",
+                "RoundUp(50) x $0.12 x 2",
+                aws.ComputeCost(small, Duration::FromHours(50), 2)
+                    .ToString()});
+  table.AddRow(
+      {"Example 9 (storage, 550 GB x 12 mo)", "550 x 12 x $0.14",
+       aws.StorageCost(DataSize::FromGB(550), Months::FromMonths(12))
+           .ToString()});
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+void BM_TieredMarginalCost(benchmark::State& state) {
+  TieredRate schedule = AwsPricing2012().storage_schedule();
+  DataSize volume = DataSize::FromGB(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.MarginalCost(volume));
+  }
+}
+BENCHMARK(BM_TieredMarginalCost)->Arg(10)->Arg(2048)->Arg(1 << 20);
+
+void BM_ComputeCost(benchmark::State& state) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  Duration busy = Duration::FromMillis(37'512'345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aws.ComputeCost(small, busy, 5));
+  }
+}
+BENCHMARK(BM_ComputeCost);
+
+void BM_InvoiceGeneration(benchmark::State& state) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  for (auto _ : state) {
+    BillingMeter meter(aws);
+    for (int i = 0; i < state.range(0); ++i) {
+      meter.RecordCompute("job", small, Duration::FromMinutes(7), 5);
+      meter.RecordTransferOut("result", DataSize::FromMB(100));
+    }
+    benchmark::DoNotOptimize(meter.invoice().grand_total());
+  }
+}
+BENCHMARK(BM_InvoiceGeneration)->Arg(16)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Pricing substrate: the paper's Tables 2-4 ===\n\n";
+  PrintTable2();
+  PrintRateTable("Table 3: Amazon bandwidth prices (output data)",
+                 AwsPricing2012().transfer_out_schedule());
+  PrintRateTable("Table 4: Amazon storage prices",
+                 AwsPricing2012().storage_schedule());
+  PrintWorkedExamples();
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

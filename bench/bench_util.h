@@ -1,0 +1,44 @@
+// Shared helpers for the benchmark harnesses.
+
+#ifndef CLOUDVIEW_BENCH_BENCH_UTIL_H_
+#define CLOUDVIEW_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/duration.h"
+#include "common/money.h"
+#include "common/result.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+namespace bench {
+
+/// \brief "25.4%" or "n/a" for NaN.
+inline std::string Pct(double ratio) {
+  if (std::isnan(ratio)) return "n/a";
+  return FormatPercent(ratio, 1);
+}
+
+/// \brief "0.57 h" style fixed-decimals hours.
+inline std::string Hours(Duration d) {
+  return StrFormat("%.2f h", d.hours());
+}
+
+/// \brief Aborts the bench with a message when a Result failed.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+}  // namespace bench
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// CSP comparison — the paper's first future-work item ("include pricing
+// models from several CSPs"): the same 10-query workload and view
+// selection, costed under four provider catalogs with different rate
+// structures, billing granularities, and ingress policies.
+//
+//   $ ./build/examples/example_csp_comparison
+
+#include <iostream>
+
+#include "common/str_format.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+#include "pricing/providers.h"
+
+using namespace cloudview;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Same workload, four cloud providers (MV3, alpha = 0.5):\n\n";
+
+  TablePrinter table({"provider", "billing", "instance", "views",
+                      "time w/ MV", "cost w/o MV", "cost w/ MV",
+                      "blend rate"});
+  table.SetTitle("Provider sweep over the 10-query sales workload");
+
+  for (const PricingModel& provider : AllProviders()) {
+    ExperimentConfig config;
+    config.scenario.pricing = provider;
+    // Each catalog names its tiers differently; pick its cheapest
+    // >= 1-unit instance as the paper's "small".
+    InstanceType base = Check(
+        provider.instances().CheapestWithUnits(1.0), "instance");
+    config.scenario.instance_name = base.name;
+
+    CloudScenario scenario =
+        Check(CloudScenario::Create(config.scenario), "scenario");
+    Workload workload = Check(scenario.PaperWorkload(), "workload");
+
+    ObjectiveSpec spec;
+    spec.scenario = Scenario::kMV3Tradeoff;
+    spec.alpha = 0.5;
+    ScenarioRun run = Check(scenario.Run(workload, spec), "run");
+
+    table.AddRow(
+        {provider.name(), ToString(provider.compute_granularity()),
+         base.name,
+         std::to_string(run.selection.evaluation.selected.size()),
+         StrFormat("%.2f h", run.selection.time.hours()),
+         run.baseline.cost.total().ToString(),
+         run.selection.evaluation.cost.total().ToString(),
+         FormatPercent(1.0 - run.selection.objective_value, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nNotes: gigacloud bills by the minute (gentler rounding);\n"
+         "bluecloud charges ingress, which Formula 2 picks up but the\n"
+         "AWS-style Formula 3 would miss; the intro-example provider has\n"
+         "flat rates, so tier position never matters. Materialized views\n"
+         "win under every catalog — the paper's headline conclusion is\n"
+         "not an artifact of one price sheet.\n";
+  return 0;
+}

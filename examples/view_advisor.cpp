@@ -1,0 +1,99 @@
+// View advisor — the DBA-facing report a downstream user would run
+// before committing to a view set: every candidate's footprint, its
+// workload coverage, its standalone monetary delta, and how many
+// workload repetitions it takes to amortize (core/cost/amortization).
+//
+//   $ ./build/examples/example_view_advisor
+
+#include <iostream>
+
+#include "common/str_format.h"
+#include "common/table_printer.h"
+#include "core/cost/amortization.h"
+#include "core/experiments.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/evaluator.h"
+
+using namespace cloudview;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+}  // namespace
+
+int main() {
+  ExperimentConfig config;
+  CloudScenario scenario =
+      Check(CloudScenario::Create(config.scenario), "scenario");
+  const CubeLattice& lattice = scenario.lattice();
+  Workload workload = Check(scenario.PaperWorkload(), "workload");
+
+  DeploymentSpec deployment = Check(
+      scenario.MakeDeployment(workload, scenario.cluster()), "deploy");
+  CandidateGenOptions options = config.scenario.candidates;
+  std::vector<ViewCandidate> candidates = Check(
+      GenerateCandidates(lattice, workload, scenario.simulator(),
+                         scenario.cluster(), options),
+      "candidates");
+  SelectionEvaluator evaluator = Check(
+      SelectionEvaluator::Create(lattice, workload, scenario.simulator(),
+                                 scenario.cluster(),
+                                 scenario.cost_model(), deployment,
+                                 candidates),
+      "evaluator");
+
+  const SubsetEvaluation& base = evaluator.baseline();
+  std::cout << "Workload: " << workload.size() << " queries, no views: "
+            << StrFormat("%.2f h", base.processing_time.hours())
+            << " processing, " << base.cost.total() << " per run\n\n";
+
+  TablePrinter table({"candidate view", "size", "build", "covers",
+                      "run saving", "cost delta", "amortizes after"});
+  table.SetTitle("Candidate analysis (standalone, against no views)");
+  for (size_t c = 0; c < evaluator.num_candidates(); ++c) {
+    const ViewCandidate& candidate = evaluator.candidates()[c];
+    size_t covered = 0;
+    for (const QuerySpec& q : workload.queries()) {
+      if (lattice.CanAnswer(candidate.view, q.target)) ++covered;
+    }
+    SubsetEvaluation solo = Check(evaluator.Evaluate({c}), "solo");
+    Money delta = Check(evaluator.StandaloneCostDelta(c), "delta");
+
+    AmortizationInputs inputs;
+    inputs.run_cost_without_views = base.cost.processing;
+    inputs.run_cost_with_views = solo.cost.processing;
+    inputs.materialization_cost = solo.cost.materialization;
+    AmortizationReport amort =
+        Check(ComputeAmortization(inputs), "amortization");
+
+    table.AddRow(
+        {candidate.name, candidate.size.ToString(),
+         StrFormat("%.0f s", candidate.materialization_time.seconds()),
+         StrFormat("%zu/%zu", covered, workload.size()),
+         (base.processing_time - solo.processing_time).ToString(),
+         delta.ToString(),
+         amort.amortizes
+             ? StrFormat("%lld run(s)",
+                         static_cast<long long>(amort.break_even_runs))
+             : "never"});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading: 'cost delta' is the standalone change of one session's\n"
+         "total bill (negative = the view pays for itself immediately);\n"
+         "'amortizes after' counts workload repetitions until cumulative\n"
+         "processing savings cover the one-time materialization. Broad\n"
+         "mid-lattice views cover many queries and amortize within a run\n"
+         "or two; narrow day-level views only pay off for the queries\n"
+         "they answer directly.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "catalog/dimension.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+Result<Dimension> Dimension::Create(std::string name,
+                                    std::vector<DimensionLevel> levels) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dimension needs a name");
+  }
+  if (levels.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("dimension '%s' needs at least one level", name.c_str()));
+  }
+  uint64_t prev = UINT64_MAX;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("dimension '%s' level %zu has no name", name.c_str(),
+                    i));
+    }
+    if (levels[i].cardinality == 0) {
+      return Status::InvalidArgument(
+          StrFormat("level '%s' has zero cardinality",
+                    levels[i].name.c_str()));
+    }
+    if (levels[i].cardinality > prev) {
+      return Status::InvalidArgument(StrFormat(
+          "level '%s' cardinality %llu exceeds finer level's %llu",
+          levels[i].name.c_str(),
+          static_cast<unsigned long long>(levels[i].cardinality),
+          static_cast<unsigned long long>(prev)));
+    }
+    prev = levels[i].cardinality;
+  }
+  levels.push_back(DimensionLevel{"ALL", 1});
+  return Dimension(std::move(name), std::move(levels));
+}
+
+const DimensionLevel& Dimension::level(size_t index) const {
+  CV_CHECK(index < levels_.size())
+      << "level " << index << " out of range for dimension " << name_;
+  return levels_[index];
+}
+
+Result<size_t> Dimension::LevelIndex(const std::string& level_name) const {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].name == level_name) return i;
+  }
+  return Status::NotFound(StrFormat("dimension '%s' has no level '%s'",
+                                    name_.c_str(), level_name.c_str()));
+}
+
+}  // namespace cloudview

@@ -1,0 +1,61 @@
+// Dimension: a roll-up hierarchy of aggregation levels.
+//
+// The paper's running example has two dimensions —
+//   Time:      day -> month -> year -> ALL
+//   Geography: department -> region -> country -> ALL
+// Levels are ordered finest-first; an implicit ALL level (cardinality 1)
+// closes every hierarchy so the full data-cube lattice is well-formed.
+
+#ifndef CLOUDVIEW_CATALOG_DIMENSION_H_
+#define CLOUDVIEW_CATALOG_DIMENSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief One level of a dimension hierarchy.
+struct DimensionLevel {
+  /// Level name, e.g. "month".
+  std::string name;
+  /// Number of distinct values at this level (e.g. 132 months in 11
+  /// years). Must not increase when rolling up.
+  uint64_t cardinality = 1;
+};
+
+/// \brief A named hierarchy of levels, finest first, ALL appended.
+class Dimension {
+ public:
+  /// \brief Validates and builds. `levels` is finest-first and must have
+  /// non-increasing cardinalities, all >= 1; ALL is appended automatically.
+  static Result<Dimension> Create(std::string name,
+                                  std::vector<DimensionLevel> levels);
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Number of levels including the implicit ALL.
+  size_t num_levels() const { return levels_.size(); }
+
+  /// \brief Level by index; 0 is finest, num_levels()-1 is ALL.
+  const DimensionLevel& level(size_t index) const;
+
+  /// \brief Index of the ALL level.
+  size_t all_level() const { return levels_.size() - 1; }
+
+  /// \brief Finds a level index by name; NotFound when absent.
+  Result<size_t> LevelIndex(const std::string& level_name) const;
+
+ private:
+  Dimension(std::string name, std::vector<DimensionLevel> levels)
+      : name_(std::move(name)), levels_(std::move(levels)) {}
+
+  std::string name_;
+  std::vector<DimensionLevel> levels_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CATALOG_DIMENSION_H_

@@ -1,0 +1,68 @@
+#include "catalog/key_codec.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+uint8_t BitsFor(uint64_t cardinality) {
+  uint8_t bits = 1;
+  while ((uint64_t{1} << bits) < cardinality) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Result<KeyCodec> KeyCodec::ForSchema(const StarSchema& schema) {
+  std::vector<uint8_t> bits;
+  std::vector<uint8_t> shifts;
+  std::vector<uint64_t> masks;
+  uint32_t total = 0;
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    uint8_t b = BitsFor(schema.dimension(d).level(0).cardinality);
+    bits.push_back(b);
+    shifts.push_back(static_cast<uint8_t>(total));
+    masks.push_back(b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1);
+    total += b;
+  }
+  if (total > 64) {
+    return Status::InvalidArgument(StrFormat(
+        "key needs %u bits; the packed-key engine supports 64", total));
+  }
+  return KeyCodec(std::move(bits), std::move(shifts), std::move(masks));
+}
+
+KeyCodec KeyCodec::Fixed32(size_t num_dims) {
+  CV_CHECK(num_dims <= 2) << "Fixed32 layout supports up to 2 dimensions";
+  std::vector<uint8_t> bits(num_dims, 32);
+  std::vector<uint8_t> shifts;
+  std::vector<uint64_t> masks(num_dims, 0xFFFFFFFFull);
+  for (size_t d = 0; d < num_dims; ++d) {
+    shifts.push_back(static_cast<uint8_t>(32 * d));
+  }
+  return KeyCodec(std::move(bits), std::move(shifts), std::move(masks));
+}
+
+uint64_t KeyCodec::Encode(const std::vector<uint32_t>& values) const {
+  CV_CHECK(values.size() == shifts_.size()) << "key width mismatch";
+  uint64_t packed = 0;
+  for (size_t d = 0; d < shifts_.size(); ++d) {
+    CV_DCHECK(static_cast<uint64_t>(values[d]) <= masks_[d])
+        << "value " << values[d] << " exceeds " << int{bits_[d]}
+        << " bits on dimension " << d;
+    packed |= static_cast<uint64_t>(values[d]) << shifts_[d];
+  }
+  return packed;
+}
+
+std::vector<uint32_t> KeyCodec::Decode(uint64_t packed) const {
+  std::vector<uint32_t> values(shifts_.size());
+  for (size_t d = 0; d < shifts_.size(); ++d) {
+    values[d] = DecodeDim(packed, d);
+  }
+  return values;
+}
+
+}  // namespace cloudview

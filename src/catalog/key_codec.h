@@ -1,0 +1,75 @@
+// KeyCodec: packs one group-by key (one value id per dimension) into a
+// single uint64 for hash aggregation.
+//
+// Each dimension gets a fixed bit width derived from its *finest* level
+// cardinality, so a codec built for a schema works for every cuboid of
+// that schema. Schemas whose widths sum past 64 bits are rejected at
+// codec construction (the sales schema needs 24 bits; the 4-dimensional
+// SSB-like schema fits comfortably).
+
+#ifndef CLOUDVIEW_CATALOG_KEY_CODEC_H_
+#define CLOUDVIEW_CATALOG_KEY_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief Fixed-width bit packing of multi-dimensional keys.
+class KeyCodec {
+ public:
+  /// \brief Widths from the schema's finest-level cardinalities;
+  /// InvalidArgument when they exceed 64 bits in total.
+  static Result<KeyCodec> ForSchema(const StarSchema& schema);
+
+  /// \brief Legacy layout: `num_dims` fields of 32 bits each (at most
+  /// two dimensions). Matches CuboidTable's historical packing.
+  static KeyCodec Fixed32(size_t num_dims);
+
+  size_t num_dims() const { return shifts_.size(); }
+
+  /// \brief Bits allocated to dimension `d`.
+  uint8_t bits(size_t d) const { return bits_[d]; }
+
+  /// \brief Packs `values[d]` (one per dimension). Values must fit their
+  /// widths (checked in debug builds).
+  uint64_t Encode(const std::vector<uint32_t>& values) const;
+
+  /// \brief Packs from an accessor: `get(d)` returns dimension d's value.
+  template <typename Accessor>
+  uint64_t EncodeWith(Accessor get) const {
+    uint64_t packed = 0;
+    for (size_t d = 0; d < shifts_.size(); ++d) {
+      packed |= static_cast<uint64_t>(get(d)) << shifts_[d];
+    }
+    return packed;
+  }
+
+  /// \brief Unpacks into one value per dimension.
+  std::vector<uint32_t> Decode(uint64_t packed) const;
+
+  /// \brief Unpacks dimension `d` only.
+  uint32_t DecodeDim(uint64_t packed, size_t d) const {
+    return static_cast<uint32_t>((packed >> shifts_[d]) & masks_[d]);
+  }
+
+  friend bool operator==(const KeyCodec&, const KeyCodec&) = default;
+
+ private:
+  KeyCodec(std::vector<uint8_t> bits, std::vector<uint8_t> shifts,
+           std::vector<uint64_t> masks)
+      : bits_(std::move(bits)),
+        shifts_(std::move(shifts)),
+        masks_(std::move(masks)) {}
+
+  std::vector<uint8_t> bits_;
+  std::vector<uint8_t> shifts_;
+  std::vector<uint64_t> masks_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CATALOG_KEY_CODEC_H_

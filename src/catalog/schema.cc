@@ -1,0 +1,72 @@
+#include "catalog/schema.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+const char* ToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<StarSchema> StarSchema::Create(std::string fact_name,
+                                      std::vector<Dimension> dimensions,
+                                      std::vector<Measure> measures,
+                                      PhysicalStats stats) {
+  if (fact_name.empty()) {
+    return Status::InvalidArgument("fact table needs a name");
+  }
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("star schema needs >= 1 dimension");
+  }
+  if (measures.empty()) {
+    return Status::InvalidArgument("star schema needs >= 1 measure");
+  }
+  if (stats.fact_rows == 0) {
+    return Status::InvalidArgument("fact table must have rows");
+  }
+  if (stats.bytes_per_fact_row <= 0 || stats.bytes_per_view_row <= 0) {
+    return Status::InvalidArgument("row widths must be positive");
+  }
+  for (size_t i = 0; i < dimensions.size(); ++i) {
+    for (size_t j = i + 1; j < dimensions.size(); ++j) {
+      if (dimensions[i].name() == dimensions[j].name()) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate dimension '%s'",
+                      dimensions[i].name().c_str()));
+      }
+    }
+  }
+  return StarSchema(std::move(fact_name), std::move(dimensions),
+                    std::move(measures), stats);
+}
+
+const Dimension& StarSchema::dimension(size_t index) const {
+  CV_CHECK(index < dimensions_.size()) << "dimension index out of range";
+  return dimensions_[index];
+}
+
+Result<size_t> StarSchema::DimensionIndex(const std::string& name) const {
+  for (size_t i = 0; i < dimensions_.size(); ++i) {
+    if (dimensions_[i].name() == name) return i;
+  }
+  return Status::NotFound(StrFormat("no dimension '%s'", name.c_str()));
+}
+
+StarSchema StarSchema::WithFactRows(uint64_t fact_rows) const {
+  StarSchema copy = *this;
+  copy.stats_.fact_rows = fact_rows;
+  return copy;
+}
+
+}  // namespace cloudview

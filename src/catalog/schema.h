@@ -1,0 +1,85 @@
+// StarSchema: a fact table with dimension hierarchies and measures,
+// plus the physical statistics the cost models need (row counts, widths).
+
+#ifndef CLOUDVIEW_CATALOG_SCHEMA_H_
+#define CLOUDVIEW_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/dimension.h"
+#include "common/data_size.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief Aggregate functions supported over measures.
+enum class AggFn { kSum, kCount, kMin, kMax };
+
+const char* ToString(AggFn fn);
+
+/// \brief A numeric fact column with its default aggregate.
+struct Measure {
+  std::string name;
+  AggFn agg = AggFn::kSum;
+};
+
+/// \brief Physical sizing knobs used for size/cost estimation. Defaults
+/// approximate the paper's CSV-on-HDFS layout (Table 1 rows).
+struct PhysicalStats {
+  /// Logical rows in the fact table.
+  uint64_t fact_rows = 0;
+  /// Stored bytes per fact row (raw text row, ~Table 1).
+  int64_t bytes_per_fact_row = 100;
+  /// Bytes per materialized-view row (compact binary key + aggregates).
+  int64_t bytes_per_view_row = 32;
+};
+
+/// \brief Star schema: dimensions + measures + physical statistics.
+class StarSchema {
+ public:
+  /// \brief Validates and builds; needs >= 1 dimension, >= 1 measure, and
+  /// a positive fact row count.
+  static Result<StarSchema> Create(std::string fact_name,
+                                   std::vector<Dimension> dimensions,
+                                   std::vector<Measure> measures,
+                                   PhysicalStats stats);
+
+  const std::string& fact_name() const { return fact_name_; }
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+  const std::vector<Measure>& measures() const { return measures_; }
+  const PhysicalStats& stats() const { return stats_; }
+
+  size_t num_dimensions() const { return dimensions_.size(); }
+  const Dimension& dimension(size_t index) const;
+
+  /// \brief Finds a dimension index by name; NotFound when absent.
+  Result<size_t> DimensionIndex(const std::string& name) const;
+
+  /// \brief Total logical size of the fact table.
+  DataSize fact_size() const {
+    return DataSize::FromBytes(
+        static_cast<int64_t>(stats_.fact_rows) * stats_.bytes_per_fact_row);
+  }
+
+  /// \brief Copy with a different fact row count (dataset scaling).
+  StarSchema WithFactRows(uint64_t fact_rows) const;
+
+ private:
+  StarSchema(std::string fact_name, std::vector<Dimension> dimensions,
+             std::vector<Measure> measures, PhysicalStats stats)
+      : fact_name_(std::move(fact_name)),
+        dimensions_(std::move(dimensions)),
+        measures_(std::move(measures)),
+        stats_(stats) {}
+
+  std::string fact_name_;
+  std::vector<Dimension> dimensions_;
+  std::vector<Measure> measures_;
+  PhysicalStats stats_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CATALOG_SCHEMA_H_

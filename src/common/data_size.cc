@@ -1,0 +1,43 @@
+#include "common/data_size.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cloudview {
+
+namespace {
+
+// Prints `value` with up to two decimals, trimming trailing zeros.
+std::string FormatScaled(double value, const char* unit) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  s += " ";
+  s += unit;
+  return s;
+}
+
+}  // namespace
+
+std::string DataSize::ToString() const {
+  int64_t abs_bytes = bytes_ < 0 ? -bytes_ : bytes_;
+  std::string body;
+  if (abs_bytes >= kBytesPerTB) {
+    body = FormatScaled(static_cast<double>(abs_bytes) / kBytesPerTB, "TB");
+  } else if (abs_bytes >= kBytesPerGB) {
+    body = FormatScaled(static_cast<double>(abs_bytes) / kBytesPerGB, "GB");
+  } else if (abs_bytes >= kBytesPerMB) {
+    body = FormatScaled(static_cast<double>(abs_bytes) / kBytesPerMB, "MB");
+  } else if (abs_bytes >= kBytesPerKB) {
+    body = FormatScaled(static_cast<double>(abs_bytes) / kBytesPerKB, "KB");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " B", abs_bytes);
+    body = buf;
+  }
+  return bytes_ < 0 ? "-" + body : body;
+}
+
+}  // namespace cloudview

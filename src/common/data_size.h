@@ -1,0 +1,107 @@
+// DataSize: exact byte counts with the paper's binary GB/TB convention.
+//
+// The paper treats 0.5 TB as 512 GB and 2 TB as 2048 GB, i.e. binary
+// multiples: 1 GB = 2^30 bytes, 1 TB = 1024 GB. DataSize stores bytes in a
+// signed 64-bit integer (deltas may be negative during timeline algebra).
+
+#ifndef CLOUDVIEW_COMMON_DATA_SIZE_H_
+#define CLOUDVIEW_COMMON_DATA_SIZE_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cloudview {
+
+/// \brief An exact data volume in bytes (binary GB/TB convention).
+class DataSize {
+ public:
+  static constexpr int64_t kBytesPerKB = 1024;
+  static constexpr int64_t kBytesPerMB = 1024 * kBytesPerKB;
+  static constexpr int64_t kBytesPerGB = 1024 * kBytesPerMB;
+  static constexpr int64_t kBytesPerTB = 1024 * kBytesPerGB;
+
+  constexpr DataSize() = default;
+
+  static constexpr DataSize FromBytes(int64_t bytes) {
+    return DataSize(bytes);
+  }
+  static constexpr DataSize FromKB(int64_t kb) {
+    return DataSize(kb * kBytesPerKB);
+  }
+  static constexpr DataSize FromMB(int64_t mb) {
+    return DataSize(mb * kBytesPerMB);
+  }
+  static constexpr DataSize FromGB(int64_t gb) {
+    return DataSize(gb * kBytesPerGB);
+  }
+  static constexpr DataSize FromTB(int64_t tb) {
+    return DataSize(tb * kBytesPerTB);
+  }
+
+  /// \brief Fractional-GB constructor (rounds to the nearest byte). For
+  /// boundaries and tests; internal code prefers the exact factories.
+  static DataSize FromGBRounded(double gb) {
+    return DataSize(static_cast<int64_t>(
+        std::llround(gb * static_cast<double>(kBytesPerGB))));
+  }
+
+  static constexpr DataSize Zero() { return DataSize(0); }
+
+  constexpr int64_t bytes() const { return bytes_; }
+  constexpr double kilobytes() const {
+    return static_cast<double>(bytes_) / kBytesPerKB;
+  }
+  constexpr double megabytes() const {
+    return static_cast<double>(bytes_) / kBytesPerMB;
+  }
+  constexpr double gigabytes() const {
+    return static_cast<double>(bytes_) / kBytesPerGB;
+  }
+  constexpr double terabytes() const {
+    return static_cast<double>(bytes_) / kBytesPerTB;
+  }
+
+  constexpr bool is_zero() const { return bytes_ == 0; }
+  constexpr bool is_negative() const { return bytes_ < 0; }
+
+  /// \brief Renders with an adaptive unit: "512 GB", "1.5 TB", "64 MB".
+  std::string ToString() const;
+
+  constexpr DataSize operator+(DataSize other) const {
+    return DataSize(bytes_ + other.bytes_);
+  }
+  constexpr DataSize operator-(DataSize other) const {
+    return DataSize(bytes_ - other.bytes_);
+  }
+  constexpr DataSize operator*(int64_t factor) const {
+    return DataSize(bytes_ * factor);
+  }
+  DataSize& operator+=(DataSize other) {
+    bytes_ += other.bytes_;
+    return *this;
+  }
+  DataSize& operator-=(DataSize other) {
+    bytes_ -= other.bytes_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+
+ private:
+  constexpr explicit DataSize(int64_t bytes) : bytes_(bytes) {}
+
+  int64_t bytes_ = 0;
+};
+
+constexpr DataSize operator*(int64_t factor, DataSize s) { return s * factor; }
+
+inline std::ostream& operator<<(std::ostream& os, DataSize s) {
+  return os << s.ToString();
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_DATA_SIZE_H_

@@ -1,0 +1,39 @@
+#include "common/duration.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+int64_t Duration::BillableHours() const {
+  CV_CHECK(millis_ >= 0) << "BillableHours on negative duration";
+  return (millis_ + kMillisPerHour - 1) / kMillisPerHour;
+}
+
+std::string Duration::ToString() const {
+  int64_t abs_ms = millis_ < 0 ? -millis_ : millis_;
+  char buf[48];
+  if (abs_ms >= kMillisPerHour) {
+    double h = static_cast<double>(abs_ms) / kMillisPerHour;
+    if (abs_ms % kMillisPerHour == 0) {
+      std::snprintf(buf, sizeof(buf), "%" PRId64 " h",
+                    abs_ms / kMillisPerHour);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f h", h);
+    }
+  } else if (abs_ms >= kMillisPerMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1f min",
+                  static_cast<double>(abs_ms) / kMillisPerMinute);
+  } else if (abs_ms >= kMillisPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f s",
+                  static_cast<double>(abs_ms) / kMillisPerSecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ms", abs_ms);
+  }
+  std::string body(buf);
+  return millis_ < 0 ? "-" + body : body;
+}
+
+}  // namespace cloudview

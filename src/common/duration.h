@@ -1,0 +1,102 @@
+// Duration: elapsed (or simulated) time with billing helpers.
+//
+// Stored as signed 64-bit milliseconds. The paper bills compute by the
+// *started* hour ("we must use a function to round processing time up"), so
+// Duration exposes BillableHours() alongside exact accessors.
+
+#ifndef CLOUDVIEW_COMMON_DURATION_H_
+#define CLOUDVIEW_COMMON_DURATION_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cloudview {
+
+/// \brief A span of time in milliseconds.
+class Duration {
+ public:
+  static constexpr int64_t kMillisPerSecond = 1000;
+  static constexpr int64_t kMillisPerMinute = 60 * kMillisPerSecond;
+  static constexpr int64_t kMillisPerHour = 60 * kMillisPerMinute;
+
+  constexpr Duration() = default;
+
+  static constexpr Duration FromMillis(int64_t ms) { return Duration(ms); }
+  static constexpr Duration FromSeconds(int64_t s) {
+    return Duration(s * kMillisPerSecond);
+  }
+  static constexpr Duration FromMinutes(int64_t m) {
+    return Duration(m * kMillisPerMinute);
+  }
+  static constexpr Duration FromHours(int64_t h) {
+    return Duration(h * kMillisPerHour);
+  }
+
+  /// \brief Fractional-hours constructor, rounded to the nearest
+  /// millisecond. 0.2 h (the paper's Q1 processing time) is exact.
+  static Duration FromHoursRounded(double hours) {
+    return Duration(static_cast<int64_t>(
+        std::llround(hours * static_cast<double>(kMillisPerHour))));
+  }
+
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t millis() const { return millis_; }
+  constexpr double seconds() const {
+    return static_cast<double>(millis_) / kMillisPerSecond;
+  }
+  constexpr double minutes() const {
+    return static_cast<double>(millis_) / kMillisPerMinute;
+  }
+  constexpr double hours() const {
+    return static_cast<double>(millis_) / kMillisPerHour;
+  }
+
+  constexpr bool is_zero() const { return millis_ == 0; }
+  constexpr bool is_negative() const { return millis_ < 0; }
+
+  /// \brief Number of *started* hours, the paper's compute-billing unit.
+  /// 50 h -> 50; 50 h + 1 ms -> 51; 0 -> 0. Requires a non-negative span.
+  int64_t BillableHours() const;
+
+  /// \brief Renders adaptively: "50 h", "0.2 h", "72 s", "150 ms".
+  std::string ToString() const;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(millis_ + other.millis_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(millis_ - other.millis_);
+  }
+  constexpr Duration operator*(int64_t factor) const {
+    return Duration(millis_ * factor);
+  }
+  Duration& operator+=(Duration other) {
+    millis_ += other.millis_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    millis_ -= other.millis_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(int64_t ms) : millis_(ms) {}
+
+  int64_t millis_ = 0;
+};
+
+constexpr Duration operator*(int64_t factor, Duration d) { return d * factor; }
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_DURATION_H_

@@ -1,0 +1,42 @@
+// Hashing utilities for aggregation keys and container mixing.
+
+#ifndef CLOUDVIEW_COMMON_HASH_H_
+#define CLOUDVIEW_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cloudview {
+
+/// \brief 64-bit FNV-1a over raw bytes.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// \brief Strong avalanche mix (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief Boost-style incremental combine.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_HASH_H_

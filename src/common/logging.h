@@ -1,0 +1,71 @@
+// Minimal logging and invariant-checking macros (glog-flavoured).
+//
+// CV_CHECK(cond) << "context";   aborts with the streamed message when the
+// condition is false. CV_DCHECK does not evaluate its condition in NDEBUG
+// builds. CV_LOG_* write a tagged line to stderr.
+
+#ifndef CLOUDVIEW_COMMON_LOGGING_H_
+#define CLOUDVIEW_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cloudview {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// \brief Accumulates a log line and emits it (to stderr) on destruction.
+/// Fatal severity aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+/// \brief Turns a streamed expression into void so it can sit on the
+/// false-branch of ?: (the glog "voidify" idiom). operator& binds looser
+/// than << and tighter than ?:.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace cloudview
+
+#define CV_LOG_IMPL_(severity)                                 \
+  ::cloudview::internal::LogMessage(                           \
+      __FILE__, __LINE__, ::cloudview::internal::LogSeverity::severity) \
+      .stream()
+
+#define CV_LOG_INFO CV_LOG_IMPL_(kInfo)
+#define CV_LOG_WARNING CV_LOG_IMPL_(kWarning)
+#define CV_LOG_ERROR CV_LOG_IMPL_(kError)
+
+/// \brief Aborts with a streamed message when `cond` is false.
+/// Usage: CV_CHECK(x > 0) << "x was " << x;
+#define CV_CHECK(cond)                               \
+  (cond) ? (void)0                                   \
+         : ::cloudview::internal::LogMessageVoidify() & \
+               CV_LOG_IMPL_(kFatal) << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+// The condition is not evaluated (short-circuit), but must still compile.
+#define CV_DCHECK(cond) CV_CHECK(true || (cond))
+#else
+#define CV_DCHECK(cond) CV_CHECK(cond)
+#endif
+
+#endif  // CLOUDVIEW_COMMON_LOGGING_H_

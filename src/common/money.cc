@@ -1,0 +1,47 @@
+#include "common/money.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloudview {
+
+Money Money::ScaleBy(int64_t num, int64_t den) const {
+  CV_CHECK(den != 0) << "Money::ScaleBy with zero denominator";
+  __int128 product = static_cast<__int128>(micros_) * num;
+  // Round half away from zero.
+  __int128 d = den;
+  if (d < 0) {
+    d = -d;
+    product = -product;
+  }
+  __int128 quotient;
+  if (product >= 0) {
+    quotient = (product + d / 2) / d;
+  } else {
+    quotient = (product - d / 2) / d;
+  }
+  return Money(static_cast<int64_t>(quotient));
+}
+
+std::string Money::ToString() const {
+  int64_t abs_micros = micros_ < 0 ? -micros_ : micros_;
+  int64_t whole = abs_micros / 1'000'000;
+  int64_t frac = abs_micros % 1'000'000;
+  char buf[48];
+  if (frac % 10'000 == 0) {
+    // Cents are enough.
+    std::snprintf(buf, sizeof(buf), "%s$%" PRId64 ".%02" PRId64,
+                  micros_ < 0 ? "-" : "", whole, frac / 10'000);
+  } else {
+    // Show full micro precision, trimming trailing zeros.
+    std::snprintf(buf, sizeof(buf), "%s$%" PRId64 ".%06" PRId64,
+                  micros_ < 0 ? "-" : "", whole, frac);
+    char* end = buf + std::char_traits<char>::length(buf);
+    while (end > buf && end[-1] == '0') --end;
+    *end = '\0';
+  }
+  return buf;
+}
+
+}  // namespace cloudview

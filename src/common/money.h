@@ -1,0 +1,113 @@
+// Money: exact fixed-point currency arithmetic.
+//
+// Monetary amounts are stored as signed 64-bit *micro-dollars* (1e-6 USD).
+// All of the paper's rates ($0.12/h, $0.14/GB-month, ...) are exact in this
+// representation, and the cost models never round through floating point:
+// rate x quantity products are evaluated in 128-bit intermediate precision.
+
+#ifndef CLOUDVIEW_COMMON_MONEY_H_
+#define CLOUDVIEW_COMMON_MONEY_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+/// \brief An exact monetary amount in micro-dollars (1e-6 USD).
+///
+/// Money supports addition, subtraction, integer scaling, and exact
+/// rational scaling (`ScaleBy(num, den)`) for rate computations such as
+/// "price per GB-month x bytes x months". Scaling by a double is available
+/// for analyst-facing code (`MultipliedBy`) and rounds to nearest micro.
+class Money {
+ public:
+  constexpr Money() = default;
+
+  /// \brief Amount from raw micro-dollars.
+  static constexpr Money FromMicros(int64_t micros) { return Money(micros); }
+
+  /// \brief Amount from whole cents (1e-2 USD).
+  static constexpr Money FromCents(int64_t cents) {
+    return Money(cents * 10'000);
+  }
+
+  /// \brief Amount from whole dollars.
+  static constexpr Money FromDollars(int64_t dollars) {
+    return Money(dollars * 1'000'000);
+  }
+
+  /// \brief Amount from a fractional dollar figure, rounded to the nearest
+  /// micro-dollar. Only use at API boundaries (parsing, UI); internal code
+  /// paths stay integral.
+  static Money FromDollarsRounded(double dollars) {
+    return Money(static_cast<int64_t>(std::llround(dollars * 1e6)));
+  }
+
+  static constexpr Money Zero() { return Money(0); }
+
+  constexpr int64_t micros() const { return micros_; }
+
+  /// \brief Lossy conversion for display and plotting only.
+  constexpr double dollars() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+  constexpr bool is_negative() const { return micros_ < 0; }
+
+  /// \brief Exact scaling by the rational num/den, with round-half-away
+  /// rounding of the final quotient. 128-bit intermediates: no overflow for
+  /// any realistic bill (|amount| < $9.2e12 and |num| < 2^63).
+  Money ScaleBy(int64_t num, int64_t den) const;
+
+  /// \brief Scaling by a double, rounded to the nearest micro-dollar.
+  Money MultipliedBy(double factor) const {
+    return Money(static_cast<int64_t>(
+        std::llround(static_cast<double>(micros_) * factor)));
+  }
+
+  /// \brief Renders e.g. "$1.08", "-$0.0012", "$2,131.76" (no grouping).
+  /// Trailing zeros beyond cents are trimmed; at least two decimals shown.
+  std::string ToString() const;
+
+  constexpr Money operator+(Money other) const {
+    return Money(micros_ + other.micros_);
+  }
+  constexpr Money operator-(Money other) const {
+    return Money(micros_ - other.micros_);
+  }
+  constexpr Money operator-() const { return Money(-micros_); }
+  constexpr Money operator*(int64_t factor) const {
+    return Money(micros_ * factor);
+  }
+  Money& operator+=(Money other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  Money& operator-=(Money other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Money&) const = default;
+
+ private:
+  constexpr explicit Money(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_ = 0;
+};
+
+constexpr Money operator*(int64_t factor, Money m) { return m * factor; }
+
+inline std::ostream& operator<<(std::ostream& os, Money m) {
+  return os << m.ToString();
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_MONEY_H_

@@ -1,0 +1,19 @@
+#include "common/months.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cloudview {
+
+std::string Months::ToString() const {
+  char buf[48];
+  if (milli_ % kMilliPerMonth == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " mo",
+                  milli_ / kMilliPerMonth);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f mo", count());
+  }
+  return buf;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,89 @@
+// Months: fixed-point storage-billing time (the paper bills storage in
+// GB-months over intervals of constant size).
+//
+// Stored as milli-months (1/1000 month) so that integer-month examples are
+// exact and pro-rata billing over hours is well-defined. Conversion from
+// wall-clock uses the 730 h/month convention (8760 h / 12).
+
+#ifndef CLOUDVIEW_COMMON_MONTHS_H_
+#define CLOUDVIEW_COMMON_MONTHS_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/duration.h"
+
+namespace cloudview {
+
+/// \brief A span (or point on a billing timeline) measured in months,
+/// at milli-month resolution.
+class Months {
+ public:
+  static constexpr int64_t kMilliPerMonth = 1000;
+  /// Hours per month used for pro-rata conversion (8760 h / 12).
+  static constexpr int64_t kHoursPerMonth = 730;
+
+  constexpr Months() = default;
+
+  static constexpr Months FromMonths(int64_t m) {
+    return Months(m * kMilliPerMonth);
+  }
+  static constexpr Months FromMilli(int64_t milli) { return Months(milli); }
+
+  /// \brief Fractional months, rounded to the nearest milli-month.
+  static Months FromMonthsRounded(double m) {
+    return Months(static_cast<int64_t>(
+        std::llround(m * static_cast<double>(kMilliPerMonth))));
+  }
+
+  /// \brief Pro-rata conversion from wall-clock time (730 h = 1 month),
+  /// rounded to the nearest milli-month.
+  static Months FromDuration(Duration d) {
+    double month_ms =
+        static_cast<double>(kHoursPerMonth) * Duration::kMillisPerHour;
+    return Months(static_cast<int64_t>(std::llround(
+        static_cast<double>(d.millis()) / month_ms * kMilliPerMonth)));
+  }
+
+  static constexpr Months Zero() { return Months(0); }
+
+  constexpr int64_t milli() const { return milli_; }
+  constexpr double count() const {
+    return static_cast<double>(milli_) / kMilliPerMonth;
+  }
+
+  constexpr bool is_zero() const { return milli_ == 0; }
+  constexpr bool is_negative() const { return milli_ < 0; }
+
+  /// \brief Renders e.g. "12 mo", "0.5 mo".
+  std::string ToString() const;
+
+  constexpr Months operator+(Months other) const {
+    return Months(milli_ + other.milli_);
+  }
+  constexpr Months operator-(Months other) const {
+    return Months(milli_ - other.milli_);
+  }
+  Months& operator+=(Months other) {
+    milli_ += other.milli_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Months&) const = default;
+
+ private:
+  constexpr explicit Months(int64_t milli) : milli_(milli) {}
+
+  int64_t milli_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Months m) {
+  return os << m.ToString();
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_MONTHS_H_

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random generation for data synthesis and tests.
+//
+// All stochastic components of cloudview (dataset generator, workload
+// generator, property tests) draw from Rng seeded explicitly, so every
+// experiment is bit-reproducible. The core generator is xoshiro256**,
+// seeded via SplitMix64 (Blackman & Vigna).
+
+#ifndef CLOUDVIEW_COMMON_RANDOM_H_
+#define CLOUDVIEW_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cloudview {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// \brief Seeds the four-word state from a single seed via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform integer in [0, bound), bound > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  uint64_t Uniform(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// \brief True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// \brief Forks an independent stream (useful for parallel generators).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf-distributed sampler over ranks {0, ..., n-1} with exponent
+/// `theta` (theta = 0 is uniform; larger is more skewed). Precomputes the
+/// CDF once; sampling is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// \brief Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_RANDOM_H_

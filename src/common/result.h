@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+
+#ifndef CLOUDVIEW_COMMON_RESULT_H_
+#define CLOUDVIEW_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cloudview {
+
+/// \brief Holds either a T or a non-OK Status.
+///
+/// Construction from a T yields an OK result; construction from a non-OK
+/// Status yields an error result. Accessing the value of an error result
+/// aborts (programming error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// \brief Implicit construction from a value (OK result).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// \brief Implicit construction from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CV_CHECK(!status_.ok()) << "Result constructed from OK Status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Borrows the contained value; requires ok().
+  const T& value() const& {
+    CV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+
+  /// \brief Moves the contained value out; requires ok().
+  T MoveValue() {
+    CV_CHECK(ok()) << "Result::MoveValue() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value or `fallback` when this is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace cloudview
+
+/// \brief Evaluates `rexpr` (a Result<T>) and either assigns its value to
+/// `lhs` or returns the error status to the caller.
+#define CV_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  CV_ASSIGN_OR_RETURN_IMPL_(CV_CONCAT_(_cv_result, __LINE__), lhs, rexpr)
+
+#define CV_CONCAT_INNER_(a, b) a##b
+#define CV_CONCAT_(a, b) CV_CONCAT_INNER_(a, b)
+#define CV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = tmp.MoveValue()
+
+#endif  // CLOUDVIEW_COMMON_RESULT_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace cloudview {
+
+const char* Status::CodeToString(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kUnimplemented:
+      return "Unimplemented";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,120 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Fallible functions in cloudview return Status (or Result<T>, see result.h)
+// instead of throwing. This follows the RocksDB/Arrow idiom: the caller must
+// inspect the returned object, and `CV_RETURN_IF_ERROR` keeps call sites
+// terse.
+
+#ifndef CLOUDVIEW_COMMON_STATUS_H_
+#define CLOUDVIEW_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cloudview {
+
+/// \brief Outcome of a fallible operation: an error code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the common OK case).
+class Status {
+ public:
+  /// Error taxonomy, modelled after absl::Status / rocksdb::Status.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kUnimplemented,
+    kInternal,
+  };
+
+  Status() = default;
+
+  /// \brief Constructs a Status with an explicit code and message.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief The success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return code_ == Code::kOk; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// \brief Human-readable rendering, e.g. "InvalidArgument: bad tier".
+  std::string ToString() const;
+
+  /// \brief Name of a code, e.g. "NotFound".
+  static const char* CodeToString(Code code);
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace cloudview
+
+/// \brief Propagates a non-OK Status to the caller.
+#define CV_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::cloudview::Status _cv_status = (expr);        \
+    if (!_cv_status.ok()) return _cv_status;        \
+  } while (false)
+
+#endif  // CLOUDVIEW_COMMON_STATUS_H_

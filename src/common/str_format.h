@@ -1,0 +1,42 @@
+// Small string helpers (GCC 12 lacks std::format; we wrap snprintf).
+
+#ifndef CLOUDVIEW_COMMON_STR_FORMAT_H_
+#define CLOUDVIEW_COMMON_STR_FORMAT_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudview {
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// \brief Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// \brief Left/right padding to `width` with spaces (no truncation).
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+/// \brief True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Formats a double trimmed of trailing zeros: 1.50 -> "1.5".
+std::string FormatTrimmed(double value, int max_decimals);
+
+/// \brief Formats a ratio as a percentage, e.g. 0.254 -> "25.4%".
+std::string FormatPercent(double ratio, int decimals = 1);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_STR_FORMAT_H_

@@ -1,0 +1,104 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '$' && c != '%' && c != ',' &&
+        c != 'e' && c != 'E' && c != 'h' && c != ' ') {
+      return false;
+    }
+  }
+  return std::any_of(cell.begin(), cell.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CV_CHECK(!headers_.empty()) << "TablePrinter needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CV_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, table has "
+      << headers_.size() << " columns";
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << title_ << "\n";
+
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += "+";
+    rule += std::string(widths[c] + 2, '-');
+  }
+  rule += "+";
+
+  os << rule << "\n";
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << " " << PadRight(headers_[c], widths[c]) << " |";
+  }
+  os << "\n" << rule << "\n";
+  for (const auto& row : rows_) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      os << " "
+         << (LooksNumeric(cell) ? PadLeft(cell, widths[c])
+                                : PadRight(cell, widths[c]))
+         << " |";
+    }
+    os << "\n";
+  }
+  os << rule << "\n";
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  std::vector<std::string> escaped;
+  escaped.reserve(headers_.size());
+  for (const auto& h : headers_) escaped.push_back(CsvEscape(h));
+  os << Join(escaped, ",") << "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(CsvEscape(cell));
+    os << Join(escaped, ",") << "\n";
+  }
+}
+
+}  // namespace cloudview

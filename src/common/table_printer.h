@@ -1,0 +1,47 @@
+// TablePrinter: aligned fixed-width console tables for bench harnesses.
+//
+// The benchmark binaries regenerate the paper's tables; TablePrinter gives
+// them a uniform, diff-friendly rendering:
+//
+//   TablePrinter t({"Number of queries", "Budget limit", "IP Rate"});
+//   t.AddRow({"3", "$0.80", "25%"});
+//   t.Print(std::cout);
+
+#ifndef CLOUDVIEW_COMMON_TABLE_PRINTER_H_
+#define CLOUDVIEW_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudview {
+
+/// \brief Collects rows of strings and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// \brief Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Optional caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// \brief Appends a row; must have exactly one cell per column.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders the table. Numeric-looking cells are right-aligned.
+  void Print(std::ostream& os) const;
+
+  /// \brief Renders as CSV (one line per row, headers first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_TABLE_PRINTER_H_

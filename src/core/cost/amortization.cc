@@ -1,0 +1,37 @@
+#include "core/cost/amortization.h"
+
+namespace cloudview {
+
+Result<AmortizationReport> ComputeAmortization(
+    const AmortizationInputs& inputs) {
+  if (inputs.run_cost_without_views.is_negative() ||
+      inputs.run_cost_with_views.is_negative() ||
+      inputs.materialization_cost.is_negative() ||
+      inputs.per_run_overhead.is_negative()) {
+    return Status::InvalidArgument("costs must be non-negative");
+  }
+
+  AmortizationReport report;
+  report.per_run_saving = inputs.run_cost_without_views -
+                          inputs.run_cost_with_views -
+                          inputs.per_run_overhead;
+
+  if (inputs.materialization_cost.is_zero()) {
+    report.amortizes = !report.per_run_saving.is_negative();
+    report.break_even_runs = 0;
+    return report;
+  }
+  if (report.per_run_saving <= Money::Zero()) {
+    report.amortizes = false;
+    report.break_even_runs = 0;
+    return report;
+  }
+  // ceil(materialization / per_run_saving).
+  int64_t mat = inputs.materialization_cost.micros();
+  int64_t save = report.per_run_saving.micros();
+  report.break_even_runs = (mat + save - 1) / save;
+  report.amortizes = true;
+  return report;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,51 @@
+// Amortization analysis: after how many workload repetitions does a view
+// set pay for itself? (In the spirit of the cost-amortization work the
+// paper cites [19].)
+//
+// Materialization is a one-time charge; each workload run then saves
+// compute (and each maintenance cycle charges upkeep). The break-even
+// point is where cumulative savings cross the up-front cost.
+
+#ifndef CLOUDVIEW_CORE_COST_AMORTIZATION_H_
+#define CLOUDVIEW_CORE_COST_AMORTIZATION_H_
+
+#include <cstdint>
+
+#include "common/money.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief Per-run and one-time figures of a candidate plan.
+struct AmortizationInputs {
+  /// Compute cost of one workload run without views.
+  Money run_cost_without_views;
+  /// Compute cost of one workload run with the views in place
+  /// (excluding materialization).
+  Money run_cost_with_views;
+  /// One-time materialization charge.
+  Money materialization_cost;
+  /// Upkeep charged per run (maintenance + marginal storage for the
+  /// period between runs); may be zero.
+  Money per_run_overhead;
+};
+
+/// \brief Result of the break-even computation.
+struct AmortizationReport {
+  /// Net saving per run (may be negative: views never pay off).
+  Money per_run_saving;
+  /// Smallest number of runs after which cumulative net savings cover
+  /// the materialization cost; 0 when materialization is free.
+  int64_t break_even_runs = 0;
+  /// True when the plan amortizes at all.
+  bool amortizes = false;
+};
+
+/// \brief Computes the break-even point. InvalidArgument when any cost
+/// is negative.
+Result<AmortizationReport> ComputeAmortization(
+    const AmortizationInputs& inputs);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_AMORTIZATION_H_

@@ -1,0 +1,78 @@
+#include "core/cost/cloud_cost_model.h"
+
+namespace cloudview {
+
+Result<CostBreakdown> CloudCostModel::CostWithoutViews(
+    const WorkloadCostInput& workload, const DeploymentSpec& spec) const {
+  CostBreakdown breakdown;
+  breakdown.processing =
+      compute_.ProcessingCost(workload, spec.instance, spec.nb_instances);
+  if (spec.single_compute_session) {
+    // One rental session: exact charge plus a single rounding surcharge.
+    Duration busy = workload.TotalProcessingTime();
+    Money exact = pricing_->ComputeCostExact(spec.instance, busy,
+                                             spec.nb_instances);
+    Money billed =
+        pricing_->ComputeCost(spec.instance, busy, spec.nb_instances);
+    breakdown.processing = exact;
+    breakdown.session_rounding = billed - exact;
+  }
+  breakdown.transfer =
+      transfer_.GeneralTransferCost(workload, spec.ingress);
+  CV_ASSIGN_OR_RETURN(
+      breakdown.storage,
+      storage_.Cost(spec.base_storage, spec.storage_period));
+  return breakdown;
+}
+
+Result<CostBreakdown> CloudCostModel::CostWithViews(
+    const WorkloadCostInput& workload, const ViewSetCostInput& views,
+    const DeploymentSpec& spec) const {
+  CostBreakdown breakdown;
+  if (spec.single_compute_session) {
+    // One rental session covering materialization, querying and
+    // maintenance: exact per-activity charges, one rounding surcharge.
+    Duration busy = workload.TotalProcessingTime() +
+                    views.TotalMaterializationTime() +
+                    views.TotalMaintenanceTime() * spec.maintenance_cycles;
+    breakdown.processing = pricing_->ComputeCostExact(
+        spec.instance, workload.TotalProcessingTime(), spec.nb_instances);
+    breakdown.materialization = pricing_->ComputeCostExact(
+        spec.instance, views.TotalMaterializationTime(),
+        spec.nb_instances);
+    breakdown.maintenance =
+        pricing_->ComputeCostExact(spec.instance,
+                                   views.TotalMaintenanceTime(),
+                                   spec.nb_instances) *
+        spec.maintenance_cycles;
+    Money billed =
+        pricing_->ComputeCost(spec.instance, busy, spec.nb_instances);
+    breakdown.session_rounding =
+        billed - (breakdown.processing + breakdown.materialization +
+                  breakdown.maintenance);
+  } else {
+    breakdown.processing =
+        compute_.ProcessingCost(workload, spec.instance,
+                                spec.nb_instances);
+    breakdown.materialization =
+        compute_.MaterializationCost(views, spec.instance,
+                                     spec.nb_instances);
+    breakdown.maintenance =
+        compute_.MaintenanceCost(views, spec.instance, spec.nb_instances,
+                                 spec.maintenance_cycles);
+  }
+  // Transfer is unchanged by views (Section 4.1): views never leave the
+  // cloud.
+  breakdown.transfer =
+      transfer_.GeneralTransferCost(workload, spec.ingress);
+  // Storage: base timeline plus the views' duplicated bytes, stored for
+  // the whole period (Section 4.3).
+  StorageTimeline with_views = spec.base_storage;
+  CV_RETURN_IF_ERROR(
+      with_views.AddDelta(Months::Zero(), views.TotalSize()));
+  CV_ASSIGN_OR_RETURN(breakdown.storage,
+                      storage_.Cost(with_views, spec.storage_period));
+  return breakdown;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,33 @@
+#include "core/cost/compute_cost.h"
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+Money ComputeCostModel::TimeCost(Duration busy, const InstanceType& instance,
+                                 int64_t nb_instances) const {
+  return pricing_->ComputeCost(instance, busy, nb_instances);
+}
+
+Money ComputeCostModel::ProcessingCost(const WorkloadCostInput& workload,
+                                       const InstanceType& instance,
+                                       int64_t nb_instances) const {
+  return TimeCost(workload.TotalProcessingTime(), instance, nb_instances);
+}
+
+Money ComputeCostModel::MaterializationCost(const ViewSetCostInput& views,
+                                            const InstanceType& instance,
+                                            int64_t nb_instances) const {
+  return TimeCost(views.TotalMaterializationTime(), instance, nb_instances);
+}
+
+Money ComputeCostModel::MaintenanceCost(const ViewSetCostInput& views,
+                                        const InstanceType& instance,
+                                        int64_t nb_instances,
+                                        int64_t cycles) const {
+  CV_CHECK(cycles >= 0) << "negative maintenance cycles";
+  return TimeCost(views.TotalMaintenanceTime(), instance, nb_instances) *
+         cycles;
+}
+
+}  // namespace cloudview

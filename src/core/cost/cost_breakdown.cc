@@ -1,0 +1,14 @@
+#include "core/cost/cost_breakdown.h"
+
+namespace cloudview {
+
+void CostBreakdown::Print(std::ostream& os) const {
+  os << "total " << total() << " (proc " << processing << " mat "
+     << materialization << " maint " << maintenance;
+  if (!session_rounding.is_zero()) {
+    os << " round " << session_rounding;
+  }
+  os << " stor " << storage << " xfer " << transfer << ")";
+}
+
+}  // namespace cloudview

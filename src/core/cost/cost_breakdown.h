@@ -1,0 +1,55 @@
+// CostBreakdown: itemized result of the cost models (Formula 1 and 6).
+
+#ifndef CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_
+#define CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_
+
+#include <ostream>
+
+#include "common/money.h"
+
+namespace cloudview {
+
+/// \brief Total cloud cost split along the paper's axes: C = Cc + Cs + Ct
+/// (Formula 1), with Cc further split per Formula 6 into query
+/// processing, view materialization, and view maintenance.
+struct CostBreakdown {
+  Money processing;      // C_processingQ (Formula 10 / Formula 4).
+  Money materialization; // C_materializationV (Formula 8); zero sans views.
+  Money maintenance;     // C_maintenanceV (Formula 12); zero sans views.
+  Money storage;         // Cs (Formula 5).
+  Money transfer;        // Ct (Formulas 2-3).
+  /// Round-up surcharge when compute is billed as one rental session
+  /// (DeploymentSpec::single_compute_session): the gap between the
+  /// session's rounded bill and the exact per-activity charges above.
+  Money session_rounding;
+
+  /// \brief Cc: all compute charges (Formula 6).
+  Money compute() const {
+    return processing + materialization + maintenance + session_rounding;
+  }
+
+  /// \brief C = Cc + Cs + Ct (Formula 1).
+  Money total() const { return compute() + storage + transfer; }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    processing += other.processing;
+    materialization += other.materialization;
+    maintenance += other.maintenance;
+    storage += other.storage;
+    transfer += other.transfer;
+    return *this;
+  }
+
+  friend CostBreakdown operator+(CostBreakdown a, const CostBreakdown& b) {
+    a += b;
+    return a;
+  }
+
+  /// \brief One-line rendering, e.g.
+  /// "total $12.88 (proc $9.60 mat $0.24 maint $1.20 stor $0.77 xfer $1.08)".
+  void Print(std::ostream& os) const;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_

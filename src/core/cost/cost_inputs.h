@@ -1,0 +1,100 @@
+// CostInputs: the paper's Table 5 parameters, packaged for the models.
+//
+// The analytical cost models (Formulas 1-12) consume nothing but sizes
+// and times; these structs carry them. They can be filled by hand (the
+// paper's worked examples) or from the simulated engine (Section 6
+// reproduction) — see core/scenario.h for the latter.
+
+#ifndef CLOUDVIEW_CORE_COST_COST_INPUTS_H_
+#define CLOUDVIEW_CORE_COST_COST_INPUTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/duration.h"
+
+namespace cloudview {
+
+/// \brief Per-query inputs: processing time t_i (or t_iV when a view set
+/// is in play), result size s(R_i), and upload size s(Q_i) (the query
+/// text; only billed by CSPs that charge for ingress).
+struct QueryCostInput {
+  std::string name;
+  Duration processing_time;
+  DataSize result_size;
+  DataSize query_upload_size = DataSize::FromBytes(0);
+  uint64_t frequency = 1;
+};
+
+/// \brief The workload side of Table 5: Q = {Q_i}, R = {R_i}.
+struct WorkloadCostInput {
+  std::vector<QueryCostInput> queries;
+
+  /// \brief Formula 9: total processing time (frequency-weighted).
+  Duration TotalProcessingTime() const {
+    Duration total = Duration::Zero();
+    for (const QueryCostInput& q : queries) {
+      total += q.processing_time * static_cast<int64_t>(q.frequency);
+    }
+    return total;
+  }
+
+  /// \brief Total result bytes transferred out (frequency-weighted).
+  DataSize TotalResultBytes() const {
+    DataSize total = DataSize::Zero();
+    for (const QueryCostInput& q : queries) {
+      total += q.result_size * static_cast<int64_t>(q.frequency);
+    }
+    return total;
+  }
+
+  /// \brief Total uploaded query bytes (frequency-weighted).
+  DataSize TotalUploadBytes() const {
+    DataSize total = DataSize::Zero();
+    for (const QueryCostInput& q : queries) {
+      total += q.query_upload_size * static_cast<int64_t>(q.frequency);
+    }
+    return total;
+  }
+};
+
+/// \brief The view side of Section 4: per-view materialization and
+/// maintenance times (Formulas 7 and 11) and duplicated bytes.
+struct ViewCostInput {
+  std::string name;
+  Duration materialization_time;
+  Duration maintenance_time;
+  DataSize size;
+};
+
+/// \brief Totals over a selected view set V.
+struct ViewSetCostInput {
+  std::vector<ViewCostInput> views;
+
+  /// \brief Formula 7: total materialization time.
+  Duration TotalMaterializationTime() const {
+    Duration total = Duration::Zero();
+    for (const ViewCostInput& v : views) total += v.materialization_time;
+    return total;
+  }
+
+  /// \brief Formula 11: total maintenance time (per maintenance cycle).
+  Duration TotalMaintenanceTime() const {
+    Duration total = Duration::Zero();
+    for (const ViewCostInput& v : views) total += v.maintenance_time;
+    return total;
+  }
+
+  /// \brief Duplicated bytes stored for V.
+  DataSize TotalSize() const {
+    DataSize total = DataSize::Zero();
+    for (const ViewCostInput& v : views) total += v.size;
+    return total;
+  }
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_COST_INPUTS_H_

@@ -1,0 +1,20 @@
+#include "core/cost/storage_cost.h"
+
+namespace cloudview {
+
+Result<Money> StorageCostModel::Cost(const StorageTimeline& timeline,
+                                     Months period_end) const {
+  CV_ASSIGN_OR_RETURN(std::vector<StorageInterval> intervals,
+                      timeline.Intervals(period_end));
+  Money total = Money::Zero();
+  for (const StorageInterval& interval : intervals) {
+    total += pricing_->StorageCost(interval.size, interval.duration());
+  }
+  return total;
+}
+
+Money StorageCostModel::ConstantCost(DataSize volume, Months span) const {
+  return pricing_->StorageCost(volume, span);
+}
+
+}  // namespace cloudview

@@ -1,0 +1,44 @@
+// StorageCostModel: the paper's Formula 5.
+//
+//   Cs = sum over intervals of cs(DS) x (t_end - t_start) x s(DS)
+//
+// where cs(DS) is the CSP's per-GB-month rate for the stored volume. The
+// formula as written applies the containing bracket's rate to the whole
+// volume (flat-bracket); real AWS billing is marginal per tier. Both are
+// supported via the PricingModel's StorageBilling mode, and Example 3's
+// arithmetic is covered (with the paper's $30 slip documented) in
+// tests/cost_examples_test.cc and EXPERIMENTS.md.
+
+#ifndef CLOUDVIEW_CORE_COST_STORAGE_COST_H_
+#define CLOUDVIEW_CORE_COST_STORAGE_COST_H_
+
+#include "common/money.h"
+#include "common/months.h"
+#include "core/cost/storage_timeline.h"
+#include "pricing/pricing_model.h"
+
+namespace cloudview {
+
+/// \brief Evaluates storage costs against one PricingModel.
+class StorageCostModel {
+ public:
+  /// \brief Keeps a reference; `pricing` must outlive the model.
+  explicit StorageCostModel(const PricingModel& pricing)
+      : pricing_(&pricing) {}
+
+  /// \brief Formula 5 over an explicit timeline, for the period
+  /// [0, period_end).
+  Result<Money> Cost(const StorageTimeline& timeline,
+                     Months period_end) const;
+
+  /// \brief Single-interval convenience: a constant `volume` stored for
+  /// `span` (Example 9: (500+50 GB) x 12 months x $0.14).
+  Money ConstantCost(DataSize volume, Months span) const;
+
+ private:
+  const PricingModel* pricing_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_STORAGE_COST_H_

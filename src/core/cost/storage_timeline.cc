@@ -1,0 +1,56 @@
+#include "core/cost/storage_timeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cloudview {
+
+Status StorageTimeline::AddDelta(Months at, DataSize delta) {
+  if (at.is_negative()) {
+    return Status::InvalidArgument("storage events cannot predate month 0");
+  }
+  events_.push_back({at, delta});
+  return Status::OK();
+}
+
+Result<std::vector<StorageInterval>> StorageTimeline::Intervals(
+    Months end) const {
+  if (end.is_negative()) {
+    return Status::InvalidArgument("storage period end before month 0");
+  }
+  // Coalesce events by timestamp.
+  std::map<Months, DataSize> by_time;
+  for (const Event& event : events_) {
+    if (event.at >= end) continue;
+    by_time[event.at] += event.delta;
+  }
+
+  std::vector<StorageInterval> intervals;
+  DataSize size = DataSize::Zero();
+  Months cursor = Months::Zero();
+  for (const auto& [at, delta] : by_time) {
+    if (at > cursor && !size.is_zero()) {
+      intervals.push_back({cursor, at, size});
+    }
+    if (at > cursor) cursor = at;
+    size += delta;
+    if (size.is_negative()) {
+      return Status::FailedPrecondition(
+          "storage timeline deletes more data than it holds");
+    }
+  }
+  if (cursor < end && !size.is_zero()) {
+    intervals.push_back({cursor, end, size});
+  }
+  return intervals;
+}
+
+DataSize StorageTimeline::SizeAt(Months at) const {
+  DataSize size = DataSize::Zero();
+  for (const Event& event : events_) {
+    if (event.at <= at) size += event.delta;
+  }
+  return size;
+}
+
+}  // namespace cloudview

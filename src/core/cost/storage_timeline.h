@@ -1,0 +1,62 @@
+// StorageTimeline: the interval structure behind the paper's Formula 5.
+//
+// "We assume that the storage period in the cloud is divided into
+// intervals. In each interval, the size of the stored data is fixed."
+// The timeline records size-change events (initial load, later inserts,
+// view materialization) at month timestamps and yields the constant-size
+// intervals the storage cost model integrates over.
+
+#ifndef CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
+#define CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
+
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/months.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief A half-open span [start, end) during which the stored volume is
+/// constant.
+struct StorageInterval {
+  Months start;
+  Months end;
+  DataSize size;
+
+  Months duration() const { return end - start; }
+};
+
+/// \brief Size-change events over a storage period.
+class StorageTimeline {
+ public:
+  StorageTimeline() = default;
+
+  /// \brief Convenience: a timeline holding `size` from month 0.
+  explicit StorageTimeline(DataSize initial) { events_.push_back({Months::Zero(), initial}); }
+
+  /// \brief Adds `delta` bytes at month `at` (negative deltas model data
+  /// deletion). Events may be added in any order.
+  Status AddDelta(Months at, DataSize delta);
+
+  /// \brief Constant-size intervals covering [0, end). Events at or after
+  /// `end` are ignored; zero-length intervals are dropped. Fails if any
+  /// prefix sum is negative (more deleted than stored).
+  Result<std::vector<StorageInterval>> Intervals(Months end) const;
+
+  /// \brief Stored volume at month `at` (sum of deltas with time <= at).
+  DataSize SizeAt(Months at) const;
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    Months at;
+    DataSize delta;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_

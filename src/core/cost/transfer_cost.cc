@@ -1,0 +1,19 @@
+#include "core/cost/transfer_cost.h"
+
+namespace cloudview {
+
+Money TransferCostModel::ResultTransferCost(
+    const WorkloadCostInput& workload) const {
+  return pricing_->TransferOutCost(workload.TotalResultBytes());
+}
+
+Money TransferCostModel::GeneralTransferCost(
+    const WorkloadCostInput& workload, const IngressVolumes& ingress) const {
+  Money out = pricing_->TransferOutCost(workload.TotalResultBytes());
+  DataSize in_volume = workload.TotalUploadBytes() +
+                       ingress.initial_dataset + ingress.inserted_data;
+  Money in = pricing_->TransferInCost(in_volume);
+  return out + in;
+}
+
+}  // namespace cloudview

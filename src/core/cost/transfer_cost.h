@@ -1,0 +1,50 @@
+// TransferCostModel: the paper's Formulas 2 and 3.
+//
+// Formula 2 (general CSP): Ct covers query results out, query uploads in,
+// the initial dataset in, and inserted data in. Formula 3 (AWS-like,
+// free ingress): only results are billed. Both are evaluated against the
+// pricing model's tiered transfer schedules, so Formula 3 falls out of
+// Formula 2 automatically when ingress is free — we expose both for
+// fidelity to the paper and for CSPs that do charge ingress.
+
+#ifndef CLOUDVIEW_CORE_COST_TRANSFER_COST_H_
+#define CLOUDVIEW_CORE_COST_TRANSFER_COST_H_
+
+#include "common/data_size.h"
+#include "common/money.h"
+#include "core/cost/cost_inputs.h"
+#include "pricing/pricing_model.h"
+
+namespace cloudview {
+
+/// \brief Ingress volumes of Formula 2 beyond the workload itself.
+struct IngressVolumes {
+  /// s(DS): the initial dataset shipped to the cloud.
+  DataSize initial_dataset;
+  /// s(insertedData): later inserts.
+  DataSize inserted_data;
+};
+
+/// \brief Evaluates transfer costs against one PricingModel.
+class TransferCostModel {
+ public:
+  /// \brief Keeps a reference; `pricing` must outlive the model.
+  explicit TransferCostModel(const PricingModel& pricing)
+      : pricing_(&pricing) {}
+
+  /// \brief Formula 3: result traffic only (exact for free-ingress CSPs).
+  /// The tiered schedule is applied to the aggregate result volume.
+  Money ResultTransferCost(const WorkloadCostInput& workload) const;
+
+  /// \brief Formula 2: results out, plus query uploads / initial dataset /
+  /// inserted data in.
+  Money GeneralTransferCost(const WorkloadCostInput& workload,
+                            const IngressVolumes& ingress) const;
+
+ private:
+  const PricingModel* pricing_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_COST_TRANSFER_COST_H_

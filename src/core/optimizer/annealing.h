@@ -1,0 +1,45 @@
+// Simulated-annealing view selection — an optional solver beyond the
+// paper's knapsack DP (its Section 8 notes that "optimization techniques
+// are the most efficient when combined").
+//
+// Annealing explores the subset space with random single-view toggles
+// and a geometric cooling schedule; unlike the exact local search it can
+// escape local optima on rugged instances (strong view interactions,
+// stepwise hour billing). Deterministic in AnnealingOptions::seed.
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
+
+#include <cstdint>
+
+#include "core/optimizer/evaluator.h"
+#include "core/optimizer/selector.h"
+
+namespace cloudview {
+
+/// \brief Annealing schedule knobs.
+struct AnnealingOptions {
+  /// Total toggle proposals.
+  int iterations = 2000;
+  /// Initial acceptance temperature, as a fraction of the baseline
+  /// objective (e.g. 0.05 accepts ~5%-worse moves early on).
+  double initial_temperature = 0.05;
+  /// Geometric cooling factor applied every iteration.
+  double cooling = 0.995;
+  uint64_t seed = 1848;  // Metropolis et al., by spirit.
+};
+
+/// \brief Runs annealing on the given scenario objective and returns the
+/// best selection visited (always at least as good as the empty set).
+///
+/// Constraint handling matches ViewSelector's local search: the score is
+/// lexicographic (violation first), folded into a single scalar with a
+/// large violation penalty so the walk is pulled into the feasible
+/// region before optimizing within it.
+Result<SelectionResult> AnnealSelection(const SelectionEvaluator& evaluator,
+                                        const ObjectiveSpec& spec,
+                                        const AnnealingOptions& options = {});
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_

@@ -1,0 +1,130 @@
+#include "core/optimizer/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+namespace {
+
+constexpr Duration kUnanswerable =
+    Duration::FromMillis(std::numeric_limits<int64_t>::max() / 2);
+
+}  // namespace
+
+SelectionEvaluator::SelectionEvaluator(
+    const CubeLattice& lattice, const Workload& workload,
+    const MapReduceSimulator& simulator, const ClusterSpec& cluster,
+    const CloudCostModel& cost_model, const DeploymentSpec& deployment,
+    std::vector<ViewCandidate> candidates)
+    : lattice_(&lattice),
+      workload_(workload),
+      cost_model_(&cost_model),
+      deployment_(deployment),
+      candidates_(std::move(candidates)) {
+  size_t m = workload.size();
+  base_time_.resize(m);
+  result_bytes_.resize(m);
+  view_time_.assign(m, std::vector<Duration>(candidates_.size(),
+                                             kUnanswerable));
+  for (size_t q = 0; q < m; ++q) {
+    CuboidId target = workload.query(q).target;
+    base_time_[q] = simulator.QueryTimeFromFact(target, cluster);
+    result_bytes_[q] = lattice.EstimateSize(target);
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      if (lattice.CanAnswer(candidates_[c].view, target)) {
+        view_time_[q][c] = simulator.QueryTimeFromView(
+            candidates_[c].view, target, cluster);
+      }
+    }
+  }
+}
+
+Result<SelectionEvaluator> SelectionEvaluator::Create(
+    const CubeLattice& lattice, const Workload& workload,
+    const MapReduceSimulator& simulator, const ClusterSpec& cluster,
+    const CloudCostModel& cost_model, const DeploymentSpec& deployment,
+    std::vector<ViewCandidate> candidates) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("evaluator needs a non-empty workload");
+  }
+  SelectionEvaluator evaluator(lattice, workload, simulator, cluster,
+                               cost_model, deployment,
+                               std::move(candidates));
+  CV_ASSIGN_OR_RETURN(evaluator.baseline_, evaluator.Evaluate({}));
+  return evaluator;
+}
+
+Result<SubsetEvaluation> SelectionEvaluator::Evaluate(
+    const std::vector<size_t>& selected) const {
+  SubsetEvaluation eval;
+  eval.selected = selected;
+  std::sort(eval.selected.begin(), eval.selected.end());
+  for (size_t i = 0; i < eval.selected.size(); ++i) {
+    if (eval.selected[i] >= candidates_.size()) {
+      return Status::InvalidArgument("candidate index out of range");
+    }
+    if (i > 0 && eval.selected[i] == eval.selected[i - 1]) {
+      return Status::InvalidArgument("duplicate candidate in subset");
+    }
+  }
+
+  // Per-query best source among the subset (and base).
+  for (size_t q = 0; q < workload_.size(); ++q) {
+    const QuerySpec& spec = workload_.query(q);
+    Duration best = base_time_[q];
+    for (size_t c : eval.selected) {
+      if (view_time_[q][c] < best) best = view_time_[q][c];
+    }
+    eval.workload_input.queries.push_back(QueryCostInput{
+        spec.name, best, result_bytes_[q], DataSize::Zero(),
+        spec.frequency});
+  }
+
+  for (size_t c : eval.selected) {
+    const ViewCandidate& candidate = candidates_[c];
+    eval.view_input.views.push_back(
+        ViewCostInput{candidate.name, candidate.materialization_time,
+                      candidate.maintenance_time, candidate.size});
+  }
+
+  eval.processing_time = eval.workload_input.TotalProcessingTime();
+  eval.makespan =
+      eval.processing_time + eval.view_input.TotalMaterializationTime();
+
+  if (eval.selected.empty()) {
+    CV_ASSIGN_OR_RETURN(
+        eval.cost,
+        cost_model_->CostWithoutViews(eval.workload_input, deployment_));
+  } else {
+    CV_ASSIGN_OR_RETURN(
+        eval.cost,
+        cost_model_->CostWithViews(eval.workload_input, eval.view_input,
+                                   deployment_));
+  }
+  return eval;
+}
+
+Duration SelectionEvaluator::StandaloneProcessingSaving(size_t c) const {
+  CV_CHECK(c < candidates_.size()) << "candidate index out of range";
+  Duration saved = Duration::Zero();
+  for (size_t q = 0; q < workload_.size(); ++q) {
+    if (view_time_[q][c] < base_time_[q]) {
+      saved += (base_time_[q] - view_time_[q][c]) *
+               static_cast<int64_t>(workload_.query(q).frequency);
+    }
+  }
+  return saved;
+}
+
+Result<Money> SelectionEvaluator::StandaloneCostDelta(size_t c) const {
+  if (c >= candidates_.size()) {
+    return Status::InvalidArgument("candidate index out of range");
+  }
+  CV_ASSIGN_OR_RETURN(SubsetEvaluation solo, Evaluate({c}));
+  return solo.cost.total() - baseline_.cost.total();
+}
+
+}  // namespace cloudview

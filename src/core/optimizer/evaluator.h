@@ -1,0 +1,107 @@
+// SelectionEvaluator: exact, interaction-aware evaluation of a candidate
+// subset — the ground truth every solver (knapsack, greedy, exhaustive)
+// optimizes against.
+//
+// "Interaction-aware" means a query is answered by the *best* view in the
+// selected set (or the base table), so view benefits do not simply add
+// up. The knapsack formulation uses additive standalone benefits (the
+// paper's approach); the selector then re-evaluates its pick exactly
+// through this class and repairs if needed.
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
+
+#include <vector>
+
+#include "catalog/lattice.h"
+#include "common/result.h"
+#include "core/cost/cloud_cost_model.h"
+#include "core/optimizer/view_candidate.h"
+#include "engine/cluster.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief Everything the objectives need to know about one subset.
+struct SubsetEvaluation {
+  /// Candidate indices, ascending.
+  std::vector<size_t> selected;
+  /// Per-query t_iV and result sizes for the subset.
+  WorkloadCostInput workload_input;
+  /// Formula 7/11 totals and duplicated bytes for the subset.
+  ViewSetCostInput view_input;
+  /// Full monetary breakdown (Formula 1/6).
+  CostBreakdown cost;
+  /// Formula 9: TprocessingQ with the subset in place.
+  Duration processing_time;
+  /// processing + one-time materialization (the workload-run response
+  /// time reported by the Section 6 experiments; see DESIGN.md §5.6).
+  Duration makespan;
+};
+
+/// \brief Precomputes the query-x-candidate timing matrix and evaluates
+/// subsets exactly.
+///
+/// The workload and deployment are copied in (both are small); the
+/// lattice and cost model are borrowed and must outlive the evaluator.
+class SelectionEvaluator {
+ public:
+  /// \brief Builds the evaluator. `lattice` and `cost_model` must
+  /// outlive it; `workload` and `deployment` are copied.
+  static Result<SelectionEvaluator> Create(
+      const CubeLattice& lattice, const Workload& workload,
+      const MapReduceSimulator& simulator, const ClusterSpec& cluster,
+      const CloudCostModel& cost_model, const DeploymentSpec& deployment,
+      std::vector<ViewCandidate> candidates);
+
+  const std::vector<ViewCandidate>& candidates() const {
+    return candidates_;
+  }
+  size_t num_candidates() const { return candidates_.size(); }
+  const Workload& workload() const { return workload_; }
+  const DeploymentSpec& deployment() const { return deployment_; }
+
+  /// \brief Exact evaluation of a subset (indices into candidates()).
+  Result<SubsetEvaluation> Evaluate(
+      const std::vector<size_t>& selected) const;
+
+  /// \brief The no-view evaluation (cached).
+  const SubsetEvaluation& baseline() const { return baseline_; }
+
+  /// \brief Processing time saved by materializing candidate `c` alone
+  /// (additive knapsack approximation).
+  Duration StandaloneProcessingSaving(size_t c) const;
+
+  /// \brief cost({c}).total() - cost({}).total(): the candidate's
+  /// standalone monetary footprint (may be negative when compute savings
+  /// outweigh storage/materialization).
+  Result<Money> StandaloneCostDelta(size_t c) const;
+
+ private:
+  SelectionEvaluator(const CubeLattice& lattice, const Workload& workload,
+                     const MapReduceSimulator& simulator,
+                     const ClusterSpec& cluster,
+                     const CloudCostModel& cost_model,
+                     const DeploymentSpec& deployment,
+                     std::vector<ViewCandidate> candidates);
+
+  const CubeLattice* lattice_;
+  Workload workload_;
+  const CloudCostModel* cost_model_;
+  DeploymentSpec deployment_;
+  std::vector<ViewCandidate> candidates_;
+
+  // base_time_[q]: query q answered from the base table.
+  std::vector<Duration> base_time_;
+  // view_time_[q][c]: query q answered from candidate c; Duration max
+  // when c cannot answer q.
+  std::vector<std::vector<Duration>> view_time_;
+  // result_bytes_[q]: logical result volume of query q.
+  std::vector<DataSize> result_bytes_;
+
+  SubsetEvaluation baseline_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_

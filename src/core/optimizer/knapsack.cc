@@ -1,0 +1,157 @@
+#include "core/optimizer/knapsack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+namespace {
+
+constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min() / 4;
+constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max() / 4;
+
+// Rounds `x` up to a multiple of `scale`, in scale units.
+int64_t ScaleUp(int64_t x, int64_t scale) {
+  return (x + scale - 1) / scale;
+}
+
+void FinalizeTotals(const std::vector<KnapsackItem>& items,
+                    KnapsackSolution* solution) {
+  std::sort(solution->selected.begin(), solution->selected.end());
+  solution->total_weight = 0;
+  solution->total_value = 0;
+  for (size_t i : solution->selected) {
+    solution->total_weight += items[i].weight;
+    solution->total_value += items[i].value;
+  }
+}
+
+}  // namespace
+
+Result<KnapsackSolution> MaximizeValue(const std::vector<KnapsackItem>& items,
+                                       int64_t capacity,
+                                       const KnapsackOptions& options) {
+  if (capacity < 0) {
+    return Status::InvalidArgument("knapsack capacity is negative");
+  }
+  if (options.max_buckets <= 0) {
+    return Status::InvalidArgument("max_buckets must be positive");
+  }
+
+  KnapsackSolution solution;
+  // Free wins first: non-positive weight with positive value. Negative
+  // weights enlarge the remaining capacity.
+  std::vector<size_t> dp_items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value <= 0) continue;
+    if (items[i].weight <= 0) {
+      solution.selected.push_back(i);
+      capacity += -items[i].weight;
+    } else {
+      dp_items.push_back(i);
+    }
+  }
+
+  if (!dp_items.empty() && capacity > 0) {
+    int64_t scale = std::max<int64_t>(
+        1, ScaleUp(capacity, options.max_buckets));
+    int64_t cap_buckets = capacity / scale;  // Floor: stays sound.
+    size_t n = dp_items.size();
+    // dp[i][b]: best value using items [0, i) within b weight buckets.
+    std::vector<std::vector<int64_t>> dp(
+        n + 1, std::vector<int64_t>(cap_buckets + 1, 0));
+    for (size_t i = 0; i < n; ++i) {
+      const KnapsackItem& item = items[dp_items[i]];
+      int64_t w = ScaleUp(item.weight, scale);  // Round up: stays sound.
+      for (int64_t b = 0; b <= cap_buckets; ++b) {
+        dp[i + 1][b] = dp[i][b];
+        if (w <= b && dp[i][b - w] + item.value > dp[i + 1][b]) {
+          dp[i + 1][b] = dp[i][b - w] + item.value;
+        }
+      }
+    }
+    // Reconstruct.
+    int64_t b = cap_buckets;
+    for (size_t i = n; i-- > 0;) {
+      if (dp[i + 1][b] != dp[i][b]) {
+        solution.selected.push_back(dp_items[i]);
+        b -= ScaleUp(items[dp_items[i]].weight, scale);
+      }
+    }
+  }
+
+  FinalizeTotals(items, &solution);
+  return solution;
+}
+
+Result<KnapsackSolution> MinimizeWeightForValue(
+    const std::vector<KnapsackItem>& items, int64_t target_value,
+    const KnapsackOptions& options) {
+  if (options.max_buckets <= 0) {
+    return Status::InvalidArgument("max_buckets must be positive");
+  }
+  KnapsackSolution solution;
+  if (target_value <= 0) {
+    FinalizeTotals(items, &solution);
+    return solution;  // Already satisfied by the empty set.
+  }
+
+  // Items that help: positive value. Among them, non-positive weights are
+  // free — take them all, shrink the target.
+  std::vector<size_t> dp_items;
+  int64_t remaining_target = target_value;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value <= 0) continue;
+    if (items[i].weight <= 0) {
+      solution.selected.push_back(i);
+      remaining_target -= items[i].value;
+    } else {
+      dp_items.push_back(i);
+    }
+  }
+
+  if (remaining_target > 0) {
+    int64_t scale = std::max<int64_t>(
+        1, ScaleUp(remaining_target, options.max_buckets));
+    // Rounding values down keeps "value >= target" sound.
+    int64_t target_buckets = ScaleUp(remaining_target, scale);
+    size_t n = dp_items.size();
+    // dp[i][j]: min weight using items [0, i) reaching >= j value buckets
+    // (j saturates at target_buckets).
+    std::vector<std::vector<int64_t>> dp(
+        n + 1, std::vector<int64_t>(target_buckets + 1, kPosInf));
+    dp[0][0] = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const KnapsackItem& item = items[dp_items[i]];
+      int64_t v = item.value / scale;  // Round down: stays sound.
+      for (int64_t j = 0; j <= target_buckets; ++j) {
+        dp[i + 1][j] = dp[i][j];
+        int64_t from = std::max<int64_t>(0, j - v);
+        if (dp[i][from] != kPosInf &&
+            dp[i][from] + item.weight < dp[i + 1][j]) {
+          dp[i + 1][j] = dp[i][from] + item.weight;
+        }
+      }
+    }
+    if (dp[n][target_buckets] == kPosInf) {
+      return Status::NotFound(
+          "no item subset reaches the required value");
+    }
+    // Reconstruct.
+    int64_t j = target_buckets;
+    for (size_t i = n; i-- > 0;) {
+      if (dp[i + 1][j] != dp[i][j]) {
+        const KnapsackItem& item = items[dp_items[i]];
+        solution.selected.push_back(dp_items[i]);
+        j = std::max<int64_t>(0, j - item.value / scale);
+      }
+    }
+  }
+
+  FinalizeTotals(items, &solution);
+  return solution;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,59 @@
+// 0/1 knapsack solvers — the paper's Section 5.2 optimization kernel
+// ("we solve the Knapsack 0/1 problem ... we have opted for a dynamic
+// programming approach").
+//
+// Two duals are provided, both by DP with capacity discretization:
+//  * MaximizeValue: max total value with total weight <= capacity
+//    (MV1: max time saved within the leftover budget).
+//  * MinimizeWeightForValue: min total weight with total value >= target
+//    (MV2: cheapest view set achieving the required time saving).
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief One knapsack item. Weights and values are caller-scaled
+/// integers (micro-dollars / milliseconds in the selector).
+struct KnapsackItem {
+  int64_t weight = 0;
+  int64_t value = 0;
+};
+
+/// \brief Chosen item indices plus exact totals (recomputed from the
+/// items, not from the discretized DP table).
+struct KnapsackSolution {
+  std::vector<size_t> selected;
+  int64_t total_weight = 0;
+  int64_t total_value = 0;
+};
+
+/// \brief Knobs shared by both DPs.
+struct KnapsackOptions {
+  /// The weight axis is discretized into at most this many buckets
+  /// (rounding weights *up*, so the capacity constraint stays sound).
+  int64_t max_buckets = 4096;
+};
+
+/// \brief Max total value subject to total weight <= capacity.
+/// Zero/negative-weight items with positive value are always taken;
+/// non-positive-value items never are. Returns InvalidArgument for a
+/// negative capacity.
+Result<KnapsackSolution> MaximizeValue(const std::vector<KnapsackItem>& items,
+                                       int64_t capacity,
+                                       const KnapsackOptions& options = {});
+
+/// \brief Min total weight subject to total value >= target. Returns
+/// NotFound when even the full item set misses the target.
+Result<KnapsackSolution> MinimizeWeightForValue(
+    const std::vector<KnapsackItem>& items, int64_t target_value,
+    const KnapsackOptions& options = {});
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_

@@ -1,0 +1,33 @@
+// ViewCandidate: one member of Vcand, the candidate view set the
+// selection step chooses from (paper Section 4: "Let Vcand = {Vk} be a
+// set of candidate materialized views output by any existing selection
+// technique").
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_
+
+#include <string>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "common/duration.h"
+
+namespace cloudview {
+
+/// \brief A candidate view with the attributes the cost models consume.
+struct ViewCandidate {
+  /// The cuboid this view materializes.
+  CuboidId view = 0;
+  /// Display name, e.g. "(month, country)".
+  std::string name;
+  /// Logical stored size (duplicated bytes billed by Formula 5).
+  DataSize size;
+  /// t_materialization(Vk) on the evaluation cluster (Formula 7).
+  Duration materialization_time;
+  /// t_maintenance(Vk) per maintenance cycle (Formula 11).
+  Duration maintenance_time;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_

@@ -1,0 +1,145 @@
+#include "core/scenario.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+double ScenarioRun::TimeImprovement(const ObjectiveSpec& spec) const {
+  // The baseline has no views, so its makespan equals its processing
+  // time; either metric reads the same.
+  Duration base = spec.time_includes_materialization
+                      ? baseline.makespan
+                      : baseline.processing_time;
+  if (base.is_zero()) return 0.0;
+  return 1.0 - static_cast<double>(selection.time.millis()) /
+                   static_cast<double>(base.millis());
+}
+
+double ScenarioRun::CostImprovement() const {
+  Money base = baseline.cost.total();
+  if (base.is_zero()) return 0.0;
+  return 1.0 -
+         static_cast<double>(selection.evaluation.cost.total().micros()) /
+             static_cast<double>(base.micros());
+}
+
+Result<CloudScenario> CloudScenario::Create(ScenarioConfig config) {
+  CloudScenario scenario(std::move(config));
+  CV_ASSIGN_OR_RETURN(StarSchema schema,
+                      MakeSalesSchema(scenario.config_.sales));
+  CV_ASSIGN_OR_RETURN(CubeLattice lattice,
+                      CubeLattice::Build(std::move(schema)));
+  scenario.lattice_ = std::make_unique<CubeLattice>(std::move(lattice));
+  scenario.simulator_ = std::make_unique<MapReduceSimulator>(
+      *scenario.lattice_, scenario.config_.mapreduce);
+  scenario.pricing_ =
+      std::make_unique<PricingModel>(scenario.config_.pricing);
+  scenario.cost_model_ =
+      std::make_unique<CloudCostModel>(*scenario.pricing_);
+  CV_ASSIGN_OR_RETURN(
+      scenario.cluster_.instance,
+      scenario.pricing_->instances().Find(scenario.config_.instance_name));
+  if (scenario.config_.nb_instances <= 0) {
+    return Status::InvalidArgument("nb_instances must be positive");
+  }
+  scenario.cluster_.nodes = scenario.config_.nb_instances;
+  return scenario;
+}
+
+Result<Workload> CloudScenario::PaperWorkload() const {
+  return MakePaperWorkload(*lattice_);
+}
+
+Result<DeploymentSpec> CloudScenario::MakeDeployment(
+    const Workload& workload, const ClusterSpec& cluster) const {
+  DeploymentSpec deployment;
+  deployment.instance = cluster.instance;
+  deployment.nb_instances = cluster.nodes;
+  deployment.maintenance_cycles = config_.maintenance_cycles;
+  deployment.single_compute_session = config_.single_compute_session;
+
+  DataSize dataset = lattice_->schema().fact_size();
+  deployment.base_storage = StorageTimeline(dataset);
+  deployment.ingress.initial_dataset = dataset;
+
+  if (config_.prorate_storage) {
+    // Bill storage for the session: the no-view workload makespan,
+    // the same for both arms so the comparison stays fair.
+    Duration session = Duration::Zero();
+    for (const QuerySpec& q : workload.queries()) {
+      session += simulator_->QueryTimeFromFact(q.target, cluster) *
+                 static_cast<int64_t>(q.frequency);
+    }
+    Months prorated = Months::FromDuration(session);
+    deployment.storage_period =
+        prorated < Months::FromMilli(1) ? Months::FromMilli(1) : prorated;
+  } else {
+    deployment.storage_period = config_.storage_period;
+  }
+  return deployment;
+}
+
+Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
+                                       const ObjectiveSpec& spec,
+                                       SolverKind solver,
+                                       const ClusterSpec* cluster_override)
+    const {
+  if (workload.empty()) {
+    return Status::InvalidArgument("cannot run an empty workload");
+  }
+  const ClusterSpec& cluster =
+      cluster_override != nullptr ? *cluster_override : cluster_;
+  CV_ASSIGN_OR_RETURN(DeploymentSpec deployment,
+                      MakeDeployment(workload, cluster));
+  CV_ASSIGN_OR_RETURN(
+      std::vector<ViewCandidate> candidates,
+      GenerateCandidates(*lattice_, workload, *simulator_, cluster,
+                         config_.candidates));
+  CV_ASSIGN_OR_RETURN(
+      SelectionEvaluator evaluator,
+      SelectionEvaluator::Create(*lattice_, workload, *simulator_,
+                                 cluster, *cost_model_, deployment,
+                                 std::move(candidates)));
+  ViewSelector selector(evaluator);
+  CV_ASSIGN_OR_RETURN(SelectionResult selection,
+                      selector.Solve(spec, solver));
+  ScenarioRun run;
+  run.selection = std::move(selection);
+  run.baseline = evaluator.baseline();
+  return run;
+}
+
+Result<SubsetEvaluation> CloudScenario::EvaluateWithoutViews(
+    const Workload& workload, const ClusterSpec& cluster) const {
+  CV_ASSIGN_OR_RETURN(DeploymentSpec deployment,
+                      MakeDeployment(workload, cluster));
+  CV_ASSIGN_OR_RETURN(
+      SelectionEvaluator evaluator,
+      SelectionEvaluator::Create(*lattice_, workload, *simulator_,
+                                 cluster, *cost_model_, deployment, {}));
+  return evaluator.baseline();
+}
+
+Result<ClusterSpec> CloudScenario::CheapestClusterMeeting(
+    const Workload& workload, Duration limit) const {
+  const ClusterSpec base_cluster = cluster_;
+  Result<ClusterSpec> best = Status::NotFound(
+      "no instance type meets the time limit");
+  Money best_cost;
+  for (const InstanceType& type : pricing_->instances().types()) {
+    ClusterSpec candidate{type, base_cluster.nodes};
+    CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
+                        EvaluateWithoutViews(workload, candidate));
+    if (eval.processing_time > limit) continue;
+    Money cost = eval.cost.total();
+    if (!best.ok() || cost < best_cost) {
+      best = candidate;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace cloudview

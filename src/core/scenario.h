@@ -1,0 +1,122 @@
+// CloudScenario: one fully-wired deployment — dataset, lattice, simulated
+// cluster, pricing — against which workloads are costed and view sets
+// selected. This is the library's main entry point.
+
+#ifndef CLOUDVIEW_CORE_SCENARIO_H_
+#define CLOUDVIEW_CORE_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/lattice.h"
+#include "common/result.h"
+#include "core/cost/cloud_cost_model.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/evaluator.h"
+#include "core/optimizer/selector.h"
+#include "engine/cluster.h"
+#include "engine/sales_generator.h"
+#include "pricing/pricing_model.h"
+#include "pricing/providers.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief Everything that defines a deployment.
+struct ScenarioConfig {
+  /// Dataset shape (defaults: the paper's 10 GB experimental subset).
+  SalesConfig sales;
+  /// Simulated-cluster timing constants.
+  MapReduceParams mapreduce;
+  /// CSP price sheet. Default: the paper's AWS sheet with per-second
+  /// compute billing (the Section 6 budgets are sub-dollar; see
+  /// DESIGN.md §5.4). Examples reproducing the worked examples override
+  /// this with plain AwsPricing2012().
+  PricingModel pricing =
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond);
+  /// Rented configuration (paper Section 6: five identical VMs).
+  std::string instance_name = "small";
+  int64_t nb_instances = 5;
+  /// Storage period. When `prorate_storage` is true the period is derived
+  /// from the workload's no-view makespan (experiment-session billing);
+  /// otherwise `storage_period` is used as-is.
+  bool prorate_storage = true;
+  Months storage_period = Months::FromMonths(1);
+  /// Candidate generation knobs.
+  CandidateGenOptions candidates;
+  /// Maintenance rounds billed within the period (0 = read-only period).
+  int64_t maintenance_cycles = 0;
+  /// Bill all compute of a run as one rental session (round the busy
+  /// total up once instead of per activity).
+  bool single_compute_session = false;
+};
+
+/// \brief A selection outcome paired with its no-view baseline.
+struct ScenarioRun {
+  SelectionResult selection;
+  SubsetEvaluation baseline;
+
+  /// Improvement of the run's time metric over the baseline, e.g. 0.25
+  /// for the paper's "IP rate 25%".
+  double TimeImprovement(const ObjectiveSpec& spec) const;
+  /// Improvement of total cost over the baseline ("IC rate").
+  double CostImprovement() const;
+};
+
+/// \brief A wired-up deployment; build once, run many workloads.
+class CloudScenario {
+ public:
+  static Result<CloudScenario> Create(ScenarioConfig config);
+
+  const ScenarioConfig& config() const { return config_; }
+  const CubeLattice& lattice() const { return *lattice_; }
+  const MapReduceSimulator& simulator() const { return *simulator_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  const PricingModel& pricing() const { return *pricing_; }
+  const CloudCostModel& cost_model() const { return *cost_model_; }
+
+  /// \brief The paper's 10-query workload on this scenario's lattice.
+  Result<Workload> PaperWorkload() const;
+
+  /// \brief Selects views for `workload` under `spec` with `solver`,
+  /// returning the selection plus the no-view baseline. `cluster_override`
+  /// (when non-null) replaces the configured cluster — used by sweeps over
+  /// instance tiers (the paper's scalability-vs-views tradeoff).
+  Result<ScenarioRun> Run(const Workload& workload,
+                          const ObjectiveSpec& spec,
+                          SolverKind solver = SolverKind::kKnapsackDP,
+                          const ClusterSpec* cluster_override = nullptr) const;
+
+  /// \brief Deployment parameters for `workload` (storage timeline,
+  /// period, cluster) — exposed for custom evaluations.
+  Result<DeploymentSpec> MakeDeployment(const Workload& workload,
+                                        const ClusterSpec& cluster) const;
+
+  /// \brief No-view workload cost/time on an alternative cluster (the
+  /// MV2 scale-up arm rents bigger instances instead of materializing).
+  Result<SubsetEvaluation> EvaluateWithoutViews(
+      const Workload& workload, const ClusterSpec& cluster) const;
+
+  /// \brief Cheapest instance type (same node count) whose no-view
+  /// processing time meets `limit`; NotFound when none does.
+  Result<ClusterSpec> CheapestClusterMeeting(
+      const Workload& workload, Duration limit) const;
+
+ private:
+  explicit CloudScenario(ScenarioConfig config)
+      : config_(std::move(config)) {}
+
+  ScenarioConfig config_;
+  // Heap-held so CloudScenario stays movable while internal references
+  // (simulator -> lattice, cost model -> pricing) stay stable.
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<MapReduceSimulator> simulator_;
+  std::unique_ptr<PricingModel> pricing_;
+  std::unique_ptr<CloudCostModel> cost_model_;
+  ClusterSpec cluster_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_SCENARIO_H_

@@ -1,0 +1,163 @@
+#include "engine/aggregator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/key_codec.h"
+#include "common/logging.h"
+
+namespace cloudview {
+
+namespace {
+
+int64_t CombineAgg(AggFn fn, int64_t a, int64_t b) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      return a + b;
+    case AggFn::kMin:
+      return std::min(a, b);
+    case AggFn::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+struct Accumulator {
+  std::vector<int64_t> aggs;
+  uint64_t count = 0;
+};
+
+CuboidTable BuildTable(CuboidId target, const KeyCodec& codec,
+                       size_t num_measures,
+                       std::unordered_map<uint64_t, Accumulator>&& groups) {
+  CuboidTable table(target, codec, num_measures);
+  for (auto& [packed, acc] : groups) {
+    table.AppendRow(codec.Decode(packed), acc.aggs, acc.count);
+  }
+  table.SortByKey();
+  return table;
+}
+
+}  // namespace
+
+Result<CuboidTable> AggregateFromBase(const SalesDataset& dataset,
+                                      const CubeLattice& lattice,
+                                      CuboidId target) {
+  const StarSchema& schema = dataset.schema();
+  size_t num_measures = schema.measures().size();
+  CV_ASSIGN_OR_RETURN(KeyCodec codec, KeyCodec::ForSchema(schema));
+  Cuboid cuboid = lattice.CuboidOf(target);
+
+  std::unordered_map<uint64_t, Accumulator> groups;
+  for (uint64_t r = 0; r < dataset.sample_rows(); ++r) {
+    uint64_t packed = codec.EncodeWith([&](size_t d) {
+      return dataset.dim_value_at_level(d, r, cuboid.levels[d]);
+    });
+    auto [it, inserted] = groups.try_emplace(packed);
+    Accumulator& acc = it->second;
+    if (inserted) {
+      acc.aggs.resize(num_measures);
+      for (size_t m = 0; m < num_measures; ++m) {
+        acc.aggs[m] = dataset.measure_value(m, r);
+      }
+      acc.count = 1;
+    } else {
+      for (size_t m = 0; m < num_measures; ++m) {
+        acc.aggs[m] = CombineAgg(schema.measures()[m].agg, acc.aggs[m],
+                                 dataset.measure_value(m, r));
+      }
+      acc.count += 1;
+    }
+  }
+  return BuildTable(target, codec, num_measures, std::move(groups));
+}
+
+Result<CuboidTable> AggregateFromView(const SalesDataset& dataset,
+                                      const CubeLattice& lattice,
+                                      const CuboidTable& source,
+                                      CuboidId target) {
+  if (!lattice.CanAnswer(source.id(), target)) {
+    return Status::FailedPrecondition(
+        "source cuboid cannot answer target");
+  }
+  const StarSchema& schema = dataset.schema();
+  size_t num_dims = schema.num_dimensions();
+  size_t num_measures = schema.measures().size();
+  CV_ASSIGN_OR_RETURN(KeyCodec codec, KeyCodec::ForSchema(schema));
+  Cuboid src = lattice.CuboidOf(source.id());
+  Cuboid dst = lattice.CuboidOf(target);
+
+  std::unordered_map<uint64_t, Accumulator> groups;
+  std::vector<uint32_t> rolled(num_dims);
+  for (uint64_t r = 0; r < source.num_rows(); ++r) {
+    for (size_t d = 0; d < num_dims; ++d) {
+      rolled[d] = dataset.hierarchy(d).RollUpFrom(
+          source.key(r, d), src.levels[d], dst.levels[d]);
+    }
+    uint64_t packed = codec.Encode(rolled);
+    auto [it, inserted] = groups.try_emplace(packed);
+    Accumulator& acc = it->second;
+    if (inserted) {
+      acc.aggs.resize(num_measures);
+      for (size_t m = 0; m < num_measures; ++m) {
+        acc.aggs[m] = source.aggregate(m, r);
+      }
+      acc.count = source.count(r);
+    } else {
+      for (size_t m = 0; m < num_measures; ++m) {
+        acc.aggs[m] = CombineAgg(schema.measures()[m].agg, acc.aggs[m],
+                                 source.aggregate(m, r));
+      }
+      acc.count += source.count(r);
+    }
+  }
+  return BuildTable(target, codec, num_measures, std::move(groups));
+}
+
+Status MergeCuboidTables(const StarSchema& schema, CuboidTable* into,
+                         const CuboidTable& delta) {
+  CV_CHECK(into != nullptr);
+  if (into->id() != delta.id()) {
+    return Status::InvalidArgument("merge requires matching cuboids");
+  }
+  if (into->num_measures() != delta.num_measures() ||
+      into->num_dims() != delta.num_dims()) {
+    return Status::InvalidArgument("merge requires matching layouts");
+  }
+
+  // Rebuild: combine overlapping keys, append new ones. Both tables are
+  // re-encoded with `into`'s codec so mixed origins compare correctly.
+  const KeyCodec codec = into->codec();
+  std::unordered_map<uint64_t, Accumulator> groups;
+  groups.reserve(into->num_rows() + delta.num_rows());
+  auto absorb = [&](const CuboidTable& table) {
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      uint64_t packed =
+          codec.EncodeWith([&](size_t d) { return table.key(r, d); });
+      auto [it, inserted] = groups.try_emplace(packed);
+      Accumulator& acc = it->second;
+      if (inserted) {
+        acc.aggs.resize(table.num_measures());
+        for (size_t m = 0; m < table.num_measures(); ++m) {
+          acc.aggs[m] = table.aggregate(m, r);
+        }
+        acc.count = table.count(r);
+      } else {
+        for (size_t m = 0; m < table.num_measures(); ++m) {
+          acc.aggs[m] = CombineAgg(schema.measures()[m].agg, acc.aggs[m],
+                                   table.aggregate(m, r));
+        }
+        acc.count += table.count(r);
+      }
+    }
+  };
+  absorb(*into);
+  absorb(delta);
+  *into = BuildTable(into->id(), codec, into->num_measures(),
+                     std::move(groups));
+  return Status::OK();
+}
+
+}  // namespace cloudview

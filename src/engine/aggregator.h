@@ -1,0 +1,35 @@
+// Hash aggregation: compute a cuboid from the fact sample or by rolling
+// up a finer cuboid (the operation a materialized view saves).
+
+#ifndef CLOUDVIEW_ENGINE_AGGREGATOR_H_
+#define CLOUDVIEW_ENGINE_AGGREGATOR_H_
+
+#include "catalog/lattice.h"
+#include "common/result.h"
+#include "engine/cuboid_table.h"
+#include "engine/sales_dataset.h"
+
+namespace cloudview {
+
+/// \brief Aggregates the fact sample directly to `target`.
+Result<CuboidTable> AggregateFromBase(const SalesDataset& dataset,
+                                      const CubeLattice& lattice,
+                                      CuboidId target);
+
+/// \brief Rolls a finer cuboid up to `target`. `source` must be able to
+/// answer `target` (CanAnswer); otherwise FailedPrecondition.
+/// SUM/COUNT/MIN/MAX all compose correctly under re-aggregation.
+Result<CuboidTable> AggregateFromView(const SalesDataset& dataset,
+                                      const CubeLattice& lattice,
+                                      const CuboidTable& source,
+                                      CuboidId target);
+
+/// \brief Merges `delta` (same cuboid) into `into` — the kernel of
+/// incremental view maintenance. Keys present in both are combined with
+/// the measure's aggregate function; new keys are appended.
+Status MergeCuboidTables(const StarSchema& schema, CuboidTable* into,
+                         const CuboidTable& delta);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_AGGREGATOR_H_

@@ -1,0 +1,70 @@
+#include "engine/cluster.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+namespace {
+
+// Milliseconds to stream `bytes` at `throughput` bytes/second scaled by
+// `parallelism`.
+double PhaseMillis(DataSize bytes, DataSize throughput, double parallelism) {
+  CV_CHECK(throughput.bytes() > 0) << "throughput must be positive";
+  CV_CHECK(parallelism > 0.0) << "parallelism must be positive";
+  return static_cast<double>(bytes.bytes()) /
+         (static_cast<double>(throughput.bytes()) * parallelism) * 1000.0;
+}
+
+}  // namespace
+
+Duration MapReduceSimulator::JobTime(DataSize input, DataSize output,
+                                     const ClusterSpec& cluster) const {
+  CV_CHECK(cluster.nodes > 0) << "cluster needs nodes";
+  CV_CHECK(!input.is_negative() && !output.is_negative());
+  double ms = static_cast<double>(params_.job_startup.millis());
+  ms += PhaseMillis(input, params_.map_throughput_per_unit,
+                    cluster.total_compute_units());
+  double nodes = static_cast<double>(cluster.nodes);
+  ms += PhaseMillis(output, params_.shuffle_throughput_per_node, nodes);
+  ms += PhaseMillis(output, params_.write_throughput_per_node, nodes);
+  return Duration::FromMillis(static_cast<int64_t>(std::llround(ms)));
+}
+
+Duration MapReduceSimulator::QueryTimeFromFact(
+    CuboidId target, const ClusterSpec& cluster) const {
+  return JobTime(lattice_->fact_scan_size(),
+                 lattice_->EstimateSize(target), cluster);
+}
+
+Duration MapReduceSimulator::QueryTimeFromView(
+    CuboidId source, CuboidId target, const ClusterSpec& cluster) const {
+  CV_CHECK(lattice_->CanAnswer(source, target))
+      << "source cannot answer target";
+  return JobTime(lattice_->EstimateSize(source),
+                 lattice_->EstimateSize(target), cluster);
+}
+
+Duration MapReduceSimulator::MaterializationTimeFromFact(
+    CuboidId view, const ClusterSpec& cluster) const {
+  return JobTime(lattice_->fact_scan_size(),
+                 lattice_->EstimateSize(view), cluster);
+}
+
+Duration MapReduceSimulator::MaterializationTimeFromView(
+    CuboidId source, CuboidId view, const ClusterSpec& cluster) const {
+  CV_CHECK(lattice_->CanAnswer(source, view))
+      << "source cannot materialize view";
+  return JobTime(lattice_->EstimateSize(source),
+                 lattice_->EstimateSize(view), cluster);
+}
+
+Duration MapReduceSimulator::MaintenanceTime(
+    CuboidId view, DataSize delta_input, const ClusterSpec& cluster) const {
+  DataSize view_size = lattice_->EstimateSize(view);
+  // Scan the delta, then merge: read the stored view and rewrite it.
+  return JobTime(delta_input + view_size, view_size, cluster);
+}
+
+}  // namespace cloudview

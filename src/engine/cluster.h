@@ -1,0 +1,104 @@
+// ClusterSpec and MapReduceSimulator: the simulated Hadoop/Pig substrate.
+//
+// The paper ran Pig Latin aggregations on a 5-VM Hadoop cluster; query
+// processing times are inputs to its cost models. We replace the cluster
+// with an analytical timing model of a one-pass MapReduce aggregation:
+//
+//   t = startup + input/(map_rate x total_compute_units)
+//             + output/(shuffle_rate x nodes) + output/(write_rate x nodes)
+//
+// startup captures job submission/scheduling (not parallelizable — the
+// term that makes tiny view-backed queries cheap but never free), the map
+// term scans the input (parallel across compute units), and the
+// shuffle/write terms handle the grouped output. Defaults are calibrated
+// so a full scan of the paper's 10 GB dataset on five 1-ECU instances
+// takes ~0.2 h, the paper's per-query scale.
+
+#ifndef CLOUDVIEW_ENGINE_CLUSTER_H_
+#define CLOUDVIEW_ENGINE_CLUSTER_H_
+
+#include <cstdint>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "common/duration.h"
+#include "common/result.h"
+#include "pricing/instance_type.h"
+
+namespace cloudview {
+
+/// \brief A homogeneous rented cluster: `nodes` instances of one type
+/// (paper Section 4: "a constant number nbIC of identical instances IC").
+struct ClusterSpec {
+  InstanceType instance;
+  int64_t nodes = 1;
+
+  double total_compute_units() const {
+    return instance.compute_units * static_cast<double>(nodes);
+  }
+};
+
+/// \brief Tunable constants of the MapReduce timing model.
+struct MapReduceParams {
+  /// Per-job fixed overhead (submission, scheduling, container start).
+  Duration job_startup = Duration::FromSeconds(45);
+  /// Map-side scan throughput per compute unit.
+  DataSize map_throughput_per_unit = DataSize::FromMB(3);
+  /// Shuffle/sort throughput per node, applied to the grouped output.
+  DataSize shuffle_throughput_per_node = DataSize::FromMB(12);
+  /// Reduce-side write throughput per node (HDFS replication included).
+  DataSize write_throughput_per_node = DataSize::FromMB(24);
+};
+
+/// \brief Analytic wall-clock estimates for aggregation jobs on a
+/// simulated cluster.
+class MapReduceSimulator {
+ public:
+  /// \brief The simulator keeps a reference; `lattice` must outlive it.
+  MapReduceSimulator(const CubeLattice& lattice, MapReduceParams params)
+      : lattice_(&lattice), params_(params) {}
+
+  const MapReduceParams& params() const { return params_; }
+
+  /// \brief Wall-clock of one aggregation job reading `input` and
+  /// emitting `output` on `cluster`.
+  Duration JobTime(DataSize input, DataSize output,
+                   const ClusterSpec& cluster) const;
+
+  /// \brief Time to answer cuboid `target` by scanning the raw fact
+  /// table (no materialized view available).
+  Duration QueryTimeFromFact(CuboidId target,
+                             const ClusterSpec& cluster) const;
+
+  /// \brief Time to answer cuboid `target` from the materialized cuboid
+  /// `source` (which must be able to answer it).
+  Duration QueryTimeFromView(CuboidId source, CuboidId target,
+                             const ClusterSpec& cluster) const;
+
+  /// \brief Time to materialize `view` from the raw fact table
+  /// (paper Formula 7's t_materialization(Vk)).
+  Duration MaterializationTimeFromFact(CuboidId view,
+                                       const ClusterSpec& cluster) const;
+
+  /// \brief Time to materialize `view` by rolling up an existing
+  /// materialized cuboid `source`.
+  Duration MaterializationTimeFromView(CuboidId source, CuboidId view,
+                                       const ClusterSpec& cluster) const;
+
+  /// \brief Time to incrementally maintain `view` against a batch of
+  /// `delta_input` logical bytes of new facts: scan the delta, aggregate,
+  /// and merge into the stored view (read + rewrite)
+  /// (paper Formula 11's t_maintenance(Vk)).
+  Duration MaintenanceTime(CuboidId view, DataSize delta_input,
+                           const ClusterSpec& cluster) const;
+
+  const CubeLattice& lattice() const { return *lattice_; }
+
+ private:
+  const CubeLattice* lattice_;
+  MapReduceParams params_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_CLUSTER_H_

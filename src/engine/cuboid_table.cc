@@ -1,0 +1,108 @@
+#include "engine/cuboid_table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+void CuboidTable::AppendRow(const std::vector<uint32_t>& key,
+                            const std::vector<int64_t>& aggs,
+                            uint64_t count) {
+  CV_CHECK(key.size() == num_dims()) << "key width mismatch";
+  CV_CHECK(aggs.size() == aggregates_.size()) << "aggregate width mismatch";
+  keys_.insert(keys_.end(), key.begin(), key.end());
+  for (size_t m = 0; m < aggs.size(); ++m) {
+    aggregates_[m].push_back(aggs[m]);
+  }
+  counts_.push_back(count);
+  index_valid_ = false;
+}
+
+uint64_t CuboidTable::PackKey(uint64_t row) const {
+  return codec_.EncodeWith(
+      [&](size_t d) { return keys_[row * num_dims() + d]; });
+}
+
+uint64_t CuboidTable::PackKey(const std::vector<uint32_t>& key) {
+  return KeyCodec::Fixed32(key.size()).Encode(key);
+}
+
+const std::unordered_map<uint64_t, uint64_t>& CuboidTable::KeyIndex()
+    const {
+  if (!index_valid_) {
+    key_index_.clear();
+    key_index_.reserve(num_rows());
+    for (uint64_t r = 0; r < num_rows(); ++r) {
+      key_index_[PackKey(r)] = r;
+    }
+    index_valid_ = true;
+  }
+  return key_index_;
+}
+
+int64_t CuboidTable::TotalAggregate(size_t measure) const {
+  CV_CHECK(measure < aggregates_.size()) << "measure out of range";
+  return std::accumulate(aggregates_[measure].begin(),
+                         aggregates_[measure].end(), int64_t{0});
+}
+
+uint64_t CuboidTable::TotalCount() const {
+  return std::accumulate(counts_.begin(), counts_.end(), uint64_t{0});
+}
+
+void CuboidTable::SortByKey() {
+  std::vector<uint64_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint64_t a, uint64_t b) {
+    return PackKey(a) < PackKey(b);
+  });
+
+  size_t nd = num_dims();
+  std::vector<uint32_t> keys(keys_.size());
+  std::vector<std::vector<int64_t>> aggs(aggregates_.size());
+  std::vector<uint64_t> counts(counts_.size());
+  for (auto& column : aggs) column.resize(counts_.size());
+  for (uint64_t to = 0; to < order.size(); ++to) {
+    uint64_t from = order[to];
+    for (size_t d = 0; d < nd; ++d) {
+      keys[to * nd + d] = keys_[from * nd + d];
+    }
+    for (size_t m = 0; m < aggregates_.size(); ++m) {
+      aggs[m][to] = aggregates_[m][from];
+    }
+    counts[to] = counts_[from];
+  }
+  keys_ = std::move(keys);
+  aggregates_ = std::move(aggs);
+  counts_ = std::move(counts);
+  index_valid_ = false;
+}
+
+bool CuboidTablesEqual(const CuboidTable& a, const CuboidTable& b) {
+  if (a.id() != b.id() || a.num_dims() != b.num_dims() ||
+      a.num_measures() != b.num_measures() ||
+      a.num_rows() != b.num_rows()) {
+    return false;
+  }
+  const auto& index = a.KeyIndex();
+  for (uint64_t rb = 0; rb < b.num_rows(); ++rb) {
+    // Re-encode b's key with a's codec (dimension-wise comparison).
+    uint64_t packed = a.codec().EncodeWith(
+        [&](size_t d) { return b.key(rb, d); });
+    auto it = index.find(packed);
+    if (it == index.end()) return false;
+    uint64_t ra = it->second;
+    for (size_t d = 0; d < a.num_dims(); ++d) {
+      if (a.key(ra, d) != b.key(rb, d)) return false;
+    }
+    if (a.count(ra) != b.count(rb)) return false;
+    for (size_t m = 0; m < a.num_measures(); ++m) {
+      if (a.aggregate(m, ra) != b.aggregate(m, rb)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,93 @@
+// CuboidTable: a materialized group-by result (one row per distinct key
+// combination, one aggregate column per measure plus a row count).
+
+#ifndef CLOUDVIEW_ENGINE_CUBOID_TABLE_H_
+#define CLOUDVIEW_ENGINE_CUBOID_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/key_codec.h"
+#include "catalog/lattice.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief A group-by result at a given cuboid.
+///
+/// Keys are stored flat: row r's key on dimension d is
+/// keys[r * num_dims + d] (the value id at the cuboid's level of d).
+/// aggregates[m][r] is measure m's aggregate in row r; counts[r] is the
+/// number of contributing fact rows. The KeyCodec packs whole keys into
+/// uint64 for indexing and canonical ordering.
+class CuboidTable {
+ public:
+  /// \brief Table with an explicit key codec (required beyond two
+  /// dimensions; use KeyCodec::ForSchema).
+  CuboidTable(CuboidId id, KeyCodec codec, size_t num_measures)
+      : id_(id), codec_(std::move(codec)) {
+    aggregates_.resize(num_measures);
+  }
+
+  /// \brief Legacy layout: up to two dimensions at 32 bits each.
+  CuboidTable(CuboidId id, size_t num_dims, size_t num_measures)
+      : CuboidTable(id, KeyCodec::Fixed32(num_dims), num_measures) {}
+
+  CuboidId id() const { return id_; }
+  size_t num_dims() const { return codec_.num_dims(); }
+  size_t num_measures() const { return aggregates_.size(); }
+  uint64_t num_rows() const { return counts_.size(); }
+  const KeyCodec& codec() const { return codec_; }
+
+  uint32_t key(uint64_t row, size_t dim) const {
+    return keys_[row * num_dims() + dim];
+  }
+  int64_t aggregate(size_t measure, uint64_t row) const {
+    return aggregates_[measure][row];
+  }
+  uint64_t count(uint64_t row) const { return counts_[row]; }
+
+  /// \brief Appends a row; `key` has one id per dimension, `aggs` one
+  /// value per measure.
+  void AppendRow(const std::vector<uint32_t>& key,
+                 const std::vector<int64_t>& aggs, uint64_t count);
+
+  /// \brief Row r's key packed by this table's codec.
+  uint64_t PackKey(uint64_t row) const;
+
+  /// \brief Packs a free-standing key with the legacy 32-bit layout
+  /// (convenience for two-dimensional tests).
+  static uint64_t PackKey(const std::vector<uint32_t>& key);
+
+  /// \brief Builds (or rebuilds) the packed-key -> row index.
+  const std::unordered_map<uint64_t, uint64_t>& KeyIndex() const;
+
+  /// \brief Total of measure `m` across all rows (grand total; invariant
+  /// under roll-up — the pillar of the engine's property tests).
+  int64_t TotalAggregate(size_t measure) const;
+
+  /// \brief Total contributing fact rows.
+  uint64_t TotalCount() const;
+
+  /// \brief Canonical ordering (sorted by packed key) for comparisons.
+  void SortByKey();
+
+ private:
+  CuboidId id_;
+  KeyCodec codec_;
+  std::vector<uint32_t> keys_;
+  std::vector<std::vector<int64_t>> aggregates_;
+  std::vector<uint64_t> counts_;
+  mutable std::unordered_map<uint64_t, uint64_t> key_index_;
+  mutable bool index_valid_ = false;
+};
+
+/// \brief True when the tables hold identical rows (order-insensitive;
+/// keys are compared dimension-wise, so differing codecs are fine).
+bool CuboidTablesEqual(const CuboidTable& a, const CuboidTable& b);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_CUBOID_TABLE_H_

@@ -1,0 +1,42 @@
+#include "engine/executor.h"
+
+#include "engine/aggregator.h"
+
+namespace cloudview {
+
+ExecutionPlan QueryExecutor::Plan(CuboidId query) const {
+  ExecutionPlan plan;
+  plan.query = query;
+  std::optional<CuboidId> source = views_->BestSource(query);
+  plan.from_view = source.has_value();
+  if (plan.from_view) {
+    plan.source = *source;
+    plan.input_bytes = lattice_->EstimateSize(plan.source);
+    plan.input_rows = lattice_->EstimateRows(plan.source);
+  } else {
+    plan.source = lattice_->base_id();  // Meaning: scan the fact table.
+    plan.input_bytes = lattice_->fact_scan_size();
+    plan.input_rows = lattice_->schema().stats().fact_rows;
+  }
+  plan.result_bytes = lattice_->EstimateSize(query);
+  plan.result_rows = lattice_->EstimateRows(query);
+  return plan;
+}
+
+Result<CuboidTable> QueryExecutor::Execute(CuboidId query) const {
+  return ExecutePlan(Plan(query));
+}
+
+Result<CuboidTable> QueryExecutor::ExecutePlan(
+    const ExecutionPlan& plan) const {
+  if (!plan.from_view) {
+    return AggregateFromBase(*dataset_, *lattice_, plan.query);
+  }
+  const CuboidTable* source = views_->Find(plan.source);
+  if (source == nullptr) {
+    return Status::NotFound("planned view is not materialized");
+  }
+  return AggregateFromView(*dataset_, *lattice_, *source, plan.query);
+}
+
+}  // namespace cloudview

@@ -1,0 +1,59 @@
+// QueryExecutor: plans and executes roll-up queries against the base
+// table or the best materialized view.
+
+#ifndef CLOUDVIEW_ENGINE_EXECUTOR_H_
+#define CLOUDVIEW_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "common/result.h"
+#include "engine/cuboid_table.h"
+#include "engine/sales_dataset.h"
+#include "engine/view_store.h"
+
+namespace cloudview {
+
+/// \brief Where a query's answer comes from and the logical volumes
+/// involved (inputs to the timing and cost models).
+struct ExecutionPlan {
+  CuboidId query = 0;
+  CuboidId source = 0;
+  bool from_view = false;
+  /// Logical bytes scanned (the source cuboid's estimated size).
+  DataSize input_bytes;
+  /// Logical bytes of the result (the query cuboid's estimated size) —
+  /// also the volume transferred out to the client.
+  DataSize result_bytes;
+  uint64_t input_rows = 0;
+  uint64_t result_rows = 0;
+};
+
+/// \brief Plans against a ViewStore and executes on the sample data.
+class QueryExecutor {
+ public:
+  /// \brief Keeps references; all three must outlive the executor.
+  QueryExecutor(const SalesDataset& dataset, const CubeLattice& lattice,
+                const ViewStore& views)
+      : dataset_(&dataset), lattice_(&lattice), views_(&views) {}
+
+  /// \brief Chooses the best source for `query` (fewest estimated rows
+  /// among materialized answering views and the base table).
+  ExecutionPlan Plan(CuboidId query) const;
+
+  /// \brief Executes `query` via its plan, on the sample rows.
+  Result<CuboidTable> Execute(CuboidId query) const;
+
+  /// \brief Executes a specific plan (used by tests to force a source).
+  Result<CuboidTable> ExecutePlan(const ExecutionPlan& plan) const;
+
+ private:
+  const SalesDataset* dataset_;
+  const CubeLattice* lattice_;
+  const ViewStore* views_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_EXECUTOR_H_

@@ -1,0 +1,91 @@
+#include "engine/hierarchy.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+HierarchyMap::HierarchyMap(std::vector<std::vector<uint32_t>> parent_of)
+    : parent_of_(std::move(parent_of)) {
+  // Precompute the finest-to-level-l maps by chaining parents.
+  direct_from_finest_.resize(parent_of_.size());
+  if (parent_of_.empty()) return;
+  direct_from_finest_[0] = parent_of_[0];
+  for (size_t l = 1; l < parent_of_.size(); ++l) {
+    const std::vector<uint32_t>& prev = direct_from_finest_[l - 1];
+    std::vector<uint32_t>& out = direct_from_finest_[l];
+    out.resize(prev.size());
+    for (size_t v = 0; v < prev.size(); ++v) {
+      out[v] = parent_of_[l][prev[v]];
+    }
+  }
+}
+
+Result<HierarchyMap> HierarchyMap::Create(
+    const Dimension& dim, std::vector<std::vector<uint32_t>> parent_of) {
+  // One parent map per non-ALL level.
+  size_t expected_maps = dim.num_levels() - 1;
+  if (parent_of.size() != expected_maps) {
+    return Status::InvalidArgument(
+        StrFormat("dimension '%s' needs %zu parent maps, got %zu",
+                  dim.name().c_str(), expected_maps, parent_of.size()));
+  }
+  for (size_t l = 0; l < expected_maps; ++l) {
+    uint64_t card = dim.level(l).cardinality;
+    uint64_t parent_card = dim.level(l + 1).cardinality;
+    if (parent_of[l].size() != card) {
+      return Status::InvalidArgument(StrFormat(
+          "level '%s' map has %zu entries, cardinality is %llu",
+          dim.level(l).name.c_str(), parent_of[l].size(),
+          static_cast<unsigned long long>(card)));
+    }
+    for (uint32_t parent : parent_of[l]) {
+      if (parent >= parent_card) {
+        return Status::InvalidArgument(StrFormat(
+            "level '%s' has parent id %u out of range (cardinality %llu)",
+            dim.level(l).name.c_str(), parent,
+            static_cast<unsigned long long>(parent_card)));
+      }
+    }
+  }
+  return HierarchyMap(std::move(parent_of));
+}
+
+HierarchyMap HierarchyMap::Uniform(const Dimension& dim) {
+  std::vector<std::vector<uint32_t>> parent_of;
+  parent_of.reserve(dim.num_levels() - 1);
+  for (size_t l = 0; l + 1 < dim.num_levels(); ++l) {
+    uint64_t card = dim.level(l).cardinality;
+    uint64_t parent_card = dim.level(l + 1).cardinality;
+    std::vector<uint32_t> map(card);
+    for (uint64_t v = 0; v < card; ++v) {
+      map[v] = static_cast<uint32_t>(v * parent_card / card);
+    }
+    parent_of.push_back(std::move(map));
+  }
+  auto result = Create(dim, std::move(parent_of));
+  CV_CHECK(result.ok()) << result.status();
+  return result.MoveValue();
+}
+
+uint32_t HierarchyMap::RollUp(uint32_t finest_id, size_t level) const {
+  if (level == 0) return finest_id;
+  CV_CHECK(level <= direct_from_finest_.size()) << "level out of range";
+  const std::vector<uint32_t>& map = direct_from_finest_[level - 1];
+  CV_CHECK(finest_id < map.size()) << "finest id out of range";
+  return map[finest_id];
+}
+
+uint32_t HierarchyMap::RollUpFrom(uint32_t id, size_t from_level,
+                                  size_t to_level) const {
+  CV_CHECK(from_level <= to_level) << "cannot roll down";
+  uint32_t v = id;
+  for (size_t l = from_level; l < to_level; ++l) {
+    CV_CHECK(l < parent_of_.size()) << "level out of range";
+    CV_CHECK(v < parent_of_[l].size()) << "id out of range at level " << l;
+    v = parent_of_[l][v];
+  }
+  return v;
+}
+
+}  // namespace cloudview

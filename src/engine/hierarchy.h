@@ -1,0 +1,55 @@
+// HierarchyMap: concrete roll-up functions for one dimension.
+//
+// The catalog's Dimension declares level *cardinalities*; HierarchyMap binds
+// them to actual parent pointers (e.g. day 371 -> month 12 -> year 1 ->
+// ALL 0), so the engine can roll any finest-level id up to any level.
+
+#ifndef CLOUDVIEW_ENGINE_HIERARCHY_H_
+#define CLOUDVIEW_ENGINE_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/dimension.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief Parent maps for every level of one dimension.
+///
+/// parent_of[l][v] is the id at level l+1 of value v at level l. The last
+/// (coarsest non-ALL) level maps everything to the single ALL value 0.
+class HierarchyMap {
+ public:
+  /// \brief Validates the maps against `dim`: one map per non-ALL level,
+  /// map l has dim.level(l).cardinality entries, every entry is a valid
+  /// id at level l+1.
+  static Result<HierarchyMap> Create(
+      const Dimension& dim, std::vector<std::vector<uint32_t>> parent_of);
+
+  /// \brief Uniform hierarchy: level-l value v has parent
+  /// v * card(l+1) / card(l) (block roll-up). Exact when cardinalities
+  /// divide evenly, which our generators guarantee.
+  static HierarchyMap Uniform(const Dimension& dim);
+
+  /// \brief Rolls a finest-level id up to `level` (0 returns the id
+  /// itself; all_level returns 0).
+  uint32_t RollUp(uint32_t finest_id, size_t level) const;
+
+  /// \brief Rolls an id at `from_level` up to `to_level` (>= from_level).
+  uint32_t RollUpFrom(uint32_t id, size_t from_level, size_t to_level) const;
+
+  size_t num_levels() const { return direct_from_finest_.size() + 1; }
+
+ private:
+  explicit HierarchyMap(std::vector<std::vector<uint32_t>> parent_of);
+
+  // parent_of_[l][v]: id at level l+1 of value v at level l.
+  std::vector<std::vector<uint32_t>> parent_of_;
+  // direct_from_finest_[l][v]: id at level l+1 of finest id v (chained).
+  std::vector<std::vector<uint32_t>> direct_from_finest_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_HIERARCHY_H_

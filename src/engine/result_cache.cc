@@ -1,0 +1,50 @@
+#include "engine/result_cache.h"
+
+namespace cloudview {
+
+const CuboidTable* ResultCache::Lookup(CuboidId query) {
+  auto it = entries_.find(query);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  // Move to MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second.table;
+}
+
+void ResultCache::Insert(CuboidTable result) {
+  CuboidId id = result.id();
+  DataSize charge = lattice_->EstimateSize(id);
+  if (charge > capacity_) return;  // Would never fit.
+
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    used_ -= it->second->second.charge;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  EvictToFit(charge);
+  lru_.emplace_front(id, Entry{std::move(result), charge});
+  entries_[id] = lru_.begin();
+  used_ += charge;
+}
+
+void ResultCache::Invalidate() {
+  lru_.clear();
+  entries_.clear();
+  used_ = DataSize::Zero();
+}
+
+void ResultCache::EvictToFit(DataSize incoming) {
+  while (!lru_.empty() && used_ + incoming > capacity_) {
+    auto& [victim_id, victim] = lru_.back();
+    used_ -= victim.charge;
+    entries_.erase(victim_id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cloudview

@@ -1,0 +1,80 @@
+// ResultCache: client-side query-result caching — the paper's Section 8
+// "incorporate indexing, caching and/or fragmentation" item, in the
+// spirit of the self-tuned cloud caching it cites [16].
+//
+// An LRU cache over CuboidTable results with a byte capacity (logical
+// bytes, from the lattice estimate). A cached result answers repeats of
+// the same query for free; the cost models see that as a zero-time,
+// zero-transfer query execution.
+
+#ifndef CLOUDVIEW_ENGINE_RESULT_CACHE_H_
+#define CLOUDVIEW_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "engine/cuboid_table.h"
+
+namespace cloudview {
+
+/// \brief Hit/miss accounting for a cache run.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// \brief LRU cache of query results keyed by cuboid id.
+class ResultCache {
+ public:
+  /// \brief `capacity` bounds the sum of cached results' logical sizes
+  /// (lattice estimates). The lattice must outlive the cache.
+  ResultCache(const CubeLattice& lattice, DataSize capacity)
+      : lattice_(&lattice), capacity_(capacity) {}
+
+  /// \brief Cached result for `query`, or nullptr (counts hit/miss).
+  const CuboidTable* Lookup(CuboidId query);
+
+  /// \brief Inserts (or refreshes) a result. Results larger than the
+  /// whole capacity are not cached. Evicts LRU entries to fit.
+  void Insert(CuboidTable result);
+
+  /// \brief Drops everything (e.g. after base-data updates invalidate
+  /// all derived results).
+  void Invalidate();
+
+  const CacheStats& stats() const { return stats_; }
+  DataSize used() const { return used_; }
+  DataSize capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    CuboidTable table;
+    DataSize charge;
+  };
+
+  void EvictToFit(DataSize incoming);
+
+  const CubeLattice* lattice_;
+  DataSize capacity_;
+  DataSize used_;
+  // MRU at the front.
+  std::list<std::pair<CuboidId, Entry>> lru_;
+  std::unordered_map<CuboidId, decltype(lru_)::iterator> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_RESULT_CACHE_H_

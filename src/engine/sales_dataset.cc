@@ -1,0 +1,59 @@
+#include "engine/sales_dataset.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+Result<SalesDataset> SalesDataset::Create(
+    StarSchema schema, std::vector<HierarchyMap> hierarchies,
+    std::vector<std::vector<uint32_t>> dim_columns,
+    std::vector<std::vector<int64_t>> measure_columns) {
+  if (hierarchies.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument("one hierarchy per dimension required");
+  }
+  if (dim_columns.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument("one id column per dimension required");
+  }
+  if (measure_columns.size() != schema.measures().size()) {
+    return Status::InvalidArgument("one column per measure required");
+  }
+  if (dim_columns.empty() || dim_columns[0].empty()) {
+    return Status::InvalidArgument("dataset sample must not be empty");
+  }
+  size_t rows = dim_columns[0].size();
+  for (size_t d = 0; d < dim_columns.size(); ++d) {
+    if (dim_columns[d].size() != rows) {
+      return Status::InvalidArgument(
+          StrFormat("dimension column %zu length mismatch", d));
+    }
+    uint64_t card = schema.dimension(d).level(0).cardinality;
+    for (uint32_t v : dim_columns[d]) {
+      if (v >= card) {
+        return Status::InvalidArgument(StrFormat(
+            "dimension %zu id %u out of range (cardinality %llu)", d, v,
+            static_cast<unsigned long long>(card)));
+      }
+    }
+  }
+  for (size_t m = 0; m < measure_columns.size(); ++m) {
+    if (measure_columns[m].size() != rows) {
+      return Status::InvalidArgument(
+          StrFormat("measure column %zu length mismatch", m));
+    }
+  }
+  if (schema.stats().fact_rows < rows) {
+    return Status::InvalidArgument(
+        "logical fact rows must be >= sample rows");
+  }
+  return SalesDataset(std::move(schema), std::move(hierarchies),
+                      std::move(dim_columns), std::move(measure_columns),
+                      rows);
+}
+
+const HierarchyMap& SalesDataset::hierarchy(size_t dim) const {
+  CV_CHECK(dim < hierarchies_.size()) << "dimension out of range";
+  return hierarchies_[dim];
+}
+
+}  // namespace cloudview

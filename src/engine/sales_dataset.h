@@ -1,0 +1,94 @@
+// SalesDataset: the paper's supply-chain fact data (Table 1), held
+// columnar, with the hierarchy maps needed to roll rows up to any cuboid.
+//
+// The *logical* dataset (what the cloud stores and scans: e.g. 10 GB or
+// 500 GB) is decoupled from the *sample* rows held in memory: the sample
+// drives correctness (real aggregation results), the logical statistics
+// drive timing and cost. scale_factor() relates the two.
+
+#ifndef CLOUDVIEW_ENGINE_SALES_DATASET_H_
+#define CLOUDVIEW_ENGINE_SALES_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/lattice.h"
+#include "catalog/schema.h"
+#include "common/data_size.h"
+#include "common/result.h"
+#include "engine/hierarchy.h"
+
+namespace cloudview {
+
+/// \brief Columnar fact sample plus schema, hierarchies, and the logical
+/// row count it represents.
+class SalesDataset {
+ public:
+  /// \brief Assembles a dataset; validates that column lengths agree, ids
+  /// are in range, and there is one hierarchy per dimension.
+  /// `dim_columns[d][r]` is row r's finest-level id on dimension d;
+  /// `measure_columns[m][r]` is row r's value of measure m (cents).
+  static Result<SalesDataset> Create(
+      StarSchema schema, std::vector<HierarchyMap> hierarchies,
+      std::vector<std::vector<uint32_t>> dim_columns,
+      std::vector<std::vector<int64_t>> measure_columns);
+
+  const StarSchema& schema() const { return schema_; }
+  const HierarchyMap& hierarchy(size_t dim) const;
+
+  /// \brief In-memory sample rows.
+  uint64_t sample_rows() const { return sample_rows_; }
+
+  /// \brief Logical fact rows (schema().stats().fact_rows).
+  uint64_t logical_rows() const { return schema_.stats().fact_rows; }
+
+  /// \brief logical_rows / sample_rows: multiply sample aggregates by this
+  /// to approximate logical magnitudes.
+  double scale_factor() const {
+    return static_cast<double>(logical_rows()) /
+           static_cast<double>(sample_rows_);
+  }
+
+  /// \brief Logical on-disk size of the fact table.
+  DataSize logical_size() const { return schema_.fact_size(); }
+
+  /// \brief Row r's finest-level id on dimension d.
+  uint32_t dim_value(size_t dim, uint64_t row) const {
+    return dim_columns_[dim][row];
+  }
+
+  /// \brief Row r's id on dimension d rolled up to `level`.
+  uint32_t dim_value_at_level(size_t dim, uint64_t row,
+                              size_t level) const {
+    return hierarchies_[dim].RollUp(dim_columns_[dim][row], level);
+  }
+
+  /// \brief Row r's measure m (cents for monetary measures).
+  int64_t measure_value(size_t measure, uint64_t row) const {
+    return measure_columns_[measure][row];
+  }
+
+  size_t num_dimensions() const { return dim_columns_.size(); }
+  size_t num_measures() const { return measure_columns_.size(); }
+
+ private:
+  SalesDataset(StarSchema schema, std::vector<HierarchyMap> hierarchies,
+               std::vector<std::vector<uint32_t>> dim_columns,
+               std::vector<std::vector<int64_t>> measure_columns,
+               uint64_t sample_rows)
+      : schema_(std::move(schema)),
+        hierarchies_(std::move(hierarchies)),
+        dim_columns_(std::move(dim_columns)),
+        measure_columns_(std::move(measure_columns)),
+        sample_rows_(sample_rows) {}
+
+  StarSchema schema_;
+  std::vector<HierarchyMap> hierarchies_;
+  std::vector<std::vector<uint32_t>> dim_columns_;
+  std::vector<std::vector<int64_t>> measure_columns_;
+  uint64_t sample_rows_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_SALES_DATASET_H_

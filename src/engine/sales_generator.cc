@@ -1,0 +1,124 @@
+#include "engine/sales_generator.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+Status ValidateConfig(const SalesConfig& config) {
+  if (config.years == 0 || config.months_per_year == 0 ||
+      config.days_per_month == 0) {
+    return Status::InvalidArgument("calendar sizes must be positive");
+  }
+  if (config.countries == 0 || config.regions_per_country == 0 ||
+      config.departments_per_region == 0) {
+    return Status::InvalidArgument("geography sizes must be positive");
+  }
+  if (config.sample_rows == 0) {
+    return Status::InvalidArgument("sample_rows must be positive");
+  }
+  if (config.bytes_per_fact_row <= 0 || config.bytes_per_view_row <= 0) {
+    return Status::InvalidArgument("row widths must be positive");
+  }
+  if (config.logical_rows() < config.sample_rows) {
+    return Status::InvalidArgument(StrFormat(
+        "logical rows (%llu) smaller than sample rows (%llu); shrink the "
+        "sample or grow logical_size",
+        static_cast<unsigned long long>(config.logical_rows()),
+        static_cast<unsigned long long>(config.sample_rows)));
+  }
+  if (config.min_profit_cents > config.max_profit_cents) {
+    return Status::InvalidArgument("profit range is empty");
+  }
+  return Status::OK();
+}
+
+Result<SalesDataset> GenerateRows(const SalesConfig& config, uint64_t rows,
+                                  uint64_t seed) {
+  CV_RETURN_IF_ERROR(ValidateConfig(config));
+  CV_ASSIGN_OR_RETURN(StarSchema schema, MakeSalesSchema(config));
+  // The sample stands for `rows` out of the logical table; keep the
+  // schema's logical row count (set by MakeSalesSchema).
+
+  std::vector<HierarchyMap> hierarchies;
+  hierarchies.reserve(schema.num_dimensions());
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    hierarchies.push_back(HierarchyMap::Uniform(schema.dimension(d)));
+  }
+
+  Rng rng(seed);
+  ZipfDistribution day_dist(config.num_days(), config.day_skew);
+  ZipfDistribution dept_dist(config.num_departments(),
+                             config.department_skew);
+
+  std::vector<uint32_t> day_col(rows);
+  std::vector<uint32_t> dept_col(rows);
+  std::vector<int64_t> profit_col(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    // Scramble zipf ranks so hot days/departments are spread through the
+    // id space rather than clustered at id 0.
+    uint64_t day_rank = day_dist.Sample(rng);
+    uint64_t dept_rank = dept_dist.Sample(rng);
+    day_col[r] = static_cast<uint32_t>(
+        (day_rank * 2654435761ULL) % config.num_days());
+    dept_col[r] = static_cast<uint32_t>(
+        (dept_rank * 2654435761ULL) % config.num_departments());
+    profit_col[r] =
+        rng.UniformInt(config.min_profit_cents, config.max_profit_cents);
+  }
+
+  return SalesDataset::Create(
+      std::move(schema), std::move(hierarchies),
+      {std::move(day_col), std::move(dept_col)}, {std::move(profit_col)});
+}
+
+}  // namespace
+
+Result<StarSchema> MakeSalesSchema(const SalesConfig& config) {
+  CV_RETURN_IF_ERROR(ValidateConfig(config));
+  CV_ASSIGN_OR_RETURN(
+      Dimension time,
+      Dimension::Create("Time", {{"day", config.num_days()},
+                                 {"month", config.num_months()},
+                                 {"year", config.years}}));
+  CV_ASSIGN_OR_RETURN(
+      Dimension geo,
+      Dimension::Create("Geography",
+                        {{"department", config.num_departments()},
+                         {"region", config.num_regions()},
+                         {"country", config.countries}}));
+  PhysicalStats stats;
+  stats.fact_rows = config.logical_rows();
+  stats.bytes_per_fact_row = config.bytes_per_fact_row;
+  stats.bytes_per_view_row = config.bytes_per_view_row;
+  return StarSchema::Create("sales", {std::move(time), std::move(geo)},
+                            {Measure{"profit", AggFn::kSum}}, stats);
+}
+
+Result<SalesDataset> GenerateSalesDataset(const SalesConfig& config) {
+  return GenerateRows(config, config.sample_rows, config.seed);
+}
+
+Result<SalesDataset> GenerateSalesDelta(const SalesConfig& config,
+                                        uint64_t delta_rows,
+                                        uint64_t delta_seed) {
+  if (delta_rows == 0) {
+    return Status::InvalidArgument("delta must have rows");
+  }
+  SalesConfig delta_config = config;
+  delta_config.sample_rows = delta_rows;
+  // A delta's logical size scales with the base's scale factor.
+  double scale = static_cast<double>(config.logical_rows()) /
+                 static_cast<double>(config.sample_rows);
+  delta_config.logical_size = DataSize::FromBytes(static_cast<int64_t>(
+      static_cast<double>(delta_rows) * scale * config.bytes_per_fact_row));
+  return GenerateRows(delta_config, delta_rows,
+                      delta_seed ^ 0x5DE1A5EEDULL);
+}
+
+}  // namespace cloudview

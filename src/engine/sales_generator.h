@@ -1,0 +1,88 @@
+// SalesGenerator: deterministic synthetic data for the paper's running
+// example (Table 1) — an international supply chain's sales with a Time
+// hierarchy (day/month/year) and a Geography hierarchy
+// (department/region/country).
+//
+// The generator is the stand-in for the paper's real 500 GB dataset (and
+// its 10 GB experimental subset): seeded, reproducible, with the logical
+// dataset size configured independently of the in-memory sample.
+
+#ifndef CLOUDVIEW_ENGINE_SALES_GENERATOR_H_
+#define CLOUDVIEW_ENGINE_SALES_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/data_size.h"
+#include "common/result.h"
+#include "engine/sales_dataset.h"
+
+namespace cloudview {
+
+/// \brief Shape of the synthetic sales world. Defaults produce the
+/// paper's 2000-2010 dataset with plausible retail cardinalities.
+struct SalesConfig {
+  /// Calendar span (paper: 10 years of data, 2000-2010 -> 11 years).
+  uint32_t years = 11;
+  /// Simplified calendar: every month has 30 days, every year 12 months
+  /// (keeps uniform hierarchies exact).
+  uint32_t months_per_year = 12;
+  uint32_t days_per_month = 30;
+
+  /// Geography sizes: countries x regions/country x departments/region.
+  uint32_t countries = 25;
+  uint32_t regions_per_country = 8;
+  uint32_t departments_per_region = 12;
+
+  /// Logical fact-table size the cloud stores/scans (paper §6: 10 GB).
+  DataSize logical_size = DataSize::FromGB(10);
+  /// Stored bytes per fact row (Table-1-like text row).
+  int64_t bytes_per_fact_row = 100;
+  /// Bytes per materialized-view row.
+  int64_t bytes_per_view_row = 32;
+
+  /// In-memory sample rows actually generated and aggregated.
+  uint64_t sample_rows = 200'000;
+
+  /// Skew of sales across departments (Zipf theta; 0 = uniform).
+  double department_skew = 0.6;
+  /// Skew of sales across days (seasonality stand-in).
+  double day_skew = 0.2;
+
+  /// Profit per sale, uniform in [min,max] cents.
+  int64_t min_profit_cents = 1'000;
+  int64_t max_profit_cents = 900'00;
+
+  uint64_t seed = 20120330;  // DanaC 2012 workshop date.
+
+  uint32_t num_days() const { return years * months_per_year * days_per_month; }
+  uint32_t num_months() const { return years * months_per_year; }
+  uint32_t num_departments() const {
+    return countries * regions_per_country * departments_per_region;
+  }
+  uint32_t num_regions() const { return countries * regions_per_country; }
+
+  /// \brief Logical fact rows implied by logical_size / bytes_per_fact_row.
+  uint64_t logical_rows() const {
+    return static_cast<uint64_t>(logical_size.bytes() / bytes_per_fact_row);
+  }
+};
+
+/// \brief Builds the StarSchema implied by a SalesConfig (dimensions Time
+/// and Geography, measure "profit" SUM).
+Result<StarSchema> MakeSalesSchema(const SalesConfig& config);
+
+/// \brief Generates the sample dataset for a SalesConfig. Deterministic in
+/// config.seed.
+Result<SalesDataset> GenerateSalesDataset(const SalesConfig& config);
+
+/// \brief Generates a *delta* batch (new sales appended later), sharing
+/// the base dataset's schema and hierarchies; used for incremental view
+/// maintenance. `delta_rows` sample rows represent
+/// `delta_rows * base.scale_factor()` logical rows.
+Result<SalesDataset> GenerateSalesDelta(const SalesConfig& config,
+                                        uint64_t delta_rows,
+                                        uint64_t delta_seed);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_SALES_GENERATOR_H_

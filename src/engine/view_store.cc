@@ -1,0 +1,68 @@
+#include "engine/view_store.h"
+
+#include "common/str_format.h"
+
+namespace cloudview {
+
+Status ViewStore::Materialize(CuboidTable table) {
+  CuboidId id = table.id();
+  if (Contains(id)) {
+    return Status::AlreadyExists(
+        StrFormat("view %s already materialized",
+                  lattice_->NameOf(id).c_str()));
+  }
+  views_.emplace(id, std::move(table));
+  return Status::OK();
+}
+
+Status ViewStore::Drop(CuboidId id) {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound(
+        StrFormat("view %s not materialized",
+                  lattice_->NameOf(id).c_str()));
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+const CuboidTable* ViewStore::Find(CuboidId id) const {
+  auto it = views_.find(id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+CuboidTable* ViewStore::FindMutable(CuboidId id) {
+  auto it = views_.find(id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::optional<CuboidId> ViewStore::BestSource(CuboidId query) const {
+  std::optional<CuboidId> best;
+  uint64_t best_rows = 0;
+  for (const auto& [id, table] : views_) {
+    if (!lattice_->CanAnswer(id, query)) continue;
+    uint64_t rows = lattice_->EstimateRows(id);
+    if (!best.has_value() || rows < best_rows) {
+      best = id;
+      best_rows = rows;
+    }
+  }
+  return best;
+}
+
+std::vector<CuboidId> ViewStore::MaterializedIds() const {
+  std::vector<CuboidId> out;
+  out.reserve(views_.size());
+  for (const auto& [id, table] : views_) out.push_back(id);
+  return out;
+}
+
+DataSize ViewStore::TotalLogicalSize() const {
+  DataSize total = DataSize::Zero();
+  for (const auto& [id, table] : views_) {
+    total += lattice_->EstimateSize(id);
+  }
+  return total;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,63 @@
+// ViewStore: the set of materialized cuboids living in the cloud, with
+// best-source lookup for query answering.
+
+#ifndef CLOUDVIEW_ENGINE_VIEW_STORE_H_
+#define CLOUDVIEW_ENGINE_VIEW_STORE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "common/status.h"
+#include "engine/cuboid_table.h"
+
+namespace cloudview {
+
+/// \brief Holds materialized CuboidTables keyed by cuboid id.
+///
+/// The base fact table is always implicitly available; BestSource falls
+/// back to it when no materialized view can answer a query.
+class ViewStore {
+ public:
+  /// \brief The store keeps a reference; `lattice` must outlive it.
+  explicit ViewStore(const CubeLattice& lattice) : lattice_(&lattice) {}
+
+  /// \brief Adds a materialized view; AlreadyExists if present.
+  Status Materialize(CuboidTable table);
+
+  /// \brief Removes a view; NotFound if absent.
+  Status Drop(CuboidId id);
+
+  bool Contains(CuboidId id) const { return views_.count(id) > 0; }
+
+  /// \brief Borrow a materialized table; nullptr when absent.
+  const CuboidTable* Find(CuboidId id) const;
+  CuboidTable* FindMutable(CuboidId id);
+
+  /// \brief The cheapest materialized view able to answer `query` (the
+  /// one with the fewest estimated rows), or nullopt when no view can —
+  /// the caller then scans the raw fact table.
+  std::optional<CuboidId> BestSource(CuboidId query) const;
+
+  /// \brief Ids of all materialized views, ascending.
+  std::vector<CuboidId> MaterializedIds() const;
+
+  size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+
+  /// \brief Sum of the views' *logical* sizes (lattice estimates) — the
+  /// extra storage the cloud bills for (paper Section 4.3).
+  DataSize TotalLogicalSize() const;
+
+  const CubeLattice& lattice() const { return *lattice_; }
+
+ private:
+  const CubeLattice* lattice_;
+  std::map<CuboidId, CuboidTable> views_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_ENGINE_VIEW_STORE_H_

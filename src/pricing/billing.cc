@@ -1,0 +1,88 @@
+#include "pricing/billing.h"
+
+#include "common/str_format.h"
+
+namespace cloudview {
+
+const char* ToString(CostCategory category) {
+  switch (category) {
+    case CostCategory::kCompute:
+      return "compute";
+    case CostCategory::kStorage:
+      return "storage";
+    case CostCategory::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+void Invoice::Print(std::ostream& os) const {
+  for (const LineItem& item : items) {
+    os << StrFormat("  %-9s %-44s %-22s %10s\n", ToString(item.category),
+                    item.description.c_str(), item.quantity.c_str(),
+                    item.amount.ToString().c_str());
+  }
+  os << StrFormat("  %-54s compute  %12s\n", "TOTALS",
+                  compute_total.ToString().c_str());
+  os << StrFormat("  %-54s storage  %12s\n", "",
+                  storage_total.ToString().c_str());
+  os << StrFormat("  %-54s transfer %12s\n", "",
+                  transfer_total.ToString().c_str());
+  os << StrFormat("  %-54s TOTAL    %12s\n", "",
+                  grand_total().ToString().c_str());
+}
+
+Money BillingMeter::RecordCompute(const std::string& description,
+                                  const InstanceType& type, Duration busy,
+                                  int64_t count) {
+  Money amount = model_->ComputeCost(type, busy, count);
+  invoice_.items.push_back(
+      {CostCategory::kCompute, description,
+       StrFormat("%lld x %s x %s", static_cast<long long>(count),
+                 type.name.c_str(), busy.ToString().c_str()),
+       amount});
+  invoice_.compute_total += amount;
+  return amount;
+}
+
+Money BillingMeter::RecordStorage(const std::string& description,
+                                  DataSize volume, Months span) {
+  Money amount = model_->StorageCost(volume, span);
+  invoice_.items.push_back(
+      {CostCategory::kStorage, description,
+       StrFormat("%s x %s", volume.ToString().c_str(),
+                 span.ToString().c_str()),
+       amount});
+  invoice_.storage_total += amount;
+  return amount;
+}
+
+Money BillingMeter::RecordTransferOut(const std::string& description,
+                                      DataSize volume) {
+  Money before = model_->TransferOutCost(transferred_out_);
+  transferred_out_ += volume;
+  Money after = model_->TransferOutCost(transferred_out_);
+  Money amount = after - before;
+  invoice_.items.push_back({CostCategory::kTransfer, description,
+                            StrFormat("%s out",
+                                      volume.ToString().c_str()),
+                            amount});
+  invoice_.transfer_total += amount;
+  return amount;
+}
+
+Money BillingMeter::RecordTransferIn(const std::string& description,
+                                     DataSize volume) {
+  Money before = model_->TransferInCost(transferred_in_);
+  transferred_in_ += volume;
+  Money after = model_->TransferInCost(transferred_in_);
+  Money amount = after - before;
+  invoice_.items.push_back({CostCategory::kTransfer, description,
+                            StrFormat("%s in",
+                                      volume.ToString().c_str()),
+                            amount});
+  invoice_.transfer_total += amount;
+  return amount;
+}
+
+}  // namespace cloudview

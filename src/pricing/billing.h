@@ -1,0 +1,91 @@
+// BillingMeter and Invoice: usage metering with itemized statements.
+//
+// The cost models (core/cost) answer "what would this plan cost"; the
+// meter answers "what did this run actually cost", one line item per
+// recorded event. Out-bound transfer is billed against the *cumulative*
+// monthly volume, so tier discounts apply across events, as AWS does.
+
+#ifndef CLOUDVIEW_PRICING_BILLING_H_
+#define CLOUDVIEW_PRICING_BILLING_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/duration.h"
+#include "common/money.h"
+#include "common/months.h"
+#include "pricing/pricing_model.h"
+
+namespace cloudview {
+
+/// \brief Billing dimension of a line item.
+enum class CostCategory { kCompute, kStorage, kTransfer };
+
+const char* ToString(CostCategory category);
+
+/// \brief One billed event.
+struct LineItem {
+  CostCategory category;
+  std::string description;
+  /// Human-readable quantity, e.g. "2 x small x 50 h" or "10 GB out".
+  std::string quantity;
+  Money amount;
+};
+
+/// \brief An itemized statement with per-category totals.
+struct Invoice {
+  std::vector<LineItem> items;
+  Money compute_total;
+  Money storage_total;
+  Money transfer_total;
+
+  Money grand_total() const {
+    return compute_total + storage_total + transfer_total;
+  }
+
+  /// \brief Pretty-prints the statement (one line per item plus totals).
+  void Print(std::ostream& os) const;
+};
+
+/// \brief Accumulates usage events against one PricingModel.
+class BillingMeter {
+ public:
+  /// \brief The meter keeps a reference; `model` must outlive it.
+  explicit BillingMeter(const PricingModel& model) : model_(&model) {}
+
+  /// \brief Bills `count` instances of `type` busy for `busy` each
+  /// (rounded up to the model's granularity). Returns the charge.
+  Money RecordCompute(const std::string& description,
+                      const InstanceType& type, Duration busy,
+                      int64_t count = 1);
+
+  /// \brief Bills holding `volume` for `span` (pro-rata GB-months).
+  Money RecordStorage(const std::string& description, DataSize volume,
+                      Months span);
+
+  /// \brief Bills an out-bound transfer at the cumulative marginal rate.
+  Money RecordTransferOut(const std::string& description, DataSize volume);
+
+  /// \brief Bills an in-bound transfer (free on AWS-like models).
+  Money RecordTransferIn(const std::string& description, DataSize volume);
+
+  /// \brief Statement for everything recorded so far.
+  const Invoice& invoice() const { return invoice_; }
+
+  /// \brief Cumulative out-bound volume (drives transfer tier position).
+  DataSize transferred_out() const { return transferred_out_; }
+
+  const PricingModel& model() const { return *model_; }
+
+ private:
+  const PricingModel* model_;
+  Invoice invoice_;
+  DataSize transferred_out_;
+  DataSize transferred_in_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_BILLING_H_

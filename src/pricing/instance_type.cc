@@ -1,0 +1,30 @@
+#include "pricing/instance_type.h"
+
+#include "common/str_format.h"
+
+namespace cloudview {
+
+Result<InstanceType> InstanceCatalog::Find(const std::string& name) const {
+  for (auto it = types_.rbegin(); it != types_.rend(); ++it) {
+    if (it->name == name) return *it;
+  }
+  return Status::NotFound(StrFormat("no instance type '%s'", name.c_str()));
+}
+
+Result<InstanceType> InstanceCatalog::CheapestWithUnits(
+    double min_units) const {
+  const InstanceType* best = nullptr;
+  for (const InstanceType& type : types_) {
+    if (type.compute_units + 1e-12 < min_units) continue;
+    if (best == nullptr || type.price_per_hour < best->price_per_hour) {
+      best = &type;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound(
+        StrFormat("no instance type with >= %.2f compute units", min_units));
+  }
+  return *best;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,58 @@
+// InstanceType and InstanceCatalog: the compute side of a CSP's offer
+// (paper Table 2: EC2 micro/small/large/extra-large).
+
+#ifndef CLOUDVIEW_PRICING_INSTANCE_TYPE_H_
+#define CLOUDVIEW_PRICING_INSTANCE_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/money.h"
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief One rentable instance configuration.
+struct InstanceType {
+  /// CSP-facing name, e.g. "small".
+  std::string name;
+  /// Rental price per (started) hour.
+  Money price_per_hour;
+  /// Relative compute power; 1.0 = one EC2 Compute Unit. The cluster
+  /// simulator scales per-node throughput linearly with this.
+  double compute_units = 1.0;
+  /// Instance RAM (informational; reported in catalogs).
+  DataSize ram = DataSize::Zero();
+  /// Ephemeral local storage bundled with the instance.
+  DataSize local_storage = DataSize::Zero();
+};
+
+/// \brief An ordered list of instance types with name lookup.
+class InstanceCatalog {
+ public:
+  InstanceCatalog() = default;
+  explicit InstanceCatalog(std::vector<InstanceType> types)
+      : types_(std::move(types)) {}
+
+  /// \brief Adds a type; later duplicates shadow earlier ones in Find.
+  void Add(InstanceType type) { types_.push_back(std::move(type)); }
+
+  /// \brief Looks a type up by name; NotFound when absent.
+  Result<InstanceType> Find(const std::string& name) const;
+
+  /// \brief Cheapest type whose compute_units >= `min_units`;
+  /// NotFound when no type qualifies.
+  Result<InstanceType> CheapestWithUnits(double min_units) const;
+
+  const std::vector<InstanceType>& types() const { return types_; }
+  bool empty() const { return types_.empty(); }
+  size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_INSTANCE_TYPE_H_

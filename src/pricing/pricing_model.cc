@@ -1,0 +1,116 @@
+#include "pricing/pricing_model.h"
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+Duration RoundUpToGranularity(Duration busy, BillingGranularity g) {
+  CV_CHECK(!busy.is_negative()) << "negative busy time";
+  int64_t unit_ms = 0;
+  switch (g) {
+    case BillingGranularity::kHour:
+      unit_ms = Duration::kMillisPerHour;
+      break;
+    case BillingGranularity::kMinute:
+      unit_ms = Duration::kMillisPerMinute;
+      break;
+    case BillingGranularity::kSecond:
+      unit_ms = Duration::kMillisPerSecond;
+      break;
+  }
+  int64_t units = (busy.millis() + unit_ms - 1) / unit_ms;
+  return Duration::FromMillis(units * unit_ms);
+}
+
+const char* ToString(BillingGranularity g) {
+  switch (g) {
+    case BillingGranularity::kHour:
+      return "hour";
+    case BillingGranularity::kMinute:
+      return "minute";
+    case BillingGranularity::kSecond:
+      return "second";
+  }
+  return "?";
+}
+
+const char* ToString(StorageBilling b) {
+  switch (b) {
+    case StorageBilling::kMarginalTiers:
+      return "marginal-tiers";
+    case StorageBilling::kFlatBracket:
+      return "flat-bracket";
+  }
+  return "?";
+}
+
+Result<PricingModel> PricingModel::Create(PricingModelOptions options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("pricing model needs a name");
+  }
+  if (options.instances.empty()) {
+    return Status::InvalidArgument(
+        "pricing model needs at least one instance type");
+  }
+  return PricingModel(std::move(options));
+}
+
+Money PricingModel::ComputeCost(const InstanceType& type, Duration busy,
+                                int64_t count) const {
+  CV_CHECK(count >= 0) << "negative instance count";
+  Duration billed =
+      RoundUpToGranularity(busy, options_.compute_granularity);
+  // price/hour x billed_ms / ms_per_hour, exactly.
+  Money per_instance =
+      type.price_per_hour.ScaleBy(billed.millis(),
+                                  Duration::kMillisPerHour);
+  return per_instance * count;
+}
+
+Money PricingModel::ComputeCostExact(const InstanceType& type,
+                                     Duration busy, int64_t count) const {
+  CV_CHECK(count >= 0) << "negative instance count";
+  CV_CHECK(!busy.is_negative()) << "negative busy time";
+  return type.price_per_hour.ScaleBy(busy.millis(),
+                                     Duration::kMillisPerHour) *
+         count;
+}
+
+Money PricingModel::MonthlyStorageCost(DataSize volume) const {
+  switch (options_.storage_billing) {
+    case StorageBilling::kMarginalTiers:
+      return options_.storage_per_gb_month.MarginalCost(volume);
+    case StorageBilling::kFlatBracket:
+      return options_.storage_per_gb_month.FlatBracketCost(volume);
+  }
+  return Money::Zero();
+}
+
+Money PricingModel::StorageCost(DataSize volume, Months span) const {
+  CV_CHECK(!span.is_negative()) << "negative storage span";
+  return MonthlyStorageCost(volume).ScaleBy(span.milli(),
+                                            Months::kMilliPerMonth);
+}
+
+Money PricingModel::TransferOutCost(DataSize volume) const {
+  return options_.transfer_out_per_gb.MarginalCost(volume);
+}
+
+Money PricingModel::TransferInCost(DataSize volume) const {
+  return options_.transfer_in_per_gb.MarginalCost(volume);
+}
+
+PricingModel PricingModel::WithComputeGranularity(
+    BillingGranularity g) const {
+  PricingModelOptions copy = options_;
+  copy.compute_granularity = g;
+  return PricingModel(std::move(copy));
+}
+
+PricingModel PricingModel::WithStorageBilling(StorageBilling b) const {
+  PricingModelOptions copy = options_;
+  copy.storage_billing = b;
+  return PricingModel(std::move(copy));
+}
+
+}  // namespace cloudview

@@ -1,0 +1,124 @@
+// PricingModel: a CSP's complete price sheet plus billing semantics.
+//
+// Mirrors the paper's three billed dimensions (Section 2.2): computing
+// (per instance-hour, Table 2), bandwidth (tiered per GB out, in free,
+// Table 3), and storage (tiered per GB-month, Table 4).
+
+#ifndef CLOUDVIEW_PRICING_PRICING_MODEL_H_
+#define CLOUDVIEW_PRICING_PRICING_MODEL_H_
+
+#include <string>
+#include <utility>
+
+#include "common/data_size.h"
+#include "common/duration.h"
+#include "common/money.h"
+#include "common/months.h"
+#include "common/result.h"
+#include "pricing/instance_type.h"
+#include "pricing/tiered_rate.h"
+
+namespace cloudview {
+
+/// \brief Smallest unit of compute time the CSP charges for.
+///
+/// The paper's worked examples round up to the hour ("every started hour is
+/// charged"); its Section 6 experiments only make sense with finer
+/// granularity (see DESIGN.md §5.4).
+enum class BillingGranularity {
+  kHour,
+  kMinute,
+  kSecond,
+};
+
+/// \brief How a storage schedule is applied to a volume.
+enum class StorageBilling {
+  /// Each byte billed at its own bracket's rate (real AWS semantics).
+  kMarginalTiers,
+  /// Whole volume billed at the rate of the bracket containing it
+  /// (the paper's Formula 5 as written).
+  kFlatBracket,
+};
+
+/// \brief Everything needed to build a PricingModel.
+struct PricingModelOptions {
+  std::string name;
+  InstanceCatalog instances;
+  TieredRate storage_per_gb_month = TieredRate::Flat(Money::Zero());
+  TieredRate transfer_out_per_gb = TieredRate::Flat(Money::Zero());
+  TieredRate transfer_in_per_gb = TieredRate::Flat(Money::Zero());
+  BillingGranularity compute_granularity = BillingGranularity::kHour;
+  StorageBilling storage_billing = StorageBilling::kFlatBracket;
+};
+
+/// \brief A CSP price sheet: evaluates compute, storage and transfer
+/// charges. Immutable once built.
+class PricingModel {
+ public:
+  /// \brief Validates and builds. The instance catalog must be non-empty.
+  static Result<PricingModel> Create(PricingModelOptions options);
+
+  const std::string& name() const { return options_.name; }
+  const InstanceCatalog& instances() const { return options_.instances; }
+  const TieredRate& storage_schedule() const {
+    return options_.storage_per_gb_month;
+  }
+  const TieredRate& transfer_out_schedule() const {
+    return options_.transfer_out_per_gb;
+  }
+  BillingGranularity compute_granularity() const {
+    return options_.compute_granularity;
+  }
+  StorageBilling storage_billing() const { return options_.storage_billing; }
+
+  /// \brief Charge for running `count` instances of `type` for `busy` time
+  /// each. Rounds `busy` up to the billing granularity per instance
+  /// (paper Formula 4 with RoundUp, Example 2).
+  Money ComputeCost(const InstanceType& type, Duration busy,
+                    int64_t count = 1) const;
+
+  /// \brief Exact (un-rounded) pro-rata compute charge; used to split a
+  /// single rental session's rounded bill into per-activity components.
+  Money ComputeCostExact(const InstanceType& type, Duration busy,
+                         int64_t count = 1) const;
+
+  /// \brief Monthly storage charge for a constant volume, under this
+  /// model's StorageBilling semantics.
+  Money MonthlyStorageCost(DataSize volume) const;
+
+  /// \brief Storage charge for holding `volume` during `span`
+  /// (pro-rata at milli-month resolution) — one interval of Formula 5.
+  Money StorageCost(DataSize volume, Months span) const;
+
+  /// \brief Out-bound transfer charge for `volume` (always marginal tiers;
+  /// paper Example 1 bills only beyond the free first GB).
+  Money TransferOutCost(DataSize volume) const;
+
+  /// \brief In-bound transfer charge (zero for AWS-like models).
+  Money TransferInCost(DataSize volume) const;
+
+  /// \brief Copy of this model with a different compute granularity
+  /// (used by the billing-granularity ablation).
+  PricingModel WithComputeGranularity(BillingGranularity g) const;
+
+  /// \brief Copy of this model with different storage semantics.
+  PricingModel WithStorageBilling(StorageBilling b) const;
+
+ private:
+  explicit PricingModel(PricingModelOptions options)
+      : options_(std::move(options)) {}
+
+  PricingModelOptions options_;
+};
+
+/// \brief Rounds `busy` up to whole billing units and returns the billed
+/// duration (e.g. 49.2 h -> 50 h under kHour).
+Duration RoundUpToGranularity(Duration busy, BillingGranularity g);
+
+/// \brief Human-readable name, e.g. "hour".
+const char* ToString(BillingGranularity g);
+const char* ToString(StorageBilling b);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_PRICING_MODEL_H_

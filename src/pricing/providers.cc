@@ -1,0 +1,148 @@
+#include "pricing/providers.h"
+
+#include "common/logging.h"
+
+namespace cloudview {
+
+namespace {
+
+PricingModel MustCreate(PricingModelOptions options) {
+  auto result = PricingModel::Create(std::move(options));
+  CV_CHECK(result.ok()) << result.status();
+  return result.MoveValue();
+}
+
+TieredRate MustTiers(std::vector<RateTier> tiers) {
+  auto result = TieredRate::Create(std::move(tiers));
+  CV_CHECK(result.ok()) << result.status();
+  return result.MoveValue();
+}
+
+}  // namespace
+
+PricingModel AwsPricing2012() {
+  PricingModelOptions opts;
+  opts.name = "aws-2012";
+
+  opts.instances.Add({.name = "micro",
+                      .price_per_hour = Money::FromCents(3),
+                      .compute_units = 0.5,
+                      .ram = DataSize::FromMB(613),
+                      .local_storage = DataSize::Zero()});
+  opts.instances.Add({.name = "small",
+                      .price_per_hour = Money::FromCents(12),
+                      .compute_units = 1.0,
+                      .ram = DataSize::FromMB(1740),
+                      .local_storage = DataSize::FromGB(160)});
+  opts.instances.Add({.name = "large",
+                      .price_per_hour = Money::FromCents(48),
+                      .compute_units = 4.0,
+                      .ram = DataSize::FromMB(7680),
+                      .local_storage = DataSize::FromGB(850)});
+  opts.instances.Add({.name = "xlarge",
+                      .price_per_hour = Money::FromCents(96),
+                      .compute_units = 8.0,
+                      .ram = DataSize::FromMB(15360),
+                      .local_storage = DataSize::FromGB(1690)});
+
+  // Table 4, cumulative bounds. The final rate extrapolates the "...".
+  opts.storage_per_gb_month = MustTiers({
+      {DataSize::FromTB(1), Money::FromMicros(140'000)},     // $0.140
+      {DataSize::FromTB(50), Money::FromMicros(125'000)},    // $0.125
+      {DataSize::FromTB(500), Money::FromMicros(110'000)},   // $0.110
+      {DataSize::Zero(), Money::FromMicros(95'000)},         // $0.095
+  });
+
+  // Table 3, cumulative bounds: 1 GB free, then 0.12 / 0.09 / 0.07 (/0.05).
+  opts.transfer_out_per_gb = MustTiers({
+      {DataSize::FromGB(1), Money::Zero()},
+      {DataSize::FromTB(10), Money::FromMicros(120'000)},
+      {DataSize::FromTB(50), Money::FromMicros(90'000)},
+      {DataSize::FromTB(150), Money::FromMicros(70'000)},
+      {DataSize::Zero(), Money::FromMicros(50'000)},
+  });
+
+  opts.transfer_in_per_gb = TieredRate::Flat(Money::Zero());
+  opts.compute_granularity = BillingGranularity::kHour;
+  opts.storage_billing = StorageBilling::kFlatBracket;
+  return MustCreate(std::move(opts));
+}
+
+PricingModel IntroExamplePricing() {
+  PricingModelOptions opts;
+  opts.name = "intro-example";
+  opts.instances.Add({.name = "standard",
+                      .price_per_hour = Money::FromCents(24),
+                      .compute_units = 2.0,
+                      .ram = DataSize::FromGB(4),
+                      .local_storage = DataSize::FromGB(320)});
+  opts.storage_per_gb_month = TieredRate::Flat(Money::FromCents(10));
+  opts.transfer_out_per_gb = TieredRate::Flat(Money::Zero());
+  opts.transfer_in_per_gb = TieredRate::Flat(Money::Zero());
+  opts.compute_granularity = BillingGranularity::kHour;
+  opts.storage_billing = StorageBilling::kFlatBracket;
+  return MustCreate(std::move(opts));
+}
+
+PricingModel GigaCloudPricing() {
+  PricingModelOptions opts;
+  opts.name = "gigacloud";
+  opts.instances.Add({.name = "g-micro",
+                      .price_per_hour = Money::FromCents(2),
+                      .compute_units = 0.4,
+                      .ram = DataSize::FromMB(512),
+                      .local_storage = DataSize::Zero()});
+  opts.instances.Add({.name = "g-small",
+                      .price_per_hour = Money::FromCents(10),
+                      .compute_units = 1.1,
+                      .ram = DataSize::FromGB(2),
+                      .local_storage = DataSize::FromGB(120)});
+  opts.instances.Add({.name = "g-large",
+                      .price_per_hour = Money::FromCents(42),
+                      .compute_units = 4.4,
+                      .ram = DataSize::FromGB(8),
+                      .local_storage = DataSize::FromGB(500)});
+  opts.storage_per_gb_month = TieredRate::Flat(Money::FromCents(12));
+  opts.transfer_out_per_gb = MustTiers({
+      {DataSize::FromGB(1), Money::Zero()},
+      {DataSize::FromTB(10), Money::FromMicros(110'000)},
+      {DataSize::Zero(), Money::FromMicros(80'000)},
+  });
+  opts.transfer_in_per_gb = TieredRate::Flat(Money::Zero());
+  opts.compute_granularity = BillingGranularity::kMinute;
+  opts.storage_billing = StorageBilling::kMarginalTiers;
+  return MustCreate(std::move(opts));
+}
+
+PricingModel BlueCloudPricing() {
+  PricingModelOptions opts;
+  opts.name = "bluecloud";
+  opts.instances.Add({.name = "b1",
+                      .price_per_hour = Money::FromCents(11),
+                      .compute_units = 1.0,
+                      .ram = DataSize::FromMB(1536),
+                      .local_storage = DataSize::FromGB(128)});
+  opts.instances.Add({.name = "b4",
+                      .price_per_hour = Money::FromCents(44),
+                      .compute_units = 4.0,
+                      .ram = DataSize::FromGB(6),
+                      .local_storage = DataSize::FromGB(512)});
+  opts.storage_per_gb_month = MustTiers({
+      {DataSize::FromTB(1), Money::FromMicros(130'000)},
+      {DataSize::FromTB(50), Money::FromMicros(120'000)},
+      {DataSize::Zero(), Money::FromMicros(100'000)},
+  });
+  opts.transfer_out_per_gb = TieredRate::Flat(Money::FromMicros(100'000));
+  // BlueCloud charges for ingress too: exercises Formula 2's input terms.
+  opts.transfer_in_per_gb = TieredRate::Flat(Money::FromMicros(50'000));
+  opts.compute_granularity = BillingGranularity::kHour;
+  opts.storage_billing = StorageBilling::kMarginalTiers;
+  return MustCreate(std::move(opts));
+}
+
+std::vector<PricingModel> AllProviders() {
+  return {AwsPricing2012(), IntroExamplePricing(), GigaCloudPricing(),
+          BlueCloudPricing()};
+}
+
+}  // namespace cloudview

@@ -1,0 +1,47 @@
+// Ready-made PricingModels.
+//
+// AwsPricing2012() encodes the paper's Tables 2-4 verbatim. The other
+// catalogs are *fictional* CSPs used for the paper's "include pricing
+// models from several CSPs" future-work item (Section 8): they stress
+// different corners of the model space (flat rates, per-minute billing,
+// non-free ingress) without claiming to reproduce any real price sheet.
+
+#ifndef CLOUDVIEW_PRICING_PROVIDERS_H_
+#define CLOUDVIEW_PRICING_PROVIDERS_H_
+
+#include <vector>
+
+#include "pricing/pricing_model.h"
+
+namespace cloudview {
+
+/// \brief The paper's AWS price sheet (Tables 2, 3, 4):
+///  - EC2: micro $0.03/h, small $0.12/h, large $0.48/h, xlarge $0.96/h;
+///  - bandwidth out: first 1 GB free, then $0.12/GB up to 10 TB,
+///    $0.09/GB for the next 40 TB, $0.07/GB for the next 100 TB
+///    (then $0.05/GB, our extrapolation of the paper's "...");
+///  - storage: $0.14/GB-month for the first TB, $0.125 for the next 49 TB,
+///    $0.11 for the next 450 TB (then $0.095, extrapolated);
+///  - ingress free; hour-granularity compute billing; flat-bracket storage
+///    (the paper's Formula 5 reading — switchable via WithStorageBilling).
+PricingModel AwsPricing2012();
+
+/// \brief The fictitious CSP of the paper's introduction: storage
+/// $0.10/GB-month, a single "standard" instance at $0.24/h, free transfer.
+/// Reproduces the intro's $62 vs $64.6 example.
+PricingModel IntroExamplePricing();
+
+/// \brief Fictional per-minute-billing CSP ("GigaCloud"): cheaper small
+/// instances, flat $0.12/GB-month storage, slightly cheaper egress.
+PricingModel GigaCloudPricing();
+
+/// \brief Fictional hour-billed CSP with non-free ingress ("BlueCloud"):
+/// exercises the Formula-2 ingress terms that AWS zeroes out.
+PricingModel BlueCloudPricing();
+
+/// \brief All bundled catalogs (for sweeps over CSPs).
+std::vector<PricingModel> AllProviders();
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_PROVIDERS_H_

@@ -1,0 +1,104 @@
+#include "pricing/tiered_rate.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max();
+
+// Exact cost of `bytes` at `rate_per_gb`.
+Money CostOfBytes(Money rate_per_gb, int64_t bytes) {
+  return rate_per_gb.ScaleBy(bytes, DataSize::kBytesPerGB);
+}
+
+}  // namespace
+
+Result<TieredRate> TieredRate::Create(std::vector<RateTier> tiers) {
+  if (tiers.empty()) {
+    return Status::InvalidArgument("tiered rate needs at least one tier");
+  }
+  DataSize prev = DataSize::Zero();
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].rate_per_gb.is_negative()) {
+      return Status::InvalidArgument(
+          StrFormat("tier %zu has negative rate", i));
+    }
+    if (tiers[i].upper_bound <= prev && i + 1 != tiers.size()) {
+      return Status::InvalidArgument(
+          StrFormat("tier %zu bound not increasing", i));
+    }
+    prev = tiers[i].upper_bound;
+  }
+  tiers.back().upper_bound = DataSize::FromBytes(kUnbounded);
+  return TieredRate(std::move(tiers));
+}
+
+TieredRate TieredRate::Flat(Money rate_per_gb) {
+  auto result = Create({RateTier{DataSize::FromBytes(kUnbounded),
+                                 rate_per_gb}});
+  CV_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+Money TieredRate::MarginalCost(DataSize volume) const {
+  CV_CHECK(!volume.is_negative()) << "negative volume";
+  Money total = Money::Zero();
+  int64_t remaining = volume.bytes();
+  int64_t tier_start = 0;
+  for (const RateTier& tier : tiers_) {
+    if (remaining <= 0) break;
+    int64_t tier_capacity = tier.upper_bound.bytes() == kUnbounded
+                                ? remaining
+                                : tier.upper_bound.bytes() - tier_start;
+    int64_t billed = remaining < tier_capacity ? remaining : tier_capacity;
+    total += CostOfBytes(tier.rate_per_gb, billed);
+    remaining -= billed;
+    tier_start = tier.upper_bound.bytes();
+  }
+  return total;
+}
+
+Money TieredRate::FlatBracketCost(DataSize volume) const {
+  CV_CHECK(!volume.is_negative()) << "negative volume";
+  return CostOfBytes(RateFor(volume), volume.bytes());
+}
+
+Money TieredRate::RateFor(DataSize volume) const {
+  CV_CHECK(!volume.is_negative()) << "negative volume";
+  for (const RateTier& tier : tiers_) {
+    if (volume <= tier.upper_bound) return tier.rate_per_gb;
+  }
+  return tiers_.back().rate_per_gb;
+}
+
+Money TieredRate::MarginalRateAfter(DataSize volume) const {
+  CV_CHECK(!volume.is_negative()) << "negative volume";
+  for (const RateTier& tier : tiers_) {
+    if (volume < tier.upper_bound) return tier.rate_per_gb;
+  }
+  return tiers_.back().rate_per_gb;
+}
+
+std::string TieredRate::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(tiers_.size());
+  for (const RateTier& tier : tiers_) {
+    if (tier.upper_bound.bytes() == kUnbounded) {
+      lines.push_back(StrFormat("above: %s/GB",
+                                tier.rate_per_gb.ToString().c_str()));
+    } else {
+      lines.push_back(StrFormat("up to %s: %s/GB",
+                                tier.upper_bound.ToString().c_str(),
+                                tier.rate_per_gb.ToString().c_str()));
+    }
+  }
+  return Join(lines, "; ");
+}
+
+}  // namespace cloudview

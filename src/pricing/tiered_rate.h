@@ -1,0 +1,78 @@
+// TieredRate: bracketed per-GB price schedules (paper Tables 3 and 4).
+//
+// A schedule is an ordered list of volume brackets, each with a per-GB rate.
+// Two evaluation semantics are provided because the paper itself uses both:
+//
+//  * Marginal ("graduated"): each byte is billed at the rate of the bracket
+//    it falls in. This matches real AWS bandwidth/storage billing and the
+//    paper's Example 1 ((10 GB - 1 GB free) x $0.12).
+//  * Flat-bracket: the whole volume is billed at the rate of the bracket
+//    that *contains* it (the paper's Formula 5 usage `cs(s(DS)) x s(DS)`).
+//
+// EXPERIMENTS.md discusses where the two diverge; bench_ablation_pricing
+// quantifies it.
+
+#ifndef CLOUDVIEW_PRICING_TIERED_RATE_H_
+#define CLOUDVIEW_PRICING_TIERED_RATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/money.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cloudview {
+
+/// \brief One pricing bracket: volumes up to `upper_bound` (exclusive of
+/// the previous bracket's bound) cost `rate_per_gb` per GB.
+struct RateTier {
+  /// Upper volume bound of this tier (cumulative). The last tier of a
+  /// schedule may be unbounded (DataSize::FromBytes(INT64_MAX)).
+  DataSize upper_bound;
+  /// Price per GB (per month for storage schedules; one-shot for transfer).
+  Money rate_per_gb;
+};
+
+/// \brief An ordered, validated schedule of rate tiers.
+class TieredRate {
+ public:
+  /// \brief Builds a schedule. Tiers must have strictly increasing upper
+  /// bounds and non-negative rates; the schedule must not be empty. The
+  /// last tier is implicitly extended to unbounded volume.
+  static Result<TieredRate> Create(std::vector<RateTier> tiers);
+
+  /// \brief Convenience: a single-rate (flat) schedule.
+  static TieredRate Flat(Money rate_per_gb);
+
+  /// \brief Marginal ("graduated") cost of `volume`: integrates the
+  /// schedule bracket by bracket. Exact integer arithmetic.
+  Money MarginalCost(DataSize volume) const;
+
+  /// \brief Flat-bracket cost: `RateFor(volume) x volume` — the paper's
+  /// Formula 5 semantics.
+  Money FlatBracketCost(DataSize volume) const;
+
+  /// \brief The per-GB rate of the bracket containing `volume`.
+  /// A volume exactly on a bound belongs to the lower bracket.
+  Money RateFor(DataSize volume) const;
+
+  /// \brief The marginal rate of the *next* byte after `volume`.
+  Money MarginalRateAfter(DataSize volume) const;
+
+  const std::vector<RateTier>& tiers() const { return tiers_; }
+
+  /// \brief One line per tier, e.g. "up to 1 TB: $0.14/GB".
+  std::string ToString() const;
+
+ private:
+  explicit TieredRate(std::vector<RateTier> tiers)
+      : tiers_(std::move(tiers)) {}
+
+  std::vector<RateTier> tiers_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_TIERED_RATE_H_

@@ -1,0 +1,38 @@
+// Random workload generation: parameterized query mixes beyond the
+// paper's fixed ten, for property tests and sensitivity benches.
+
+#ifndef CLOUDVIEW_WORKLOAD_GENERATOR_H_
+#define CLOUDVIEW_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "catalog/lattice.h"
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief Knobs for random workload synthesis.
+struct WorkloadGenOptions {
+  /// Number of queries to draw.
+  size_t num_queries = 10;
+  /// Skew of query popularity across cuboids (Zipf theta over the
+  /// lattice's nodes ordered coarse-to-fine; 0 = uniform).
+  double cuboid_skew = 0.5;
+  /// Frequencies are drawn uniformly in [min_frequency, max_frequency].
+  uint64_t min_frequency = 1;
+  uint64_t max_frequency = 1;
+  /// Exclude the base cuboid (full-table queries) when true.
+  bool exclude_base = false;
+  /// Allow the same cuboid to appear in several queries when true.
+  bool allow_duplicates = true;
+  uint64_t seed = 7;
+};
+
+/// \brief Draws a random workload over `lattice`.
+Result<Workload> GenerateWorkload(const CubeLattice& lattice,
+                                  const WorkloadGenOptions& options);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_WORKLOAD_GENERATOR_H_

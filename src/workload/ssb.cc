@@ -1,0 +1,164 @@
+#include "workload/ssb.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/str_format.h"
+#include "engine/hierarchy.h"
+
+namespace cloudview {
+
+namespace {
+
+Status ValidateConfig(const SsbConfig& config) {
+  if (config.years == 0 || config.months_per_year == 0 ||
+      config.days_per_month == 0) {
+    return Status::InvalidArgument("calendar sizes must be positive");
+  }
+  if (config.regions == 0 || config.nations_per_region == 0 ||
+      config.cities_per_nation == 0) {
+    return Status::InvalidArgument("geography sizes must be positive");
+  }
+  if (config.manufacturers == 0 ||
+      config.categories_per_manufacturer == 0 ||
+      config.brands_per_category == 0) {
+    return Status::InvalidArgument("part sizes must be positive");
+  }
+  if (config.sample_rows == 0) {
+    return Status::InvalidArgument("sample_rows must be positive");
+  }
+  if (config.logical_rows() < config.sample_rows) {
+    return Status::InvalidArgument(
+        "logical rows smaller than sample rows");
+  }
+  if (config.min_revenue_cents > config.max_revenue_cents) {
+    return Status::InvalidArgument("revenue range is empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StarSchema> MakeSsbSchema(const SsbConfig& config) {
+  CV_RETURN_IF_ERROR(ValidateConfig(config));
+  CV_ASSIGN_OR_RETURN(
+      Dimension date,
+      Dimension::Create("Date", {{"day", config.num_days()},
+                                 {"month", config.num_months()},
+                                 {"year", config.years}}));
+  CV_ASSIGN_OR_RETURN(
+      Dimension customer,
+      Dimension::Create("Customer", {{"city", config.num_cities()},
+                                     {"nation", config.num_nations()},
+                                     {"region", config.regions}}));
+  CV_ASSIGN_OR_RETURN(
+      Dimension supplier,
+      Dimension::Create("Supplier", {{"city", config.num_cities()},
+                                     {"nation", config.num_nations()},
+                                     {"region", config.regions}}));
+  CV_ASSIGN_OR_RETURN(
+      Dimension part,
+      Dimension::Create("Part",
+                        {{"brand", config.num_brands()},
+                         {"category", config.num_categories()},
+                         {"mfgr", config.manufacturers}}));
+  PhysicalStats stats;
+  stats.fact_rows = config.logical_rows();
+  stats.bytes_per_fact_row = config.bytes_per_fact_row;
+  stats.bytes_per_view_row = config.bytes_per_view_row;
+  return StarSchema::Create(
+      "lineorder",
+      {std::move(date), std::move(customer), std::move(supplier),
+       std::move(part)},
+      {Measure{"revenue", AggFn::kSum}, Measure{"supplycost", AggFn::kSum}},
+      stats);
+}
+
+Result<SalesDataset> GenerateSsbDataset(const SsbConfig& config) {
+  CV_ASSIGN_OR_RETURN(StarSchema schema, MakeSsbSchema(config));
+
+  std::vector<HierarchyMap> hierarchies;
+  hierarchies.reserve(schema.num_dimensions());
+  for (size_t d = 0; d < schema.num_dimensions(); ++d) {
+    hierarchies.push_back(HierarchyMap::Uniform(schema.dimension(d)));
+  }
+
+  Rng rng(config.seed);
+  ZipfDistribution part_dist(config.num_brands(), config.part_skew);
+  ZipfDistribution customer_dist(config.num_cities(),
+                                 config.customer_skew);
+
+  uint64_t rows = config.sample_rows;
+  std::vector<uint32_t> day_col(rows);
+  std::vector<uint32_t> customer_col(rows);
+  std::vector<uint32_t> supplier_col(rows);
+  std::vector<uint32_t> part_col(rows);
+  std::vector<int64_t> revenue_col(rows);
+  std::vector<int64_t> supplycost_col(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    day_col[r] = static_cast<uint32_t>(rng.Uniform(config.num_days()));
+    customer_col[r] = static_cast<uint32_t>(
+        (customer_dist.Sample(rng) * 2654435761ULL) %
+        config.num_cities());
+    supplier_col[r] =
+        static_cast<uint32_t>(rng.Uniform(config.num_cities()));
+    part_col[r] = static_cast<uint32_t>(
+        (part_dist.Sample(rng) * 2654435761ULL) % config.num_brands());
+    revenue_col[r] = rng.UniformInt(config.min_revenue_cents,
+                                    config.max_revenue_cents);
+    // Supply cost runs at roughly 60% of revenue with +-10% noise.
+    supplycost_col[r] =
+        revenue_col[r] * rng.UniformInt(50, 70) / 100;
+  }
+
+  return SalesDataset::Create(
+      std::move(schema), std::move(hierarchies),
+      {std::move(day_col), std::move(customer_col),
+       std::move(supplier_col), std::move(part_col)},
+      {std::move(revenue_col), std::move(supplycost_col)});
+}
+
+Result<Workload> MakeSsbWorkload(const CubeLattice& lattice) {
+  // One entry per SSB query; the cuboid covers the query's group-by
+  // columns plus its filter columns at filter granularity, so a
+  // materialized view at that cuboid can answer the filtered query.
+  struct SsbQuery {
+    const char* name;
+    std::vector<std::string> levels;  // Date, Customer, Supplier, Part.
+  };
+  const std::vector<SsbQuery> queries = {
+      {"Q1.1 revenue, one year", {"year", "ALL", "ALL", "ALL"}},
+      {"Q1.2 revenue, one month", {"month", "ALL", "ALL", "ALL"}},
+      {"Q1.3 revenue, one week", {"day", "ALL", "ALL", "ALL"}},
+      {"Q2.1 by (year, brand), category filter",
+       {"year", "ALL", "region", "brand"}},
+      {"Q2.2 by (year, brand), brand range",
+       {"year", "ALL", "region", "brand"}},
+      {"Q2.3 by (year, brand), single brand",
+       {"year", "ALL", "region", "brand"}},
+      {"Q3.1 by (year, c_nation, s_nation)",
+       {"year", "nation", "nation", "ALL"}},
+      {"Q3.2 by (year, c_city, s_city)",
+       {"year", "city", "city", "ALL"}},
+      {"Q3.3 by (year, c_city, s_city), city pair",
+       {"year", "city", "city", "ALL"}},
+      {"Q3.4 by (month, c_city, s_city)",
+       {"month", "city", "city", "ALL"}},
+      {"Q4.1 profit by (year, c_nation), mfgr filter",
+       {"year", "nation", "region", "mfgr"}},
+      {"Q4.2 profit by (year, s_nation, category)",
+       {"year", "region", "nation", "category"}},
+      {"Q4.3 profit by (year, s_city, brand)",
+       {"year", "nation", "city", "brand"}},
+  };
+  std::vector<QuerySpec> specs;
+  specs.reserve(queries.size());
+  for (const SsbQuery& q : queries) {
+    CV_ASSIGN_OR_RETURN(CuboidId id, lattice.NodeByLevels(q.levels));
+    specs.push_back(QuerySpec{q.name, id, 1});
+  }
+  return Workload(std::move(specs));
+}
+
+}  // namespace cloudview

@@ -1,0 +1,92 @@
+// SSB-like benchmark: the paper's future-work evaluation target
+// ("a full-fledged database or data warehouse benchmark, such as TPC-E
+// or the Star Schema Benchmark").
+//
+// This module provides a Star-Schema-Benchmark-flavoured 4-dimensional
+// warehouse — Date, Customer geography, Supplier geography, Part — with
+// the 13 SSB queries mapped to their group-by cuboids (cloudview models
+// roll-up granularity, not filter predicates; see DESIGN.md). It
+// exercises the >2-dimension key codec and a 256-cuboid lattice.
+
+#ifndef CLOUDVIEW_WORKLOAD_SSB_H_
+#define CLOUDVIEW_WORKLOAD_SSB_H_
+
+#include <cstdint>
+
+#include "catalog/lattice.h"
+#include "catalog/schema.h"
+#include "common/data_size.h"
+#include "common/result.h"
+#include "engine/sales_dataset.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief Shape of the SSB-like warehouse. Defaults approximate scale
+/// factor 10 cardinalities with the simplified 360-day calendar.
+struct SsbConfig {
+  /// Date: day -> month -> year.
+  uint32_t years = 7;
+  uint32_t months_per_year = 12;
+  uint32_t days_per_month = 30;
+
+  /// Customer and supplier geography: city -> nation -> region.
+  uint32_t regions = 5;
+  uint32_t nations_per_region = 5;
+  uint32_t cities_per_nation = 10;
+
+  /// Part: brand -> category -> manufacturer.
+  uint32_t manufacturers = 5;
+  uint32_t categories_per_manufacturer = 5;
+  uint32_t brands_per_category = 40;
+
+  /// Logical lineorder size (SF10's lineorder is ~6 GB of raw text).
+  DataSize logical_size = DataSize::FromGB(6);
+  int64_t bytes_per_fact_row = 100;
+  int64_t bytes_per_view_row = 48;
+
+  uint64_t sample_rows = 100'000;
+  double part_skew = 0.4;
+  double customer_skew = 0.3;
+  int64_t min_revenue_cents = 100'00;
+  int64_t max_revenue_cents = 60'000'00;
+  uint64_t seed = 19941201;  // SSB's base TPC-D publication date.
+
+  uint32_t num_days() const { return years * months_per_year * days_per_month; }
+  uint32_t num_months() const { return years * months_per_year; }
+  uint32_t num_nations() const { return regions * nations_per_region; }
+  uint32_t num_cities() const {
+    return num_nations() * cities_per_nation;
+  }
+  uint32_t num_categories() const {
+    return manufacturers * categories_per_manufacturer;
+  }
+  uint32_t num_brands() const {
+    return num_categories() * brands_per_category;
+  }
+  uint64_t logical_rows() const {
+    return static_cast<uint64_t>(logical_size.bytes() /
+                                 bytes_per_fact_row);
+  }
+};
+
+/// \brief Lineorder star schema: Date x CustomerGeo x SupplierGeo x Part,
+/// measures revenue (SUM) and supplycost (SUM).
+Result<StarSchema> MakeSsbSchema(const SsbConfig& config);
+
+/// \brief Synthetic lineorder sample (deterministic in config.seed).
+Result<SalesDataset> GenerateSsbDataset(const SsbConfig& config);
+
+/// \brief The 13 SSB queries (flights Q1-Q4) as roll-up cuboids:
+///   Q1.1-1.3  revenue by year                 (year, ALL, ALL, ALL)
+///   Q2.1      by (year, brand)  at mfgr/category/brand granularity
+///   Q3.1-3.4  by (year, customer nation/city x supplier nation/city)
+///   Q4.1-4.3  profit by (year, customer region/nation, mfgr/category)
+/// One workload entry per SSB query; flights that differ only in filter
+/// selectivity share a cuboid but keep separate entries (their
+/// frequencies model repeat executions).
+Result<Workload> MakeSsbWorkload(const CubeLattice& lattice);
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_WORKLOAD_SSB_H_

@@ -1,0 +1,46 @@
+#include "workload/workload.h"
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+const QuerySpec& Workload::query(size_t i) const {
+  CV_CHECK(i < queries_.size()) << "query index out of range";
+  return queries_[i];
+}
+
+uint64_t Workload::TotalFrequency() const {
+  uint64_t total = 0;
+  for (const QuerySpec& q : queries_) total += q.frequency;
+  return total;
+}
+
+Workload Workload::Prefix(size_t n) const {
+  CV_CHECK(n <= queries_.size()) << "prefix longer than workload";
+  return Workload(
+      std::vector<QuerySpec>(queries_.begin(), queries_.begin() + n));
+}
+
+Result<Workload> MakePaperWorkload(const CubeLattice& lattice) {
+  const std::vector<std::pair<std::string, std::string>> level_pairs = {
+      {"year", "country"},   {"month", "region"},
+      {"day", "department"}, {"year", "department"},
+      {"day", "country"},    {"month", "country"},
+      {"year", "region"},    {"month", "department"},
+      {"day", "region"},     {"year", "ALL"},
+  };
+  std::vector<QuerySpec> queries;
+  queries.reserve(level_pairs.size());
+  for (const auto& [time_level, geo_level] : level_pairs) {
+    CV_ASSIGN_OR_RETURN(CuboidId id,
+                        lattice.NodeByLevels({time_level, geo_level}));
+    queries.push_back(QuerySpec{
+        StrFormat("profit per (%s, %s)", time_level.c_str(),
+                  geo_level.c_str()),
+        id, 1});
+  }
+  return Workload(std::move(queries));
+}
+
+}  // namespace cloudview

@@ -1,0 +1,215 @@
+// Aggregation correctness: the engine's central invariants.
+//
+//  * Roll-up path independence: answering a query from ANY materialized
+//    ancestor view gives exactly the result computed from the base data
+//    (this is what makes a materialized view a sound substitute).
+//  * Grand totals are invariant under aggregation level.
+//  * Incremental maintenance: agg(base + delta) == merge(agg(base),
+//    agg(delta)).
+
+#include "engine/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/lattice.h"
+#include "engine/sales_generator.h"
+
+namespace cloudview {
+namespace {
+
+class AggregatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    config.years = 2;
+    config.countries = 3;
+    config.regions_per_country = 2;
+    config.departments_per_region = 4;
+    config.sample_rows = 20'000;
+    config.logical_size = DataSize::FromMB(10);
+    config_ = config;
+    dataset_ = std::make_unique<SalesDataset>(
+        GenerateSalesDataset(config).MoveValue());
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(dataset_->schema()).MoveValue());
+  }
+
+  CuboidId Node(const std::string& time, const std::string& geo) {
+    return lattice_->NodeByLevels({time, geo}).value();
+  }
+
+  SalesConfig config_;
+  std::unique_ptr<SalesDataset> dataset_;
+  std::unique_ptr<CubeLattice> lattice_;
+};
+
+TEST_F(AggregatorTest, BaseAggregationGroupCountsAreSane) {
+  CuboidTable yc =
+      AggregateFromBase(*dataset_, *lattice_, Node("year", "country"))
+          .MoveValue();
+  // 2 years x 3 countries, 20k rows: every group occupied.
+  EXPECT_EQ(yc.num_rows(), 6u);
+  EXPECT_EQ(yc.TotalCount(), dataset_->sample_rows());
+}
+
+TEST_F(AggregatorTest, ApexHoldsGrandTotal) {
+  CuboidTable apex =
+      AggregateFromBase(*dataset_, *lattice_, lattice_->apex_id())
+          .MoveValue();
+  ASSERT_EQ(apex.num_rows(), 1u);
+  int64_t expected = 0;
+  for (uint64_t r = 0; r < dataset_->sample_rows(); ++r) {
+    expected += dataset_->measure_value(0, r);
+  }
+  EXPECT_EQ(apex.aggregate(0, 0), expected);
+  EXPECT_EQ(apex.count(0), dataset_->sample_rows());
+}
+
+TEST_F(AggregatorTest, GrandTotalInvariantAcrossAllCuboids) {
+  CuboidTable apex =
+      AggregateFromBase(*dataset_, *lattice_, lattice_->apex_id())
+          .MoveValue();
+  int64_t total = apex.aggregate(0, 0);
+  for (CuboidId id = 0; id < lattice_->num_nodes(); ++id) {
+    CuboidTable t =
+        AggregateFromBase(*dataset_, *lattice_, id).MoveValue();
+    EXPECT_EQ(t.TotalAggregate(0), total) << lattice_->NameOf(id);
+    EXPECT_EQ(t.TotalCount(), dataset_->sample_rows());
+  }
+}
+
+// The headline property: for every (view, query) pair where the view can
+// answer the query, rolling the view up equals aggregating from base.
+TEST_F(AggregatorTest, RollUpPathIndependenceAcrossTheWholeLattice) {
+  std::vector<CuboidTable> from_base;
+  from_base.reserve(lattice_->num_nodes());
+  for (CuboidId id = 0; id < lattice_->num_nodes(); ++id) {
+    from_base.push_back(
+        AggregateFromBase(*dataset_, *lattice_, id).MoveValue());
+  }
+  int checked = 0;
+  for (CuboidId view = 0; view < lattice_->num_nodes(); ++view) {
+    for (CuboidId query = 0; query < lattice_->num_nodes(); ++query) {
+      if (!lattice_->CanAnswer(view, query)) continue;
+      CuboidTable rolled =
+          AggregateFromView(*dataset_, *lattice_, from_base[view], query)
+              .MoveValue();
+      EXPECT_TRUE(CuboidTablesEqual(rolled, from_base[query]))
+          << lattice_->NameOf(view) << " -> " << lattice_->NameOf(query);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);  // The 4x4 lattice yields 100 answerable pairs.
+}
+
+TEST_F(AggregatorTest, AggregateFromViewRejectsUnanswerable) {
+  CuboidTable coarse =
+      AggregateFromBase(*dataset_, *lattice_, Node("year", "country"))
+          .MoveValue();
+  auto result = AggregateFromView(*dataset_, *lattice_, coarse,
+                                  Node("month", "country"));
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST_F(AggregatorTest, IncrementalMaintenanceEqualsRecompute) {
+  SalesDataset delta =
+      GenerateSalesDelta(config_, 2'000, /*delta_seed=*/7).MoveValue();
+  for (const char* level : {"year", "month"}) {
+    CuboidId target = Node(level, "region");
+
+    // Incremental: aggregate the delta alone, merge into the old view.
+    CuboidTable view =
+        AggregateFromBase(*dataset_, *lattice_, target).MoveValue();
+    CuboidTable delta_agg =
+        AggregateFromBase(delta, *lattice_, target).MoveValue();
+    ASSERT_TRUE(MergeCuboidTables(dataset_->schema(), &view, delta_agg)
+                    .ok());
+
+    // Recompute: aggregate base and delta rows together.
+    int64_t merged_total = view.TotalAggregate(0);
+    int64_t expected_total = 0;
+    for (uint64_t r = 0; r < dataset_->sample_rows(); ++r) {
+      expected_total += dataset_->measure_value(0, r);
+    }
+    for (uint64_t r = 0; r < delta.sample_rows(); ++r) {
+      expected_total += delta.measure_value(0, r);
+    }
+    EXPECT_EQ(merged_total, expected_total);
+    EXPECT_EQ(view.TotalCount(),
+              dataset_->sample_rows() + delta.sample_rows());
+  }
+}
+
+TEST_F(AggregatorTest, MergeRejectsMismatchedCuboids) {
+  CuboidTable a =
+      AggregateFromBase(*dataset_, *lattice_, Node("year", "country"))
+          .MoveValue();
+  CuboidTable b =
+      AggregateFromBase(*dataset_, *lattice_, Node("month", "country"))
+          .MoveValue();
+  EXPECT_TRUE(MergeCuboidTables(dataset_->schema(), &a, b)
+                  .IsInvalidArgument());
+}
+
+TEST_F(AggregatorTest, MergeWithSelfDoublesAggregates) {
+  CuboidTable view =
+      AggregateFromBase(*dataset_, *lattice_, Node("year", "ALL"))
+          .MoveValue();
+  int64_t total = view.TotalAggregate(0);
+  CuboidTable copy = view;
+  ASSERT_TRUE(MergeCuboidTables(dataset_->schema(), &view, copy).ok());
+  EXPECT_EQ(view.TotalAggregate(0), 2 * total);
+  EXPECT_EQ(view.num_rows(), copy.num_rows());  // Same keys.
+}
+
+// --- CuboidTable mechanics ----------------------------------------------------
+TEST(CuboidTable, AppendAndLookup) {
+  CuboidTable t(0, 2, 1);
+  t.AppendRow({3, 7}, {100}, 2);
+  t.AppendRow({1, 2}, {50}, 1);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.key(0, 0), 3u);
+  EXPECT_EQ(t.key(0, 1), 7u);
+  EXPECT_EQ(t.aggregate(0, 1), 50);
+  EXPECT_EQ(t.count(0), 2u);
+  EXPECT_EQ(t.TotalAggregate(0), 150);
+  EXPECT_EQ(t.TotalCount(), 3u);
+
+  const auto& index = t.KeyIndex();
+  EXPECT_EQ(index.at(CuboidTable::PackKey({3, 7})), 0u);
+}
+
+TEST(CuboidTable, SortByKeyCanonicalizes) {
+  CuboidTable t(0, 2, 1);
+  t.AppendRow({5, 0}, {10}, 1);
+  t.AppendRow({1, 0}, {20}, 1);
+  t.AppendRow({3, 0}, {30}, 1);
+  t.SortByKey();
+  EXPECT_EQ(t.key(0, 0), 1u);
+  EXPECT_EQ(t.key(1, 0), 3u);
+  EXPECT_EQ(t.key(2, 0), 5u);
+  EXPECT_EQ(t.aggregate(0, 0), 20);
+  EXPECT_EQ(t.aggregate(0, 2), 10);
+}
+
+TEST(CuboidTable, EqualityIsOrderInsensitive) {
+  CuboidTable a(0, 1, 1);
+  a.AppendRow({1}, {10}, 1);
+  a.AppendRow({2}, {20}, 1);
+  CuboidTable b(0, 1, 1);
+  b.AppendRow({2}, {20}, 1);
+  b.AppendRow({1}, {10}, 1);
+  EXPECT_TRUE(CuboidTablesEqual(a, b));
+
+  CuboidTable c(0, 1, 1);
+  c.AppendRow({1}, {10}, 1);
+  c.AppendRow({2}, {21}, 1);
+  EXPECT_FALSE(CuboidTablesEqual(a, c));
+
+  CuboidTable d(0, 1, 1);
+  d.AppendRow({1}, {10}, 1);
+  EXPECT_FALSE(CuboidTablesEqual(a, d));
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,163 @@
+#include "core/optimizer/candidate_generation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/sales_generator.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+namespace {
+
+class CandidateGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(config).value()).MoveValue());
+    simulator_ = std::make_unique<MapReduceSimulator>(*lattice_,
+                                                      MapReduceParams{});
+    cluster_ = ClusterSpec{
+        InstanceType{.name = "small",
+                     .price_per_hour = Money::FromCents(12),
+                     .compute_units = 1.0},
+        5};
+    workload_ = MakePaperWorkload(*lattice_).MoveValue();
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<MapReduceSimulator> simulator_;
+  ClusterSpec cluster_;
+  Workload workload_;
+};
+
+TEST_F(CandidateGenTest, EveryCandidateAnswersSomeQuery) {
+  CandidateGenOptions options;
+  auto candidates = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                       cluster_, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_FALSE(candidates->empty());
+  for (const ViewCandidate& c : *candidates) {
+    bool answers_any = false;
+    for (const QuerySpec& q : workload_.queries()) {
+      answers_any |= lattice_->CanAnswer(c.view, q.target);
+    }
+    EXPECT_TRUE(answers_any) << c.name;
+  }
+}
+
+TEST_F(CandidateGenTest, CandidatesCarryPositiveAttributes) {
+  auto candidates = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                       cluster_, CandidateGenOptions{});
+  ASSERT_TRUE(candidates.ok());
+  for (const ViewCandidate& c : *candidates) {
+    EXPECT_GT(c.size.bytes(), 0) << c.name;
+    EXPECT_GT(c.materialization_time, Duration::Zero()) << c.name;
+    EXPECT_GE(c.maintenance_time, Duration::Zero()) << c.name;
+    EXPECT_FALSE(c.name.empty());
+  }
+}
+
+TEST_F(CandidateGenTest, MaxCandidatesCapRespected) {
+  CandidateGenOptions options;
+  options.max_candidates = 3;
+  auto candidates = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                       cluster_, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_LE(candidates->size(), 3u);
+}
+
+TEST_F(CandidateGenTest, CandidatesRankedByBenefit) {
+  // The cap keeps the *best* candidates: an uncapped run's top-k must
+  // equal the capped run.
+  CandidateGenOptions uncapped;
+  uncapped.max_candidates = 100;
+  CandidateGenOptions capped;
+  capped.max_candidates = 4;
+  auto all = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                cluster_, uncapped);
+  auto top = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                cluster_, capped);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(top.ok());
+  ASSERT_GE(all->size(), top->size());
+  for (size_t i = 0; i < top->size(); ++i) {
+    EXPECT_EQ((*top)[i].view, (*all)[i].view);
+  }
+}
+
+TEST_F(CandidateGenTest, RowsFractionCapExcludesNearFactViews) {
+  CandidateGenOptions options;
+  options.max_rows_fraction = 0.05;
+  auto candidates = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                       cluster_, options);
+  ASSERT_TRUE(candidates.ok());
+  uint64_t fact_rows = lattice_->schema().stats().fact_rows;
+  for (const ViewCandidate& c : *candidates) {
+    EXPECT_LE(lattice_->EstimateRows(c.view),
+              static_cast<uint64_t>(0.05 * fact_rows) + 1)
+        << c.name;
+  }
+  // The finest cuboid (day, department) is ~9% of facts: excluded.
+  for (const ViewCandidate& c : *candidates) {
+    EXPECT_NE(c.view, lattice_->base_id());
+  }
+}
+
+TEST_F(CandidateGenTest, QueriesOnlyRestrictsToWorkloadCuboids) {
+  CandidateGenOptions options;
+  options.queries_only = true;
+  auto candidates = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                       cluster_, options);
+  ASSERT_TRUE(candidates.ok());
+  std::set<CuboidId> targets;
+  for (const QuerySpec& q : workload_.queries()) targets.insert(q.target);
+  for (const ViewCandidate& c : *candidates) {
+    EXPECT_TRUE(targets.count(c.view)) << c.name;
+  }
+}
+
+TEST_F(CandidateGenTest, MaintenanceDeltaRaisesMaintenanceTime) {
+  CandidateGenOptions no_delta;
+  CandidateGenOptions with_delta;
+  with_delta.maintenance_delta = DataSize::FromGB(1);
+  auto a = GenerateCandidates(*lattice_, workload_, *simulator_,
+                              cluster_, no_delta);
+  auto b = GenerateCandidates(*lattice_, workload_, *simulator_,
+                              cluster_, with_delta);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_LT((*a)[i].maintenance_time, (*b)[i].maintenance_time);
+  }
+}
+
+TEST_F(CandidateGenTest, Validation) {
+  EXPECT_TRUE(GenerateCandidates(*lattice_, Workload{}, *simulator_,
+                                 cluster_, CandidateGenOptions{})
+                  .status()
+                  .IsInvalidArgument());
+  CandidateGenOptions bad;
+  bad.max_candidates = 0;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = CandidateGenOptions{};
+  bad.max_size_fraction = 0.0;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = CandidateGenOptions{};
+  bad.max_rows_fraction = -1.0;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cloudview

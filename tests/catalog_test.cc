@@ -1,0 +1,140 @@
+// Dimension, StarSchema: validation and accessors.
+
+#include <gtest/gtest.h>
+
+#include "catalog/dimension.h"
+#include "catalog/schema.h"
+#include "engine/sales_generator.h"
+
+namespace cloudview {
+namespace {
+
+TEST(Dimension, AppendsAllLevel) {
+  auto dim = Dimension::Create(
+      "Time", {{"day", 3960}, {"month", 132}, {"year", 11}});
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(dim->num_levels(), 4u);
+  EXPECT_EQ(dim->level(0).name, "day");
+  EXPECT_EQ(dim->level(3).name, "ALL");
+  EXPECT_EQ(dim->level(3).cardinality, 1u);
+  EXPECT_EQ(dim->all_level(), 3u);
+}
+
+TEST(Dimension, LevelIndexLookup) {
+  auto dim = Dimension::Create("Geo", {{"dept", 100}, {"country", 10}});
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(dim->LevelIndex("dept").value(), 0u);
+  EXPECT_EQ(dim->LevelIndex("country").value(), 1u);
+  EXPECT_EQ(dim->LevelIndex("ALL").value(), 2u);
+  EXPECT_TRUE(dim->LevelIndex("region").status().IsNotFound());
+}
+
+TEST(Dimension, RejectsEmptyName) {
+  EXPECT_TRUE(Dimension::Create("", {{"x", 1}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Dimension, RejectsNoLevels) {
+  EXPECT_TRUE(Dimension::Create("d", {}).status().IsInvalidArgument());
+}
+
+TEST(Dimension, RejectsZeroCardinality) {
+  EXPECT_TRUE(Dimension::Create("d", {{"x", 0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Dimension, RejectsIncreasingCardinality) {
+  // Rolling up must not create values.
+  EXPECT_TRUE(Dimension::Create("d", {{"coarse", 10}, {"finer", 100}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Dimension, RejectsUnnamedLevel) {
+  EXPECT_TRUE(Dimension::Create("d", {{"", 5}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+StarSchema TestSchema() {
+  SalesConfig config;
+  return MakeSalesSchema(config).value();
+}
+
+TEST(StarSchema, SalesSchemaShape) {
+  StarSchema schema = TestSchema();
+  EXPECT_EQ(schema.fact_name(), "sales");
+  EXPECT_EQ(schema.num_dimensions(), 2u);
+  EXPECT_EQ(schema.dimension(0).name(), "Time");
+  EXPECT_EQ(schema.dimension(1).name(), "Geography");
+  EXPECT_EQ(schema.measures().size(), 1u);
+  EXPECT_EQ(schema.measures()[0].name, "profit");
+  EXPECT_EQ(schema.measures()[0].agg, AggFn::kSum);
+}
+
+TEST(StarSchema, DimensionIndex) {
+  StarSchema schema = TestSchema();
+  EXPECT_EQ(schema.DimensionIndex("Time").value(), 0u);
+  EXPECT_EQ(schema.DimensionIndex("Geography").value(), 1u);
+  EXPECT_TRUE(schema.DimensionIndex("Product").status().IsNotFound());
+}
+
+TEST(StarSchema, FactSizeFromStats) {
+  SalesConfig config;
+  config.logical_size = DataSize::FromGB(10);
+  config.bytes_per_fact_row = 100;
+  StarSchema schema = MakeSalesSchema(config).value();
+  EXPECT_EQ(schema.stats().fact_rows,
+            static_cast<uint64_t>(DataSize::FromGB(10).bytes() / 100));
+  EXPECT_EQ(schema.fact_size(),
+            DataSize::FromBytes(static_cast<int64_t>(
+                                    schema.stats().fact_rows) *
+                                100));
+}
+
+TEST(StarSchema, WithFactRowsRescales) {
+  StarSchema schema = TestSchema();
+  StarSchema scaled = schema.WithFactRows(1000);
+  EXPECT_EQ(scaled.stats().fact_rows, 1000u);
+  EXPECT_EQ(scaled.fact_size(), DataSize::FromBytes(100'000));
+  // Original untouched.
+  EXPECT_NE(schema.stats().fact_rows, 1000u);
+}
+
+TEST(StarSchema, RejectsDuplicateDimensions) {
+  auto d1 = Dimension::Create("D", {{"x", 10}}).MoveValue();
+  auto d2 = Dimension::Create("D", {{"y", 5}}).MoveValue();
+  auto schema = StarSchema::Create("f", {d1, d2}, {{"m", AggFn::kSum}},
+                                   PhysicalStats{.fact_rows = 10});
+  EXPECT_TRUE(schema.status().IsInvalidArgument());
+}
+
+TEST(StarSchema, RejectsMissingPieces) {
+  auto dim = Dimension::Create("D", {{"x", 10}}).MoveValue();
+  PhysicalStats stats{.fact_rows = 10};
+  EXPECT_TRUE(StarSchema::Create("", {dim}, {{"m", AggFn::kSum}}, stats)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StarSchema::Create("f", {}, {{"m", AggFn::kSum}}, stats)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      StarSchema::Create("f", {dim}, {}, stats).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(StarSchema::Create("f", {dim}, {{"m", AggFn::kSum}},
+                                 PhysicalStats{.fact_rows = 0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggFn, Names) {
+  EXPECT_STREQ(ToString(AggFn::kSum), "SUM");
+  EXPECT_STREQ(ToString(AggFn::kCount), "COUNT");
+  EXPECT_STREQ(ToString(AggFn::kMin), "MIN");
+  EXPECT_STREQ(ToString(AggFn::kMax), "MAX");
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,142 @@
+// MapReduceSimulator: the timing model's structure and monotonicity.
+
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/sales_generator.h"
+
+namespace cloudview {
+namespace {
+
+class ClusterSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;  // Defaults: 10 GB logical.
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(config).value()).MoveValue());
+    params_.job_startup = Duration::FromSeconds(45);
+    params_.map_throughput_per_unit =
+        DataSize::FromBytes(2'100 * 1024);
+    params_.shuffle_throughput_per_node = DataSize::FromMB(12);
+    params_.write_throughput_per_node = DataSize::FromMB(24);
+    sim_ = std::make_unique<MapReduceSimulator>(*lattice_, params_);
+    small_ = InstanceType{.name = "small",
+                          .price_per_hour = Money::FromCents(12),
+                          .compute_units = 1.0};
+    large_ = InstanceType{.name = "large",
+                          .price_per_hour = Money::FromCents(48),
+                          .compute_units = 4.0};
+  }
+
+  CuboidId Node(const std::string& time, const std::string& geo) {
+    return lattice_->NodeByLevels({time, geo}).value();
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  MapReduceParams params_;
+  std::unique_ptr<MapReduceSimulator> sim_;
+  InstanceType small_;
+  InstanceType large_;
+};
+
+TEST_F(ClusterSimTest, ZeroWorkCostsExactlyStartup) {
+  ClusterSpec cluster{small_, 5};
+  EXPECT_EQ(sim_->JobTime(DataSize::Zero(), DataSize::Zero(), cluster),
+            params_.job_startup);
+}
+
+TEST_F(ClusterSimTest, CalibratedFullScanNearPaperScale) {
+  // A full scan of the 10 GB dataset on five small instances should take
+  // ~0.28 h (the paper's per-query scale is 0.2 h for Q1 on 500 GB,
+  // which its 10 GB workload queries roughly match).
+  ClusterSpec cluster{small_, 5};
+  Duration t = sim_->QueryTimeFromFact(Node("year", "country"), cluster);
+  EXPECT_NEAR(t.hours(), 0.28, 0.03);
+}
+
+TEST_F(ClusterSimTest, ViewQueriesAreStartupDominated) {
+  ClusterSpec cluster{small_, 5};
+  Duration t = sim_->QueryTimeFromView(Node("month", "region"),
+                                       Node("year", "country"), cluster);
+  EXPECT_LT(t, params_.job_startup + Duration::FromSeconds(10));
+  EXPECT_GE(t, params_.job_startup);
+}
+
+TEST_F(ClusterSimTest, MoreNodesShortenScans) {
+  CuboidId q = Node("year", "country");
+  Duration five = sim_->QueryTimeFromFact(q, {small_, 5});
+  Duration ten = sim_->QueryTimeFromFact(q, {small_, 10});
+  EXPECT_LT(ten, five);
+  // But never below the startup floor.
+  EXPECT_GE(ten, params_.job_startup);
+}
+
+TEST_F(ClusterSimTest, ComputeUnitsActLikeNodesForTheMapPhase) {
+  CuboidId q = Node("year", "ALL");  // Tiny output: map-dominated.
+  Duration small5 = sim_->QueryTimeFromFact(q, {small_, 20});
+  Duration large5 = sim_->QueryTimeFromFact(q, {large_, 5});
+  // 20 x 1 ECU == 5 x 4 ECU for the map phase; outputs are negligible.
+  EXPECT_NEAR(small5.seconds(), large5.seconds(), 1.0);
+}
+
+TEST_F(ClusterSimTest, ScalingIsNeverSuperlinear) {
+  CuboidId q = Node("day", "department");
+  Duration t1 = sim_->QueryTimeFromFact(q, {small_, 1});
+  Duration t4 = sim_->QueryTimeFromFact(q, {small_, 4});
+  // 4 nodes at most 4x faster, and always slower than 1/4 the time
+  // (startup does not parallelize).
+  EXPECT_GE(t4.millis() * 4, t1.millis());
+  EXPECT_LT(t4, t1);
+}
+
+TEST_F(ClusterSimTest, QueryTimeMonotoneInSourceSize) {
+  // Answering the same query from a smaller source is never slower.
+  CuboidId query = Node("year", "country");
+  Duration from_my = sim_->QueryTimeFromView(Node("month", "region"),
+                                             query, {small_, 5});
+  Duration from_yc =
+      sim_->QueryTimeFromView(query, query, {small_, 5});
+  EXPECT_LE(from_yc, from_my);
+  EXPECT_LE(from_my, sim_->QueryTimeFromFact(query, {small_, 5}));
+}
+
+TEST_F(ClusterSimTest, MaterializationCostsAtLeastAQueryOfSameShape) {
+  CuboidId view = Node("month", "region");
+  ClusterSpec cluster{small_, 5};
+  EXPECT_EQ(sim_->MaterializationTimeFromFact(view, cluster),
+            sim_->QueryTimeFromFact(view, cluster));
+  // Re-materializing from an existing finer view is far cheaper.
+  EXPECT_LT(sim_->MaterializationTimeFromView(Node("month", "department"),
+                                              view, cluster),
+            sim_->MaterializationTimeFromFact(view, cluster));
+}
+
+TEST_F(ClusterSimTest, MaintenanceGrowsWithDeltaAndViewSize) {
+  ClusterSpec cluster{small_, 5};
+  CuboidId small_view = Node("year", "country");
+  CuboidId big_view = Node("day", "region");
+  DataSize small_delta = DataSize::FromMB(10);
+  DataSize big_delta = DataSize::FromMB(1000);
+
+  EXPECT_LT(sim_->MaintenanceTime(small_view, small_delta, cluster),
+            sim_->MaintenanceTime(small_view, big_delta, cluster));
+  EXPECT_LT(sim_->MaintenanceTime(small_view, small_delta, cluster),
+            sim_->MaintenanceTime(big_view, small_delta, cluster));
+}
+
+TEST_F(ClusterSimTest, DefaultParamsAreReasonable) {
+  MapReduceParams defaults;
+  EXPECT_GT(defaults.job_startup, Duration::Zero());
+  EXPECT_GT(defaults.map_throughput_per_unit.bytes(), 0);
+  EXPECT_GT(defaults.shuffle_throughput_per_node.bytes(), 0);
+  EXPECT_GT(defaults.write_throughput_per_node.bytes(), 0);
+}
+
+TEST_F(ClusterSimTest, ClusterSpecTotalUnits) {
+  EXPECT_DOUBLE_EQ((ClusterSpec{small_, 5}).total_compute_units(), 5.0);
+  EXPECT_DOUBLE_EQ((ClusterSpec{large_, 5}).total_compute_units(), 20.0);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,168 @@
+// SelectionEvaluator: interaction-aware subset evaluation against
+// hand-computable ground truth.
+
+#include "core/optimizer/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer/candidate_generation.h"
+#include "engine/sales_generator.h"
+#include "pricing/providers.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(config).value()).MoveValue());
+    simulator_ = std::make_unique<MapReduceSimulator>(*lattice_,
+                                                      MapReduceParams{});
+    pricing_ = std::make_unique<PricingModel>(
+        AwsPricing2012().WithComputeGranularity(
+            BillingGranularity::kSecond));
+    cost_model_ = std::make_unique<CloudCostModel>(*pricing_);
+    cluster_ = ClusterSpec{
+        pricing_->instances().Find("small").value(), 5};
+    workload_ = MakePaperWorkload(*lattice_).MoveValue().Prefix(5);
+
+    deployment_.instance = cluster_.instance;
+    deployment_.nb_instances = cluster_.nodes;
+    deployment_.storage_period = Months::FromMilli(2);
+    deployment_.base_storage =
+        StorageTimeline(lattice_->fact_scan_size());
+    deployment_.maintenance_cycles = 0;
+
+    CandidateGenOptions options;
+    options.max_rows_fraction = 0.05;
+    candidates_ = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                     cluster_, options)
+                      .MoveValue();
+    evaluator_ = std::make_unique<SelectionEvaluator>(
+        SelectionEvaluator::Create(*lattice_, workload_, *simulator_,
+                                   cluster_, *cost_model_, deployment_,
+                                   candidates_)
+            .MoveValue());
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<MapReduceSimulator> simulator_;
+  std::unique_ptr<PricingModel> pricing_;
+  std::unique_ptr<CloudCostModel> cost_model_;
+  ClusterSpec cluster_;
+  Workload workload_;
+  DeploymentSpec deployment_;
+  std::vector<ViewCandidate> candidates_;
+  std::unique_ptr<SelectionEvaluator> evaluator_;
+};
+
+TEST_F(EvaluatorTest, BaselineAnswersEverythingFromFact) {
+  const SubsetEvaluation& base = evaluator_->baseline();
+  EXPECT_TRUE(base.selected.empty());
+  EXPECT_TRUE(base.view_input.views.empty());
+  EXPECT_EQ(base.makespan, base.processing_time);
+  for (size_t q = 0; q < workload_.size(); ++q) {
+    EXPECT_EQ(base.workload_input.queries[q].processing_time,
+              simulator_->QueryTimeFromFact(workload_.query(q).target,
+                                            cluster_));
+  }
+}
+
+TEST_F(EvaluatorTest, SubsetNeverSlowerThanBaselinePerQuery) {
+  std::vector<size_t> all(candidates_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  SubsetEvaluation eval = evaluator_->Evaluate(all).MoveValue();
+  const SubsetEvaluation& base = evaluator_->baseline();
+  for (size_t q = 0; q < workload_.size(); ++q) {
+    EXPECT_LE(eval.workload_input.queries[q].processing_time,
+              base.workload_input.queries[q].processing_time);
+  }
+  EXPECT_LE(eval.processing_time, base.processing_time);
+}
+
+TEST_F(EvaluatorTest, MonotoneUnderSubsetGrowth) {
+  // Adding a view never increases processing time and never decreases
+  // storage-billed bytes.
+  SubsetEvaluation one = evaluator_->Evaluate({0}).MoveValue();
+  for (size_t extra = 1; extra < candidates_.size(); ++extra) {
+    SubsetEvaluation two = evaluator_->Evaluate({0, extra}).MoveValue();
+    EXPECT_LE(two.processing_time, one.processing_time);
+    EXPECT_GE(two.view_input.TotalSize(), one.view_input.TotalSize());
+    EXPECT_GE(two.cost.storage, one.cost.storage);
+  }
+}
+
+TEST_F(EvaluatorTest, TransferCostUnaffectedByViews) {
+  // Paper Section 4.1: views are created cloud-side.
+  std::vector<size_t> all(candidates_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  SubsetEvaluation eval = evaluator_->Evaluate(all).MoveValue();
+  EXPECT_EQ(eval.cost.transfer, evaluator_->baseline().cost.transfer);
+}
+
+TEST_F(EvaluatorTest, MakespanIsProcessingPlusMaterialization) {
+  SubsetEvaluation eval = evaluator_->Evaluate({0, 1}).MoveValue();
+  EXPECT_EQ(eval.makespan,
+            eval.processing_time +
+                eval.view_input.TotalMaterializationTime());
+}
+
+TEST_F(EvaluatorTest, StandaloneSavingMatchesSoloEvaluation) {
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    SubsetEvaluation solo = evaluator_->Evaluate({c}).MoveValue();
+    Duration saving = evaluator_->StandaloneProcessingSaving(c);
+    EXPECT_EQ(saving, evaluator_->baseline().processing_time -
+                          solo.processing_time)
+        << candidates_[c].name;
+  }
+}
+
+TEST_F(EvaluatorTest, StandaloneCostDeltaMatchesSoloEvaluation) {
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    Money delta = evaluator_->StandaloneCostDelta(c).MoveValue();
+    SubsetEvaluation solo = evaluator_->Evaluate({c}).MoveValue();
+    EXPECT_EQ(delta, solo.cost.total() -
+                         evaluator_->baseline().cost.total());
+  }
+}
+
+TEST_F(EvaluatorTest, BestViewWinsPerQuery) {
+  // Evaluate the full set and check each query's time equals the min
+  // over answering candidates (and the fact scan).
+  std::vector<size_t> all(candidates_.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  SubsetEvaluation eval = evaluator_->Evaluate(all).MoveValue();
+  for (size_t q = 0; q < workload_.size(); ++q) {
+    CuboidId target = workload_.query(q).target;
+    Duration best = simulator_->QueryTimeFromFact(target, cluster_);
+    for (const ViewCandidate& c : candidates_) {
+      if (lattice_->CanAnswer(c.view, target)) {
+        Duration t =
+            simulator_->QueryTimeFromView(c.view, target, cluster_);
+        if (t < best) best = t;
+      }
+    }
+    EXPECT_EQ(eval.workload_input.queries[q].processing_time, best);
+  }
+}
+
+TEST_F(EvaluatorTest, RejectsBadSubsets) {
+  EXPECT_TRUE(evaluator_->Evaluate({candidates_.size()})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      evaluator_->Evaluate({0, 0}).status().IsInvalidArgument());
+}
+
+TEST_F(EvaluatorTest, EmptyWorkloadRejected) {
+  auto result = SelectionEvaluator::Create(
+      *lattice_, Workload{}, *simulator_, cluster_, *cost_model_,
+      deployment_, candidates_);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,175 @@
+// ViewStore + QueryExecutor: planning picks the cheapest materialized
+// source, execution stays correct regardless of the route taken.
+
+#include "engine/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/aggregator.h"
+#include "engine/sales_generator.h"
+#include "engine/view_store.h"
+
+namespace cloudview {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    config.years = 2;
+    config.countries = 3;
+    config.regions_per_country = 2;
+    config.departments_per_region = 4;
+    config.sample_rows = 10'000;
+    config.logical_size = DataSize::FromMB(10);
+    dataset_ = std::make_unique<SalesDataset>(
+        GenerateSalesDataset(config).MoveValue());
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(dataset_->schema()).MoveValue());
+    views_ = std::make_unique<ViewStore>(*lattice_);
+    executor_ = std::make_unique<QueryExecutor>(*dataset_, *lattice_,
+                                                *views_);
+  }
+
+  CuboidId Node(const std::string& time, const std::string& geo) {
+    return lattice_->NodeByLevels({time, geo}).value();
+  }
+
+  void Materialize(CuboidId id) {
+    ASSERT_TRUE(
+        views_
+            ->Materialize(
+                AggregateFromBase(*dataset_, *lattice_, id).MoveValue())
+            .ok());
+  }
+
+  std::unique_ptr<SalesDataset> dataset_;
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<ViewStore> views_;
+  std::unique_ptr<QueryExecutor> executor_;
+};
+
+TEST_F(ExecutorTest, EmptyStoreScansFactTable) {
+  ExecutionPlan plan = executor_->Plan(Node("year", "country"));
+  EXPECT_FALSE(plan.from_view);
+  EXPECT_EQ(plan.input_bytes, lattice_->fact_scan_size());
+  EXPECT_EQ(plan.input_rows, dataset_->logical_rows());
+}
+
+TEST_F(ExecutorTest, PlanPrefersSmallestAnsweringView) {
+  Materialize(Node("month", "region"));
+  Materialize(Node("year", "region"));
+
+  // (year, country) is answerable by both; (year, region) is smaller.
+  ExecutionPlan plan = executor_->Plan(Node("year", "country"));
+  EXPECT_TRUE(plan.from_view);
+  EXPECT_EQ(plan.source, Node("year", "region"));
+
+  // (month, country): only (month, region) qualifies.
+  plan = executor_->Plan(Node("month", "country"));
+  EXPECT_TRUE(plan.from_view);
+  EXPECT_EQ(plan.source, Node("month", "region"));
+
+  // (day, country): no view is day-fine; fall back to the fact table.
+  plan = executor_->Plan(Node("day", "country"));
+  EXPECT_FALSE(plan.from_view);
+}
+
+TEST_F(ExecutorTest, ExecutionMatchesBaseWhateverTheRoute) {
+  Materialize(Node("month", "region"));
+  for (const char* time : {"month", "year", "ALL"}) {
+    for (const char* geo : {"region", "country", "ALL"}) {
+      CuboidId q = Node(time, geo);
+      CuboidTable via_plan = executor_->Execute(q).MoveValue();
+      CuboidTable direct =
+          AggregateFromBase(*dataset_, *lattice_, q).MoveValue();
+      EXPECT_TRUE(CuboidTablesEqual(via_plan, direct))
+          << lattice_->NameOf(q);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, ExecutePlanRejectsMissingView) {
+  ExecutionPlan plan;
+  plan.query = Node("year", "country");
+  plan.source = Node("month", "region");
+  plan.from_view = true;
+  EXPECT_TRUE(executor_->ExecutePlan(plan).status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, ViewStoreLifecycle) {
+  CuboidId id = Node("year", "region");
+  EXPECT_FALSE(views_->Contains(id));
+  EXPECT_EQ(views_->Find(id), nullptr);
+  EXPECT_TRUE(views_->empty());
+
+  Materialize(id);
+  EXPECT_TRUE(views_->Contains(id));
+  EXPECT_NE(views_->Find(id), nullptr);
+  EXPECT_EQ(views_->size(), 1u);
+  EXPECT_EQ(views_->MaterializedIds(), std::vector<CuboidId>{id});
+
+  // Double-materialization is flagged.
+  EXPECT_TRUE(views_
+                  ->Materialize(AggregateFromBase(*dataset_, *lattice_,
+                                                  id)
+                                    .MoveValue())
+                  .IsAlreadyExists());
+
+  EXPECT_TRUE(views_->Drop(id).ok());
+  EXPECT_FALSE(views_->Contains(id));
+  EXPECT_TRUE(views_->Drop(id).IsNotFound());
+}
+
+TEST_F(ExecutorTest, ViewStoreTotalLogicalSize) {
+  EXPECT_EQ(views_->TotalLogicalSize(), DataSize::Zero());
+  CuboidId a = Node("year", "region");
+  CuboidId b = Node("month", "ALL");
+  Materialize(a);
+  Materialize(b);
+  EXPECT_EQ(views_->TotalLogicalSize(),
+            lattice_->EstimateSize(a) + lattice_->EstimateSize(b));
+}
+
+TEST_F(ExecutorTest, BestSourceIgnoresNonAnsweringViews) {
+  Materialize(Node("year", "ALL"));
+  EXPECT_FALSE(views_->BestSource(Node("month", "country")).has_value());
+  EXPECT_TRUE(views_->BestSource(Node("ALL", "ALL")).has_value());
+}
+
+TEST_F(ExecutorTest, MaintainedViewKeepsAnswersCorrect) {
+  // Materialize, apply a delta batch incrementally, and check a query
+  // routed through the view equals recomputation over base + delta.
+  SalesConfig config;
+  config.years = 2;
+  config.countries = 3;
+  config.regions_per_country = 2;
+  config.departments_per_region = 4;
+  config.sample_rows = 10'000;
+  config.logical_size = DataSize::FromMB(10);
+  SalesDataset delta = GenerateSalesDelta(config, 1'000, 3).MoveValue();
+
+  CuboidId view_id = Node("month", "region");
+  Materialize(view_id);
+  CuboidTable* view = views_->FindMutable(view_id);
+  ASSERT_NE(view, nullptr);
+  CuboidTable delta_agg =
+      AggregateFromBase(delta, *lattice_, view_id).MoveValue();
+  ASSERT_TRUE(
+      MergeCuboidTables(dataset_->schema(), view, delta_agg).ok());
+
+  // Query (year, country) via the maintained view.
+  CuboidTable answer = executor_->Execute(Node("year", "country"))
+                           .MoveValue();
+  int64_t expected = 0;
+  for (uint64_t r = 0; r < dataset_->sample_rows(); ++r) {
+    expected += dataset_->measure_value(0, r);
+  }
+  for (uint64_t r = 0; r < delta.sample_rows(); ++r) {
+    expected += delta.measure_value(0, r);
+  }
+  EXPECT_EQ(answer.TotalAggregate(0), expected);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,140 @@
+// ExperimentRunner: the Section 6 reproduction must keep the paper's
+// qualitative shape (see EXPERIMENTS.md for the quantitative record).
+
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudview {
+namespace {
+
+class ExperimentsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new ExperimentRunner(
+        ExperimentRunner::Create(ExperimentConfig{}).MoveValue());
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+
+  static ExperimentRunner* runner_;
+};
+
+ExperimentRunner* ExperimentsTest::runner_ = nullptr;
+
+TEST_F(ExperimentsTest, MV1ViewsAlwaysWin) {
+  std::vector<MV1Row> rows = runner_->RunMV1().MoveValue();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const MV1Row& row : rows) {
+    EXPECT_TRUE(row.feasible) << row.num_queries;
+    EXPECT_GT(row.ip_rate, 0.0) << row.num_queries;
+    EXPECT_LT(row.time_with, row.time_without) << row.num_queries;
+    EXPECT_LE(row.cost_with, row.budget) << row.num_queries;
+    EXPECT_GT(row.views_selected, 0u) << row.num_queries;
+  }
+}
+
+TEST_F(ExperimentsTest, MV1RatesIncreaseWithWorkloadSize) {
+  // Paper Table 6: 25% -> 36% -> 60%.
+  std::vector<MV1Row> rows = runner_->RunMV1().MoveValue();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_LT(rows[0].ip_rate, rows[1].ip_rate);
+  EXPECT_LT(rows[1].ip_rate, rows[2].ip_rate);
+}
+
+TEST_F(ExperimentsTest, MV1RatesWithinPaperBand) {
+  // Shape tolerance: within 15 percentage points of the paper's rates.
+  std::vector<MV1Row> rows = runner_->RunMV1().MoveValue();
+  for (const MV1Row& row : rows) {
+    EXPECT_NEAR(row.ip_rate, row.paper_rate, 0.15) << row.num_queries;
+  }
+}
+
+TEST_F(ExperimentsTest, MV2ViewsBeatScaleUp) {
+  std::vector<MV2Row> rows = runner_->RunMV2().MoveValue();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const MV2Row& row : rows) {
+    EXPECT_TRUE(row.feasible) << row.num_queries;
+    EXPECT_LT(row.cost_with, row.cost_without) << row.num_queries;
+    EXPECT_LE(row.time_with, row.time_limit) << row.num_queries;
+    // The scale-up arm had to leave the small tier.
+    EXPECT_NE(row.scale_up_instance, "small") << row.num_queries;
+  }
+}
+
+TEST_F(ExperimentsTest, MV2RatesNearPaper75Percent) {
+  // Paper Table 7: 75%/72%/75% — a flat ~3/4 saving.
+  std::vector<MV2Row> rows = runner_->RunMV2().MoveValue();
+  for (const MV2Row& row : rows) {
+    EXPECT_NEAR(row.ic_rate, 0.75, 0.08) << row.num_queries;
+  }
+}
+
+TEST_F(ExperimentsTest, MV3ViewsAlwaysImproveTheBlend) {
+  for (double alpha : {0.3, 0.65, 0.7}) {
+    std::vector<MV3Row> rows = runner_->RunMV3(alpha).MoveValue();
+    ASSERT_EQ(rows.size(), 3u);
+    for (const MV3Row& row : rows) {
+      EXPECT_GT(row.rate, 0.0) << "alpha " << alpha;
+      EXPECT_LT(row.objective_with, 1.0) << "alpha " << alpha;
+      EXPECT_GT(row.views_selected, 0u) << "alpha " << alpha;
+    }
+  }
+}
+
+TEST_F(ExperimentsTest, MV3CostPriorityBeatsTimePriority) {
+  // Paper Table 8: every alpha=0.3 rate exceeds its alpha=0.7 rate.
+  std::vector<MV3Row> cost_priority = runner_->RunMV3(0.3).MoveValue();
+  std::vector<MV3Row> time_priority = runner_->RunMV3(0.7).MoveValue();
+  ASSERT_EQ(cost_priority.size(), time_priority.size());
+  for (size_t i = 0; i < cost_priority.size(); ++i) {
+    EXPECT_GT(cost_priority[i].rate, time_priority[i].rate)
+        << cost_priority[i].num_queries << " queries";
+  }
+}
+
+TEST_F(ExperimentsTest, MV3CostPriorityDropsToACheaperTier) {
+  // The "views vs CPU power" tradeoff: weighting cost makes the
+  // optimizer give up compute power.
+  std::vector<MV3Row> rows = runner_->RunMV3(0.3).MoveValue();
+  for (const MV3Row& row : rows) {
+    EXPECT_EQ(row.instance, "micro") << row.num_queries;
+  }
+}
+
+TEST_F(ExperimentsTest, PaperRatesAttachedToRows) {
+  std::vector<MV1Row> mv1 = runner_->RunMV1().MoveValue();
+  EXPECT_DOUBLE_EQ(mv1[0].paper_rate, 0.25);
+  EXPECT_DOUBLE_EQ(mv1[2].paper_rate, 0.60);
+  std::vector<MV2Row> mv2 = runner_->RunMV2().MoveValue();
+  EXPECT_DOUBLE_EQ(mv2[1].paper_rate, 0.72);
+  std::vector<MV3Row> mv3 = runner_->RunMV3(0.3).MoveValue();
+  EXPECT_DOUBLE_EQ(mv3[2].paper_rate, 0.68);
+}
+
+TEST(ExperimentConfigTest, ValidationCatchesMisalignedLimits) {
+  ExperimentConfig config;
+  config.budget_limits.pop_back();
+  EXPECT_TRUE(
+      ExperimentRunner::Create(config).status().IsInvalidArgument());
+
+  config = ExperimentConfig{};
+  config.workload_sizes.clear();
+  config.budget_limits.clear();
+  config.time_limits.clear();
+  EXPECT_TRUE(
+      ExperimentRunner::Create(config).status().IsInvalidArgument());
+}
+
+TEST(ExperimentConfigTest, OversizedWorkloadRejectedAtRun) {
+  ExperimentConfig config;
+  config.workload_sizes = {3, 5, 11};  // Paper workload has 10.
+  ExperimentRunner runner =
+      ExperimentRunner::Create(config).MoveValue();
+  EXPECT_TRUE(runner.RunMV1().status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cloudview

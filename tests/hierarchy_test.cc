@@ -1,0 +1,106 @@
+#include "engine/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/dimension.h"
+
+namespace cloudview {
+namespace {
+
+Dimension SmallDim() {
+  return Dimension::Create("Geo", {{"dept", 12}, {"region", 4},
+                                   {"country", 2}})
+      .MoveValue();
+}
+
+TEST(HierarchyMap, UniformBlocksRollUp) {
+  Dimension dim = SmallDim();
+  HierarchyMap map = HierarchyMap::Uniform(dim);
+  // 12 departments -> 4 regions: blocks of 3.
+  EXPECT_EQ(map.RollUp(0, 1), 0u);
+  EXPECT_EQ(map.RollUp(2, 1), 0u);
+  EXPECT_EQ(map.RollUp(3, 1), 1u);
+  EXPECT_EQ(map.RollUp(11, 1), 3u);
+  // 4 regions -> 2 countries -> ALL.
+  EXPECT_EQ(map.RollUp(11, 2), 1u);
+  EXPECT_EQ(map.RollUp(0, 3), 0u);
+  EXPECT_EQ(map.RollUp(11, 3), 0u);
+  // Level 0 is identity.
+  EXPECT_EQ(map.RollUp(7, 0), 7u);
+}
+
+TEST(HierarchyMap, RollUpFromIntermediateLevels) {
+  HierarchyMap map = HierarchyMap::Uniform(SmallDim());
+  // Region 3 -> country 1.
+  EXPECT_EQ(map.RollUpFrom(3, 1, 2), 1u);
+  // Country -> ALL.
+  EXPECT_EQ(map.RollUpFrom(1, 2, 3), 0u);
+  // Identity at any level.
+  EXPECT_EQ(map.RollUpFrom(2, 1, 1), 2u);
+}
+
+TEST(HierarchyMap, ChainedRollUpMatchesDirect) {
+  HierarchyMap map = HierarchyMap::Uniform(SmallDim());
+  for (uint32_t dept = 0; dept < 12; ++dept) {
+    uint32_t region = map.RollUp(dept, 1);
+    uint32_t country_direct = map.RollUp(dept, 2);
+    uint32_t country_chained = map.RollUpFrom(region, 1, 2);
+    EXPECT_EQ(country_direct, country_chained) << "dept " << dept;
+  }
+}
+
+TEST(HierarchyMap, CreateValidatesMapCount) {
+  Dimension dim = SmallDim();
+  auto r = HierarchyMap::Create(dim, {});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(HierarchyMap, CreateValidatesEntryCounts) {
+  Dimension dim = SmallDim();
+  // dept map must have 12 entries.
+  std::vector<std::vector<uint32_t>> maps = {
+      std::vector<uint32_t>(11, 0),  // Wrong size.
+      std::vector<uint32_t>(4, 0),
+      std::vector<uint32_t>(2, 0),
+  };
+  EXPECT_TRUE(
+      HierarchyMap::Create(dim, maps).status().IsInvalidArgument());
+}
+
+TEST(HierarchyMap, CreateValidatesParentRange) {
+  Dimension dim = SmallDim();
+  std::vector<std::vector<uint32_t>> maps = {
+      std::vector<uint32_t>(12, 5),  // Region id 5 out of range (4).
+      std::vector<uint32_t>(4, 0),
+      std::vector<uint32_t>(2, 0),
+  };
+  EXPECT_TRUE(
+      HierarchyMap::Create(dim, maps).status().IsInvalidArgument());
+}
+
+TEST(HierarchyMap, CustomNonUniformHierarchy) {
+  Dimension dim =
+      Dimension::Create("D", {{"leaf", 4}, {"top", 2}}).MoveValue();
+  // Leaves 0,3 -> top 1; leaves 1,2 -> top 0 (deliberately non-block).
+  auto map = HierarchyMap::Create(dim, {{1, 0, 0, 1}, {0, 0}});
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->RollUp(0, 1), 1u);
+  EXPECT_EQ(map->RollUp(1, 1), 0u);
+  EXPECT_EQ(map->RollUp(2, 1), 0u);
+  EXPECT_EQ(map->RollUp(3, 1), 1u);
+  EXPECT_EQ(map->RollUp(3, 2), 0u);  // ALL.
+}
+
+TEST(HierarchyMap, UniformExactWhenCardinalitiesDivide) {
+  // Every parent must receive card(l)/card(l+1) children exactly.
+  Dimension dim = SmallDim();
+  HierarchyMap map = HierarchyMap::Uniform(dim);
+  std::vector<int> region_counts(4, 0);
+  for (uint32_t dept = 0; dept < 12; ++dept) {
+    region_counts[map.RollUp(dept, 1)]++;
+  }
+  for (int c : region_counts) EXPECT_EQ(c, 3);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,196 @@
+// Knapsack DP: exact solutions against brute force (parameterized
+// property sweep), plus free-win and edge-case handling.
+
+#include "core/optimizer/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cloudview {
+namespace {
+
+// Brute-force reference for MaximizeValue.
+int64_t BruteForceMaxValue(const std::vector<KnapsackItem>& items,
+                           int64_t capacity) {
+  size_t n = items.size();
+  int64_t best = 0;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    int64_t w = 0;
+    int64_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        w += items[i].weight;
+        v += items[i].value;
+      }
+    }
+    if (w <= capacity && v > best) best = v;
+  }
+  return best;
+}
+
+// Brute-force reference for MinimizeWeightForValue. Returns -1 when
+// infeasible.
+int64_t BruteForceMinWeight(const std::vector<KnapsackItem>& items,
+                            int64_t target) {
+  size_t n = items.size();
+  int64_t best = -1;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    int64_t w = 0;
+    int64_t v = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) {
+        w += items[i].weight;
+        v += items[i].value;
+      }
+    }
+    if (v >= target && (best < 0 || w < best)) best = w;
+  }
+  return best;
+}
+
+TEST(Knapsack, EmptyItems) {
+  auto sol = MaximizeValue({}, 100);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->selected.empty());
+  EXPECT_EQ(sol->total_value, 0);
+}
+
+TEST(Knapsack, NegativeCapacityRejected) {
+  EXPECT_TRUE(MaximizeValue({{1, 1}}, -1).status().IsInvalidArgument());
+}
+
+TEST(Knapsack, ClassicInstance) {
+  // Weights 3,4,5 / values 4,5,6, capacity 7 -> take {3,4} for 9.
+  std::vector<KnapsackItem> items = {{3, 4}, {4, 5}, {5, 6}};
+  auto sol = MaximizeValue(items, 7);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->total_value, 9);
+  EXPECT_EQ(sol->selected, (std::vector<size_t>{0, 1}));
+}
+
+TEST(Knapsack, FreeWinsAlwaysTaken) {
+  // Zero/negative weights with positive value are taken even at zero
+  // capacity; negative weight enlarges capacity for others.
+  std::vector<KnapsackItem> items = {{0, 5}, {-10, 3}, {9, 7}, {1, -2}};
+  auto sol = MaximizeValue(items, 0);
+  ASSERT_TRUE(sol.ok());
+  // {0,1} free; item 2 fits thanks to item 1's negative weight.
+  EXPECT_EQ(sol->selected, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(sol->total_value, 15);
+}
+
+TEST(Knapsack, NonPositiveValuesNeverTaken) {
+  std::vector<KnapsackItem> items = {{1, 0}, {1, -5}, {-1, -1}};
+  auto sol = MaximizeValue(items, 100);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->selected.empty());
+}
+
+TEST(Knapsack, ExactTotalsRecomputed) {
+  std::vector<KnapsackItem> items = {{3, 4}, {4, 5}};
+  auto sol = MaximizeValue(items, 7);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->total_weight, 7);
+  EXPECT_EQ(sol->total_value, 9);
+}
+
+TEST(MinWeightKnapsack, ZeroTargetIsEmpty) {
+  auto sol = MinimizeWeightForValue({{5, 10}}, 0);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->selected.empty());
+}
+
+TEST(MinWeightKnapsack, InfeasibleTargetIsNotFound) {
+  auto sol = MinimizeWeightForValue({{1, 5}, {2, 5}}, 11);
+  EXPECT_TRUE(sol.status().IsNotFound());
+}
+
+TEST(MinWeightKnapsack, PicksCheapestCover) {
+  std::vector<KnapsackItem> items = {{10, 8}, {3, 5}, {4, 5}};
+  auto sol = MinimizeWeightForValue(items, 9);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->selected, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(sol->total_weight, 7);
+  EXPECT_GE(sol->total_value, 9);
+}
+
+TEST(MinWeightKnapsack, FreeItemsShrinkTarget) {
+  std::vector<KnapsackItem> items = {{0, 6}, {-2, 3}, {5, 10}};
+  auto sol = MinimizeWeightForValue(items, 9);
+  ASSERT_TRUE(sol.ok());
+  // Items 0 and 1 are free and already cover the target.
+  EXPECT_EQ(sol->selected, (std::vector<size_t>{0, 1}));
+}
+
+// --- Property sweep: DP exactness on random instances -----------------------
+class KnapsackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackPropertyTest, MaximizeValueMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 1 + rng.Uniform(12);
+    std::vector<KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.weight = rng.UniformInt(1, 50);
+      item.value = rng.UniformInt(1, 100);
+    }
+    int64_t capacity = rng.UniformInt(0, 120);
+    auto sol = MaximizeValue(items, capacity);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(sol->total_weight, capacity);
+    EXPECT_EQ(sol->total_value, BruteForceMaxValue(items, capacity))
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+TEST_P(KnapsackPropertyTest, MinimizeWeightMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 1 + rng.Uniform(12);
+    std::vector<KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.weight = rng.UniformInt(1, 50);
+      item.value = rng.UniformInt(1, 100);
+    }
+    int64_t target = rng.UniformInt(1, 300);
+    auto sol = MinimizeWeightForValue(items, target);
+    int64_t expected = BruteForceMinWeight(items, target);
+    if (expected < 0) {
+      EXPECT_TRUE(sol.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(sol.ok()) << sol.status();
+      EXPECT_GE(sol->total_value, target);
+      EXPECT_EQ(sol->total_weight, expected)
+          << "seed " << GetParam() << " round " << round;
+    }
+  }
+}
+
+TEST_P(KnapsackPropertyTest, BucketedDPStaysSoundUnderCoarseScaling) {
+  // With few buckets the DP may be suboptimal but must stay feasible.
+  Rng rng(GetParam() ^ 0xCAFE);
+  KnapsackOptions coarse;
+  coarse.max_buckets = 8;
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 1 + rng.Uniform(10);
+    std::vector<KnapsackItem> items(n);
+    for (auto& item : items) {
+      item.weight = rng.UniformInt(1, 1'000'000);
+      item.value = rng.UniformInt(1, 100);
+    }
+    int64_t capacity = rng.UniformInt(0, 3'000'000);
+    auto sol = MaximizeValue(items, capacity, coarse);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(sol->total_weight, capacity);  // Soundness, always.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,138 @@
+// Randomized lattice properties: for randomly shaped schemas (dimension
+// counts, level depths, cardinalities), the partial order, the id
+// encoding, the cardinality estimator and the key codec must hold their
+// invariants. Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include "catalog/key_codec.h"
+#include "catalog/lattice.h"
+#include "common/random.h"
+
+namespace cloudview {
+namespace {
+
+StarSchema RandomSchema(Rng& rng) {
+  size_t num_dims = 1 + rng.Uniform(4);  // 1..4 dimensions.
+  std::vector<Dimension> dims;
+  for (size_t d = 0; d < num_dims; ++d) {
+    size_t depth = 1 + rng.Uniform(3);  // 1..3 explicit levels.
+    std::vector<DimensionLevel> levels;
+    uint64_t card = 1 + rng.Uniform(5000);
+    for (size_t l = 0; l < depth; ++l) {
+      levels.push_back(
+          {"d" + std::to_string(d) + "_l" + std::to_string(l), card});
+      card = 1 + rng.Uniform(card);  // Coarser level: smaller or equal.
+    }
+    dims.push_back(
+        Dimension::Create("dim" + std::to_string(d), std::move(levels))
+            .MoveValue());
+  }
+  PhysicalStats stats;
+  stats.fact_rows = 1 + rng.Uniform(100'000'000);
+  return StarSchema::Create("fact", std::move(dims),
+                            {{"m", AggFn::kSum}}, stats)
+      .MoveValue();
+}
+
+class LatticePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatticePropertyTest, IdRoundTripAndOrderInvariants) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    CubeLattice lattice =
+        CubeLattice::Build(RandomSchema(rng)).MoveValue();
+    size_t n = lattice.num_nodes();
+    ASSERT_GE(n, 2u);
+
+    // Sample node pairs rather than enumerating n^2 for big lattices.
+    for (int probe = 0; probe < 200; ++probe) {
+      CuboidId a = static_cast<CuboidId>(rng.Uniform(n));
+      CuboidId b = static_cast<CuboidId>(rng.Uniform(n));
+
+      // Id round trip.
+      EXPECT_EQ(lattice.IdOf(lattice.CuboidOf(a)), a);
+
+      // Base answers everything; apex answers only itself.
+      EXPECT_TRUE(lattice.CanAnswer(lattice.base_id(), a));
+      if (a != lattice.apex_id()) {
+        EXPECT_FALSE(lattice.CanAnswer(lattice.apex_id(), a));
+      }
+
+      // Antisymmetry.
+      if (a != b) {
+        EXPECT_FALSE(lattice.CanAnswer(a, b) && lattice.CanAnswer(b, a));
+      }
+
+      // Estimator: monotone along answerability, bounded by facts.
+      if (lattice.CanAnswer(a, b)) {
+        EXPECT_GE(lattice.EstimateRows(a), lattice.EstimateRows(b));
+      }
+      EXPECT_LE(lattice.EstimateRows(a),
+                lattice.schema().stats().fact_rows);
+      EXPECT_GE(lattice.EstimateRows(a), 1u);
+    }
+
+    // Parents/children are inverse neighbour relations.
+    for (int probe = 0; probe < 20; ++probe) {
+      CuboidId id = static_cast<CuboidId>(rng.Uniform(n));
+      for (CuboidId parent : lattice.Parents(id)) {
+        auto children = lattice.Children(parent);
+        EXPECT_NE(std::find(children.begin(), children.end(), id),
+                  children.end());
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, KeyCodecRoundTripsRandomKeys) {
+  Rng rng(GetParam() ^ 0xC0DEC);
+  for (int round = 0; round < 10; ++round) {
+    StarSchema schema = RandomSchema(rng);
+    auto codec = KeyCodec::ForSchema(schema);
+    if (!codec.ok()) continue;  // >64-bit keys are validly rejected.
+    for (int probe = 0; probe < 100; ++probe) {
+      std::vector<uint32_t> key(schema.num_dimensions());
+      for (size_t d = 0; d < key.size(); ++d) {
+        key[d] = static_cast<uint32_t>(
+            rng.Uniform(schema.dimension(d).level(0).cardinality));
+      }
+      uint64_t packed = codec->Encode(key);
+      EXPECT_EQ(codec->Decode(packed), key);
+      for (size_t d = 0; d < key.size(); ++d) {
+        EXPECT_EQ(codec->DecodeDim(packed, d), key[d]);
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, EstimateSizeConsistentWithRows) {
+  Rng rng(GetParam() ^ 0x517E);
+  for (int round = 0; round < 10; ++round) {
+    CubeLattice lattice =
+        CubeLattice::Build(RandomSchema(rng)).MoveValue();
+    int64_t view_width = lattice.schema().stats().bytes_per_view_row;
+    for (int probe = 0; probe < 50; ++probe) {
+      CuboidId id =
+          static_cast<CuboidId>(rng.Uniform(lattice.num_nodes()));
+      EXPECT_EQ(lattice.EstimateSize(id).bytes(),
+                static_cast<int64_t>(lattice.EstimateRows(id)) *
+                    view_width);
+    }
+    // Every cuboid's aggregate is at most the raw fact scan when view
+    // rows are no wider than fact rows.
+    if (view_width <= lattice.schema().stats().bytes_per_fact_row) {
+      for (int probe = 0; probe < 20; ++probe) {
+        CuboidId id =
+            static_cast<CuboidId>(rng.Uniform(lattice.num_nodes()));
+        EXPECT_LE(lattice.EstimateSize(id), lattice.fact_scan_size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace cloudview

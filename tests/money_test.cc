@@ -1,0 +1,97 @@
+#include "common/money.h"
+
+#include <gtest/gtest.h>
+
+#include "common/data_size.h"
+
+namespace cloudview {
+namespace {
+
+TEST(Money, FactoriesAgree) {
+  EXPECT_EQ(Money::FromDollars(3), Money::FromCents(300));
+  EXPECT_EQ(Money::FromCents(12), Money::FromMicros(120'000));
+  EXPECT_EQ(Money::FromDollarsRounded(0.12), Money::FromCents(12));
+  EXPECT_EQ(Money::Zero(), Money::FromMicros(0));
+}
+
+TEST(Money, Arithmetic) {
+  Money a = Money::FromCents(150);
+  Money b = Money::FromCents(25);
+  EXPECT_EQ(a + b, Money::FromCents(175));
+  EXPECT_EQ(a - b, Money::FromCents(125));
+  EXPECT_EQ(b - a, Money::FromCents(-125));
+  EXPECT_EQ(-b, Money::FromCents(-25));
+  EXPECT_EQ(a * 4, Money::FromDollars(6));
+  EXPECT_EQ(4 * a, Money::FromDollars(6));
+
+  Money c = a;
+  c += b;
+  EXPECT_EQ(c, Money::FromCents(175));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Money, Comparisons) {
+  EXPECT_LT(Money::FromCents(99), Money::FromDollars(1));
+  EXPECT_GT(Money::Zero(), Money::FromCents(-1));
+  EXPECT_LE(Money::FromCents(100), Money::FromDollars(1));
+  EXPECT_TRUE(Money::FromCents(-5).is_negative());
+  EXPECT_FALSE(Money::Zero().is_negative());
+  EXPECT_TRUE(Money::Zero().is_zero());
+}
+
+TEST(Money, ScaleByExactRationals) {
+  // $0.14 per GB x 512 GB = $71.68.
+  Money rate = Money::FromMicros(140'000);
+  EXPECT_EQ(rate.ScaleBy(512, 1), Money::FromCents(7'168));
+  // Half of $0.25 rounds to 12.5 cents = 125000 micros exactly.
+  EXPECT_EQ(Money::FromCents(25).ScaleBy(1, 2), Money::FromMicros(125'000));
+}
+
+TEST(Money, ScaleByRoundsHalfAwayFromZero) {
+  // 1 micro x 1/2 -> 0.5 micro -> rounds away to 1.
+  EXPECT_EQ(Money::FromMicros(1).ScaleBy(1, 2), Money::FromMicros(1));
+  EXPECT_EQ(Money::FromMicros(-1).ScaleBy(1, 2), Money::FromMicros(-1));
+  EXPECT_EQ(Money::FromMicros(3).ScaleBy(1, 3), Money::FromMicros(1));
+  // Negative denominator behaves like negating the numerator.
+  EXPECT_EQ(Money::FromMicros(10).ScaleBy(1, -2), Money::FromMicros(-5));
+}
+
+TEST(Money, ScaleByLargeIntermediatesDoNotOverflow) {
+  // $1,000,000 scaled by TB-sized byte counts exercises the 128-bit path.
+  Money big = Money::FromDollars(1'000'000);
+  int64_t tb = DataSize::kBytesPerTB;
+  EXPECT_EQ(big.ScaleBy(tb, tb), big);
+  EXPECT_EQ(big.ScaleBy(tb / 2, tb), Money::FromDollars(500'000));
+}
+
+TEST(Money, MultipliedByDouble) {
+  EXPECT_EQ(Money::FromDollars(10).MultipliedBy(0.5),
+            Money::FromDollars(5));
+  EXPECT_EQ(Money::FromCents(10).MultipliedBy(0.0), Money::Zero());
+  EXPECT_EQ(Money::FromDollars(1).MultipliedBy(1e-6),
+            Money::FromMicros(1));
+}
+
+TEST(Money, ToStringCents) {
+  EXPECT_EQ(Money::FromCents(108).ToString(), "$1.08");
+  EXPECT_EQ(Money::FromDollars(12).ToString(), "$12.00");
+  EXPECT_EQ(Money::FromCents(-25).ToString(), "-$0.25");
+  EXPECT_EQ(Money::Zero().ToString(), "$0.00");
+  EXPECT_EQ(Money::FromCents(210'176).ToString(), "$2101.76");
+}
+
+TEST(Money, ToStringMicros) {
+  EXPECT_EQ(Money::FromMicros(1).ToString(), "$0.000001");
+  EXPECT_EQ(Money::FromMicros(1'080'000).ToString(), "$1.08");
+  EXPECT_EQ(Money::FromMicros(123'456).ToString(), "$0.123456");
+  EXPECT_EQ(Money::FromMicros(120'500).ToString(), "$0.1205");
+}
+
+TEST(Money, DollarsAccessorIsLossyButClose) {
+  EXPECT_DOUBLE_EQ(Money::FromCents(108).dollars(), 1.08);
+  EXPECT_DOUBLE_EQ(Money::FromMicros(-500).dollars(), -0.0005);
+}
+
+}  // namespace
+}  // namespace cloudview

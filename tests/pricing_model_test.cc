@@ -1,0 +1,203 @@
+// PricingModel, provider catalogs and the billing meter.
+
+#include "pricing/pricing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pricing/billing.h"
+#include "pricing/providers.h"
+
+namespace cloudview {
+namespace {
+
+TEST(PricingModel, CreateRequiresNameAndInstances) {
+  PricingModelOptions opts;
+  opts.instances.Add({.name = "x", .price_per_hour = Money::FromCents(1)});
+  EXPECT_TRUE(PricingModel::Create(opts).status().IsInvalidArgument());
+
+  PricingModelOptions no_instances;
+  no_instances.name = "empty";
+  EXPECT_TRUE(
+      PricingModel::Create(no_instances).status().IsInvalidArgument());
+}
+
+TEST(PricingModel, PaperTable2Instances) {
+  PricingModel aws = AwsPricing2012();
+  EXPECT_EQ(aws.instances().Find("micro")->price_per_hour,
+            Money::FromCents(3));
+  EXPECT_EQ(aws.instances().Find("small")->price_per_hour,
+            Money::FromCents(12));
+  EXPECT_EQ(aws.instances().Find("large")->price_per_hour,
+            Money::FromCents(48));
+  EXPECT_EQ(aws.instances().Find("xlarge")->price_per_hour,
+            Money::FromCents(96));
+  EXPECT_TRUE(aws.instances().Find("mega").status().IsNotFound());
+}
+
+TEST(PricingModel, PaperSmallInstanceShape) {
+  // "1.7 GB RAM, 1 EC2 Compute Unit, 160 GB of local storage".
+  InstanceType small = AwsPricing2012().instances().Find("small").value();
+  EXPECT_DOUBLE_EQ(small.compute_units, 1.0);
+  EXPECT_EQ(small.local_storage, DataSize::FromGB(160));
+}
+
+TEST(InstanceCatalog, CheapestWithUnits) {
+  InstanceCatalog catalog = AwsPricing2012().instances();
+  EXPECT_EQ(catalog.CheapestWithUnits(0.4)->name, "micro");
+  EXPECT_EQ(catalog.CheapestWithUnits(1.0)->name, "small");
+  EXPECT_EQ(catalog.CheapestWithUnits(1.5)->name, "large");
+  EXPECT_EQ(catalog.CheapestWithUnits(8.0)->name, "xlarge");
+  EXPECT_TRUE(catalog.CheapestWithUnits(100.0).status().IsNotFound());
+}
+
+TEST(PricingModel, ComputeCostGranularities) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  Duration busy = Duration::FromMinutes(61);
+
+  // Hour: 61 min -> 2 h -> $0.24.
+  EXPECT_EQ(aws.ComputeCost(small, busy), Money::FromCents(24));
+  // Minute: 61 min exactly -> 0.12 * 61/60.
+  PricingModel by_minute =
+      aws.WithComputeGranularity(BillingGranularity::kMinute);
+  EXPECT_EQ(by_minute.ComputeCost(small, busy),
+            Money::FromCents(12).ScaleBy(61, 60));
+  // Second: same value for a whole-minute duration.
+  PricingModel by_second =
+      aws.WithComputeGranularity(BillingGranularity::kSecond);
+  EXPECT_EQ(by_second.ComputeCost(small, busy),
+            Money::FromCents(12).ScaleBy(61, 60));
+}
+
+TEST(PricingModel, ComputeCostExactSkipsRounding) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  EXPECT_EQ(aws.ComputeCostExact(small, Duration::FromMinutes(30)),
+            Money::FromCents(6));
+  EXPECT_EQ(aws.ComputeCostExact(small, Duration::FromMinutes(30), 4),
+            Money::FromCents(24));
+}
+
+TEST(PricingModel, ComputeCostZeroDurationAndCount) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  EXPECT_EQ(aws.ComputeCost(small, Duration::Zero()), Money::Zero());
+  EXPECT_EQ(aws.ComputeCost(small, Duration::FromHours(5), 0),
+            Money::Zero());
+}
+
+TEST(RoundUpToGranularity, AllUnits) {
+  Duration d = Duration::FromMillis(61'001);  // 61.001 s
+  EXPECT_EQ(RoundUpToGranularity(d, BillingGranularity::kSecond),
+            Duration::FromSeconds(62));
+  EXPECT_EQ(RoundUpToGranularity(d, BillingGranularity::kMinute),
+            Duration::FromMinutes(2));
+  EXPECT_EQ(RoundUpToGranularity(d, BillingGranularity::kHour),
+            Duration::FromHours(1));
+  EXPECT_EQ(RoundUpToGranularity(Duration::Zero(),
+                                 BillingGranularity::kHour),
+            Duration::Zero());
+}
+
+TEST(PricingModel, StorageBillingModes) {
+  PricingModel flat_bracket = AwsPricing2012();
+  PricingModel marginal =
+      flat_bracket.WithStorageBilling(StorageBilling::kMarginalTiers);
+  DataSize v = DataSize::FromGB(2560);
+  EXPECT_EQ(flat_bracket.MonthlyStorageCost(v), Money::FromDollars(320));
+  EXPECT_GT(marginal.MonthlyStorageCost(v), Money::FromDollars(320));
+}
+
+TEST(PricingModel, StorageCostProRata) {
+  PricingModel aws = AwsPricing2012();
+  DataSize v = DataSize::FromGB(500);
+  EXPECT_EQ(aws.StorageCost(v, Months::FromMonths(12)),
+            Money::FromDollars(840));
+  EXPECT_EQ(aws.StorageCost(v, Months::FromMilli(500)),
+            Money::FromDollars(35));
+  EXPECT_EQ(aws.StorageCost(v, Months::Zero()), Money::Zero());
+}
+
+TEST(PricingModel, TransferInFreeOnAws) {
+  PricingModel aws = AwsPricing2012();
+  EXPECT_EQ(aws.TransferInCost(DataSize::FromTB(50)), Money::Zero());
+}
+
+TEST(Providers, IntroExampleCatalog) {
+  PricingModel intro = IntroExamplePricing();
+  EXPECT_EQ(intro.MonthlyStorageCost(DataSize::FromGB(500)),
+            Money::FromDollars(50));
+  EXPECT_EQ(intro.TransferOutCost(DataSize::FromTB(1)), Money::Zero());
+}
+
+TEST(Providers, BlueCloudChargesIngress) {
+  PricingModel blue = BlueCloudPricing();
+  EXPECT_GT(blue.TransferInCost(DataSize::FromGB(100)), Money::Zero());
+}
+
+TEST(Providers, GigaCloudBillsByMinute) {
+  PricingModel giga = GigaCloudPricing();
+  EXPECT_EQ(giga.compute_granularity(), BillingGranularity::kMinute);
+}
+
+TEST(Providers, AllProvidersWellFormed) {
+  for (const PricingModel& p : AllProviders()) {
+    EXPECT_FALSE(p.name().empty());
+    EXPECT_FALSE(p.instances().empty());
+    // Monthly storage for 1 GB must be priced (sanity: >= 0).
+    EXPECT_GE(p.MonthlyStorageCost(DataSize::FromGB(1)), Money::Zero());
+  }
+}
+
+// --- BillingMeter ------------------------------------------------------------
+TEST(BillingMeter, ItemizedInvoiceTotals) {
+  PricingModel aws = AwsPricing2012();
+  InstanceType small = aws.instances().Find("small").value();
+  BillingMeter meter(aws);
+
+  Money c1 = meter.RecordCompute("workload", small,
+                                 Duration::FromHours(50), 2);
+  Money s1 = meter.RecordStorage("dataset", DataSize::FromGB(500),
+                                 Months::FromMonths(1));
+  Money t1 = meter.RecordTransferOut("results", DataSize::FromGB(10));
+
+  EXPECT_EQ(c1, Money::FromDollars(12));
+  EXPECT_EQ(s1, Money::FromDollars(70));
+  EXPECT_EQ(t1, Money::FromMicros(1'080'000));
+
+  const Invoice& invoice = meter.invoice();
+  EXPECT_EQ(invoice.items.size(), 3u);
+  EXPECT_EQ(invoice.compute_total, c1);
+  EXPECT_EQ(invoice.storage_total, s1);
+  EXPECT_EQ(invoice.transfer_total, t1);
+  EXPECT_EQ(invoice.grand_total(), c1 + s1 + t1);
+}
+
+TEST(BillingMeter, TransferTiersApplyAcrossEvents) {
+  PricingModel aws = AwsPricing2012();
+  BillingMeter meter(aws);
+  // First GB free even when split across two events.
+  Money first = meter.RecordTransferOut("r1", DataSize::FromMB(512));
+  Money second = meter.RecordTransferOut("r2", DataSize::FromMB(512));
+  Money third = meter.RecordTransferOut("r3", DataSize::FromGB(1));
+  EXPECT_EQ(first, Money::Zero());
+  EXPECT_EQ(second, Money::Zero());
+  EXPECT_EQ(third, Money::FromMicros(120'000));
+  EXPECT_EQ(meter.transferred_out(), DataSize::FromGB(2));
+}
+
+TEST(BillingMeter, InvoicePrintContainsTotals) {
+  PricingModel aws = AwsPricing2012();
+  BillingMeter meter(aws);
+  meter.RecordStorage("data", DataSize::FromGB(500),
+                      Months::FromMonths(1));
+  std::ostringstream os;
+  meter.invoice().Print(os);
+  EXPECT_NE(os.str().find("$70.00"), std::string::npos);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudview

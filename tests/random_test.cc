@@ -1,0 +1,144 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cloudview {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean should be ~0.5 to within a loose tolerance.
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng fork = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == fork.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Rng rng(29);
+  ZipfDistribution dist(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[dist.Sample(rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(Zipf, SkewFavoursLowRanks) {
+  Rng rng(31);
+  ZipfDistribution dist(100, 1.0);
+  std::vector<int> counts(100, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[dist.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  // Rank 0 frequency ~ 1/H_100 ~ 0.192 for theta=1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.192, 0.03);
+}
+
+TEST(Zipf, SamplesAlwaysInDomain) {
+  Rng rng(37);
+  ZipfDistribution dist(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 5u);
+  }
+}
+
+TEST(Zipf, SingletonDomain) {
+  Rng rng(41);
+  ZipfDistribution dist(1, 0.7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cloudview

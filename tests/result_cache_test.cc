@@ -1,0 +1,120 @@
+#include "engine/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/aggregator.h"
+#include "engine/sales_generator.h"
+
+namespace cloudview {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    config.years = 2;
+    config.countries = 3;
+    config.regions_per_country = 2;
+    config.departments_per_region = 4;
+    config.sample_rows = 5'000;
+    config.logical_size = DataSize::FromMB(10);
+    dataset_ = std::make_unique<SalesDataset>(
+        GenerateSalesDataset(config).MoveValue());
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(dataset_->schema()).MoveValue());
+  }
+
+  CuboidId Node(const std::string& time, const std::string& geo) {
+    return lattice_->NodeByLevels({time, geo}).value();
+  }
+
+  CuboidTable Compute(CuboidId id) {
+    return AggregateFromBase(*dataset_, *lattice_, id).MoveValue();
+  }
+
+  std::unique_ptr<SalesDataset> dataset_;
+  std::unique_ptr<CubeLattice> lattice_;
+};
+
+TEST_F(ResultCacheTest, MissThenHit) {
+  ResultCache cache(*lattice_, DataSize::FromMB(10));
+  CuboidId q = Node("year", "country");
+  EXPECT_EQ(cache.Lookup(q), nullptr);
+  cache.Insert(Compute(q));
+  const CuboidTable* cached = cache.Lookup(q);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(CuboidTablesEqual(*cached, Compute(q)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+TEST_F(ResultCacheTest, LruEviction) {
+  // Capacity for roughly two of the three results (small config:
+  // a = 6 keys, b = 12 keys, c = 2 keys).
+  CuboidId a = Node("year", "country");
+  CuboidId b = Node("year", "region");
+  CuboidId c = Node("year", "ALL");
+  DataSize cap = lattice_->EstimateSize(a) + lattice_->EstimateSize(b) +
+                 DataSize::FromBytes(8);
+  ResultCache cache(*lattice_, cap);
+  cache.Insert(Compute(a));
+  cache.Insert(Compute(b));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch `a` so `b` becomes LRU, then insert `c`.
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  cache.Insert(Compute(c));
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);  // Evicted.
+  EXPECT_NE(cache.Lookup(c), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.used(), cache.capacity());
+}
+
+TEST_F(ResultCacheTest, OversizedResultsAreNotCached) {
+  ResultCache cache(*lattice_, DataSize::FromBytes(64));
+  CuboidId q = Node("month", "region");
+  cache.Insert(Compute(q));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(q), nullptr);
+}
+
+TEST_F(ResultCacheTest, ReinsertRefreshesEntry) {
+  ResultCache cache(*lattice_, DataSize::FromMB(10));
+  CuboidId q = Node("year", "ALL");
+  cache.Insert(Compute(q));
+  DataSize used = cache.used();
+  cache.Insert(Compute(q));  // Same id: replaces, not duplicates.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.used(), used);
+}
+
+TEST_F(ResultCacheTest, InvalidateDropsEverything) {
+  ResultCache cache(*lattice_, DataSize::FromMB(10));
+  cache.Insert(Compute(Node("year", "country")));
+  cache.Insert(Compute(Node("year", "ALL")));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used(), DataSize::Zero());
+  EXPECT_EQ(cache.Lookup(Node("year", "ALL")), nullptr);
+}
+
+TEST_F(ResultCacheTest, RepeatWorkloadHitRate) {
+  // A frequency-weighted workload re-asks the same cuboids; the cache
+  // turns repeats into hits — the cited self-tuned-caching effect.
+  ResultCache cache(*lattice_, DataSize::FromMB(10));
+  std::vector<CuboidId> queries = {
+      Node("year", "country"), Node("year", "country"),
+      Node("month", "region"), Node("year", "country"),
+      Node("month", "region")};
+  for (CuboidId q : queries) {
+    if (cache.Lookup(q) == nullptr) cache.Insert(Compute(q));
+  }
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,153 @@
+#include "engine/sales_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudview {
+namespace {
+
+SalesConfig SmallConfig() {
+  SalesConfig config;
+  config.years = 2;
+  config.countries = 3;
+  config.regions_per_country = 2;
+  config.departments_per_region = 4;
+  config.sample_rows = 5'000;
+  config.logical_size = DataSize::FromMB(10);
+  return config;
+}
+
+TEST(SalesConfig, DerivedCounts) {
+  SalesConfig config = SmallConfig();
+  EXPECT_EQ(config.num_days(), 2u * 12 * 30);
+  EXPECT_EQ(config.num_months(), 24u);
+  EXPECT_EQ(config.num_regions(), 6u);
+  EXPECT_EQ(config.num_departments(), 24u);
+  EXPECT_EQ(config.logical_rows(),
+            static_cast<uint64_t>(DataSize::FromMB(10).bytes() / 100));
+}
+
+TEST(SalesGenerator, DeterministicForSameSeed) {
+  SalesConfig config = SmallConfig();
+  SalesDataset a = GenerateSalesDataset(config).MoveValue();
+  SalesDataset b = GenerateSalesDataset(config).MoveValue();
+  ASSERT_EQ(a.sample_rows(), b.sample_rows());
+  for (uint64_t r = 0; r < a.sample_rows(); ++r) {
+    EXPECT_EQ(a.dim_value(0, r), b.dim_value(0, r));
+    EXPECT_EQ(a.dim_value(1, r), b.dim_value(1, r));
+    EXPECT_EQ(a.measure_value(0, r), b.measure_value(0, r));
+  }
+}
+
+TEST(SalesGenerator, DifferentSeedsDiffer) {
+  SalesConfig config = SmallConfig();
+  SalesDataset a = GenerateSalesDataset(config).MoveValue();
+  config.seed += 1;
+  SalesDataset b = GenerateSalesDataset(config).MoveValue();
+  uint64_t same = 0;
+  for (uint64_t r = 0; r < a.sample_rows(); ++r) {
+    if (a.dim_value(0, r) == b.dim_value(0, r) &&
+        a.measure_value(0, r) == b.measure_value(0, r)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, a.sample_rows() / 10);
+}
+
+TEST(SalesGenerator, IdsInRangeAndProfitsInBounds) {
+  SalesConfig config = SmallConfig();
+  SalesDataset data = GenerateSalesDataset(config).MoveValue();
+  for (uint64_t r = 0; r < data.sample_rows(); ++r) {
+    EXPECT_LT(data.dim_value(0, r), config.num_days());
+    EXPECT_LT(data.dim_value(1, r), config.num_departments());
+    EXPECT_GE(data.measure_value(0, r), config.min_profit_cents);
+    EXPECT_LE(data.measure_value(0, r), config.max_profit_cents);
+  }
+}
+
+TEST(SalesGenerator, ScaleFactorRelatesLogicalToSample) {
+  SalesConfig config = SmallConfig();
+  SalesDataset data = GenerateSalesDataset(config).MoveValue();
+  EXPECT_EQ(data.sample_rows(), config.sample_rows);
+  EXPECT_EQ(data.logical_rows(), config.logical_rows());
+  EXPECT_DOUBLE_EQ(
+      data.scale_factor(),
+      static_cast<double>(config.logical_rows()) / config.sample_rows);
+}
+
+TEST(SalesGenerator, RollUpsAreConsistentAcrossLevels) {
+  SalesConfig config = SmallConfig();
+  SalesDataset data = GenerateSalesDataset(config).MoveValue();
+  for (uint64_t r = 0; r < 100; ++r) {
+    // day -> month -> year chains.
+    uint32_t day = data.dim_value(0, r);
+    uint32_t month = data.dim_value_at_level(0, r, 1);
+    uint32_t year = data.dim_value_at_level(0, r, 2);
+    EXPECT_EQ(month / 12, year);
+    EXPECT_EQ(day / 30, month);
+    EXPECT_EQ(data.dim_value_at_level(0, r, 3), 0u);  // ALL.
+  }
+}
+
+TEST(SalesGenerator, SkewProducesHotDepartments) {
+  SalesConfig config = SmallConfig();
+  config.department_skew = 1.2;
+  config.sample_rows = 50'000;
+  SalesDataset data = GenerateSalesDataset(config).MoveValue();
+  std::vector<uint64_t> counts(config.num_departments(), 0);
+  for (uint64_t r = 0; r < data.sample_rows(); ++r) {
+    counts[data.dim_value(1, r)]++;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // With strong skew the hottest department dominates the coldest.
+  EXPECT_GT(counts.front(), counts.back() * 5);
+}
+
+TEST(SalesGenerator, RejectsBadConfigs) {
+  SalesConfig config = SmallConfig();
+  config.sample_rows = 0;
+  EXPECT_TRUE(
+      GenerateSalesDataset(config).status().IsInvalidArgument());
+
+  config = SmallConfig();
+  config.logical_size = DataSize::FromKB(1);  // Fewer logical than sample.
+  EXPECT_TRUE(
+      GenerateSalesDataset(config).status().IsInvalidArgument());
+
+  config = SmallConfig();
+  config.min_profit_cents = 100;
+  config.max_profit_cents = 1;
+  EXPECT_TRUE(
+      GenerateSalesDataset(config).status().IsInvalidArgument());
+
+  config = SmallConfig();
+  config.years = 0;
+  EXPECT_TRUE(GenerateSalesDataset(config).status().IsInvalidArgument());
+}
+
+TEST(SalesGenerator, DeltaSharesSchemaShape) {
+  SalesConfig config = SmallConfig();
+  SalesDataset base = GenerateSalesDataset(config).MoveValue();
+  SalesDataset delta =
+      GenerateSalesDelta(config, 500, /*delta_seed=*/99).MoveValue();
+  EXPECT_EQ(delta.sample_rows(), 500u);
+  EXPECT_EQ(delta.num_dimensions(), base.num_dimensions());
+  // Delta logical size scales with the base's scale factor.
+  EXPECT_NEAR(delta.logical_size().megabytes(),
+              500 * base.scale_factor() * 100 / (1024.0 * 1024.0), 0.01);
+}
+
+TEST(SalesGenerator, DeltaDiffersFromBase) {
+  SalesConfig config = SmallConfig();
+  SalesDataset base = GenerateSalesDataset(config).MoveValue();
+  SalesDataset delta =
+      GenerateSalesDelta(config, config.sample_rows, config.seed)
+          .MoveValue();
+  uint64_t same = 0;
+  for (uint64_t r = 0; r < base.sample_rows(); ++r) {
+    if (base.measure_value(0, r) == delta.measure_value(0, r)) ++same;
+  }
+  EXPECT_LT(same, base.sample_rows() / 10);
+}
+
+}  // namespace
+}  // namespace cloudview

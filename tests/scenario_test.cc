@@ -1,0 +1,165 @@
+// CloudScenario: the wired-up deployment facade.
+
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudview {
+namespace {
+
+ScenarioConfig SmallScenario() {
+  ScenarioConfig config;
+  config.sales.logical_size = DataSize::FromGB(10);
+  config.mapreduce.job_startup = Duration::FromSeconds(45);
+  config.mapreduce.map_throughput_per_unit =
+      DataSize::FromBytes(2'100 * 1024);
+  config.candidates.max_rows_fraction = 0.05;
+  config.single_compute_session = true;
+  return config;
+}
+
+TEST(CloudScenario, CreateWiresEverything) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  EXPECT_EQ(scenario.lattice().num_nodes(), 16u);
+  EXPECT_EQ(scenario.cluster().nodes, 5);
+  EXPECT_EQ(scenario.cluster().instance.name, "small");
+  EXPECT_EQ(scenario.pricing().name(), "aws-2012");
+}
+
+TEST(CloudScenario, CreateRejectsUnknownInstance) {
+  ScenarioConfig config = SmallScenario();
+  config.instance_name = "quantum";
+  EXPECT_TRUE(CloudScenario::Create(config).status().IsNotFound());
+}
+
+TEST(CloudScenario, CreateRejectsNonPositiveNodes) {
+  ScenarioConfig config = SmallScenario();
+  config.nb_instances = 0;
+  EXPECT_TRUE(
+      CloudScenario::Create(config).status().IsInvalidArgument());
+}
+
+TEST(CloudScenario, MoveKeepsInternalReferencesValid) {
+  // CloudScenario is heap-backed; moving it must not dangle the
+  // simulator -> lattice or cost-model -> pricing references.
+  CloudScenario a = CloudScenario::Create(SmallScenario()).MoveValue();
+  CloudScenario b = std::move(a);
+  Workload workload = b.PaperWorkload().MoveValue().Prefix(3);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+  EXPECT_TRUE(b.Run(workload, spec).ok());
+}
+
+TEST(CloudScenario, RunProducesConsistentBaseline) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(3);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV1BudgetLimit;
+  spec.budget_limit = Money::FromCents(80);
+  ScenarioRun run = scenario.Run(workload, spec).MoveValue();
+
+  EXPECT_TRUE(run.baseline.selected.empty());
+  EXPECT_GT(run.baseline.processing_time, Duration::Zero());
+  EXPECT_GT(run.baseline.cost.total(), Money::Zero());
+  // Views always help here (paper's headline conclusion).
+  EXPECT_GT(run.TimeImprovement(spec), 0.0);
+  EXPECT_LE(run.selection.evaluation.cost.total(), spec.budget_limit);
+}
+
+TEST(CloudScenario, ClusterOverrideChangesTiming) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(3);
+  ClusterSpec large{
+      scenario.pricing().instances().Find("large").value(), 5};
+  SubsetEvaluation small_eval =
+      scenario.EvaluateWithoutViews(workload, scenario.cluster())
+          .MoveValue();
+  SubsetEvaluation large_eval =
+      scenario.EvaluateWithoutViews(workload, large).MoveValue();
+  EXPECT_LT(large_eval.processing_time, small_eval.processing_time);
+  EXPECT_GT(large_eval.cost.processing, small_eval.cost.processing);
+}
+
+TEST(CloudScenario, CheapestClusterMeetingPicksMinimalTier) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(3);
+  SubsetEvaluation base =
+      scenario.EvaluateWithoutViews(workload, scenario.cluster())
+          .MoveValue();
+
+  // A generous limit is met by the cheapest tier that can do it.
+  auto generous = scenario.CheapestClusterMeeting(
+      workload, base.processing_time * 4);
+  ASSERT_TRUE(generous.ok());
+  EXPECT_EQ(generous->instance.name, "micro");
+
+  // A tight limit forces scale-up.
+  auto tight = scenario.CheapestClusterMeeting(
+      workload, Duration::FromHoursRounded(0.57));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ(tight->instance.name, "large");
+
+  // An impossible limit has no tier.
+  EXPECT_TRUE(scenario
+                  .CheapestClusterMeeting(workload,
+                                          Duration::FromSeconds(1))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CloudScenario, ProratedStorageScalesWithWorkload) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  Workload full = scenario.PaperWorkload().MoveValue();
+  DeploymentSpec three =
+      scenario.MakeDeployment(full.Prefix(3), scenario.cluster())
+          .MoveValue();
+  DeploymentSpec ten =
+      scenario.MakeDeployment(full, scenario.cluster()).MoveValue();
+  EXPECT_LT(three.storage_period, ten.storage_period);
+  EXPECT_GE(three.storage_period, Months::FromMilli(1));
+}
+
+TEST(CloudScenario, FixedStoragePeriodHonoured) {
+  ScenarioConfig config = SmallScenario();
+  config.prorate_storage = false;
+  config.storage_period = Months::FromMonths(3);
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(3);
+  DeploymentSpec deployment =
+      scenario.MakeDeployment(workload, scenario.cluster()).MoveValue();
+  EXPECT_EQ(deployment.storage_period, Months::FromMonths(3));
+}
+
+TEST(CloudScenario, RunRejectsEmptyWorkload) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  ObjectiveSpec spec;
+  EXPECT_TRUE(scenario.Run(Workload{}, spec).status()
+                  .IsInvalidArgument());
+}
+
+TEST(ScenarioRun, ImprovementAccessors) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallScenario()).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(5);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+  ScenarioRun run = scenario.Run(workload, spec).MoveValue();
+  double ti = run.TimeImprovement(spec);
+  double ci = run.CostImprovement();
+  EXPECT_GE(ti, 0.0);
+  EXPECT_LE(ti, 1.0);
+  EXPECT_LE(ci, 1.0);
+  // MV3 never picks something worse than baseline on the blend.
+  EXPECT_GE(spec.alpha * ti + (1 - spec.alpha) * ci, -1e-9);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,99 @@
+// Cross-layer consistency: the lattice's cardinality estimates (which
+// drive the timing and cost models) against the engine's *actual*
+// aggregate sizes on sampled data. The simulation is only trustworthy
+// if these agree in the regimes the experiments exercise.
+
+#include <gtest/gtest.h>
+
+#include "engine/aggregator.h"
+#include "engine/executor.h"
+#include "engine/sales_generator.h"
+#include "engine/view_store.h"
+
+namespace cloudview {
+namespace {
+
+class SimVsActualTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    // Logical rows == sample rows: estimates and actuals are directly
+    // comparable (no sampling distortion).
+    config.years = 3;
+    config.countries = 5;
+    config.regions_per_country = 3;
+    config.departments_per_region = 4;
+    config.sample_rows = 250'000;
+    config.logical_size = DataSize::FromBytes(250'000 * 100);
+    dataset_ = std::make_unique<SalesDataset>(
+        GenerateSalesDataset(config).MoveValue());
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(dataset_->schema()).MoveValue());
+  }
+
+  std::unique_ptr<SalesDataset> dataset_;
+  std::unique_ptr<CubeLattice> lattice_;
+};
+
+TEST_F(SimVsActualTest, CardenasEstimatesTrackActualGroupCounts) {
+  // For every cuboid, the Cardenas estimate must be within a modest
+  // factor of the actual distinct-group count. Zipf skew makes actual
+  // counts fall below the uniform-assumption estimate; a factor-2 band
+  // plus agreement in saturated regimes is the useful guarantee.
+  for (CuboidId id = 0; id < lattice_->num_nodes(); ++id) {
+    uint64_t actual =
+        AggregateFromBase(*dataset_, *lattice_, id).MoveValue().num_rows();
+    uint64_t estimate = lattice_->EstimateRows(id);
+    EXPECT_LE(actual, estimate * 2) << lattice_->NameOf(id);
+    EXPECT_GE(actual * 4, estimate) << lattice_->NameOf(id);
+  }
+}
+
+TEST_F(SimVsActualTest, SaturatedCuboidsMatchExactly) {
+  // Small key spaces saturate: every key occupied, estimate == actual.
+  for (const auto& levels :
+       {std::vector<std::string>{"year", "ALL"},
+        std::vector<std::string>{"year", "country"},
+        std::vector<std::string>{"ALL", "region"},
+        std::vector<std::string>{"month", "country"}}) {
+    CuboidId id = lattice_->NodeByLevels(levels).value();
+    uint64_t actual =
+        AggregateFromBase(*dataset_, *lattice_, id).MoveValue().num_rows();
+    EXPECT_EQ(actual, lattice_->EstimateRows(id))
+        << lattice_->NameOf(id);
+  }
+}
+
+TEST_F(SimVsActualTest, PlanEstimatesBoundActualResultRows) {
+  ViewStore store(*lattice_);
+  QueryExecutor executor(*dataset_, *lattice_, store);
+  for (CuboidId id = 0; id < lattice_->num_nodes(); ++id) {
+    ExecutionPlan plan = executor.Plan(id);
+    uint64_t actual = executor.Execute(id).MoveValue().num_rows();
+    EXPECT_LE(actual, plan.result_rows * 2) << lattice_->NameOf(id);
+    EXPECT_GE(actual, 1u);
+  }
+}
+
+TEST_F(SimVsActualTest, ViewRoutingNeverReadsMoreRowsThanFactScan) {
+  ViewStore store(*lattice_);
+  CuboidId view_id =
+      lattice_->NodeByLevels({"month", "region"}).value();
+  ASSERT_TRUE(store
+                  .Materialize(AggregateFromBase(*dataset_, *lattice_,
+                                                 view_id)
+                                   .MoveValue())
+                  .ok());
+  QueryExecutor executor(*dataset_, *lattice_, store);
+  for (CuboidId id = 0; id < lattice_->num_nodes(); ++id) {
+    ExecutionPlan plan = executor.Plan(id);
+    EXPECT_LE(plan.input_rows, dataset_->logical_rows())
+        << lattice_->NameOf(id);
+    if (plan.from_view) {
+      EXPECT_LT(plan.input_bytes, lattice_->fact_scan_size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cloudview {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad tier");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad tier");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tier");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  CV_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = ParsePositive(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(Result, MoveValue) {
+  Result<std::string> r = std::string("materialized");
+  ASSERT_TRUE(r.ok());
+  std::string moved = r.MoveValue();
+  EXPECT_EQ(moved, "materialized");
+}
+
+Result<int> Doubled(int x) {
+  CV_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Doubled(0);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace cloudview

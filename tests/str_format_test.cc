@@ -1,0 +1,130 @@
+#include "common/str_format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace cloudview {
+namespace {
+
+TEST(StrFormat, Basic) {
+  EXPECT_EQ(StrFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormat, LongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"", ""}, "-"), "-");
+}
+
+TEST(Split, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(Pad, Basic) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");  // No truncation.
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("cloudview", "cloud"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(StartsWith("cloud", "cloudview"));
+}
+
+TEST(FormatTrimmed, Basic) {
+  EXPECT_EQ(FormatTrimmed(1.5, 2), "1.5");
+  EXPECT_EQ(FormatTrimmed(1.0, 2), "1");
+  EXPECT_EQ(FormatTrimmed(1.25, 2), "1.25");
+  EXPECT_EQ(FormatTrimmed(0.1 + 0.2, 1), "0.3");
+}
+
+TEST(FormatPercent, Basic) {
+  EXPECT_EQ(FormatPercent(0.254), "25.4%");
+  EXPECT_EQ(FormatPercent(0.6, 0), "60%");
+  EXPECT_EQ(FormatPercent(1.0, 1), "100.0%");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "10000"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  // Headers present, every line of the body is equally wide.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("10000"), std::string::npos);
+  std::vector<std::string> lines = Split(out, '\n');
+  size_t width = lines[0].size();
+  for (const std::string& line : lines) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), width);
+    }
+  }
+}
+
+TEST(TablePrinter, NumericCellsRightAligned) {
+  TablePrinter table({"h"});
+  table.AddRow({"9"});
+  table.AddRow({"text"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("|    9 |"), std::string::npos);
+  EXPECT_NE(out.find("| text |"), std::string::npos);
+}
+
+TEST(TablePrinter, TitlePrinted) {
+  TablePrinter table({"a"});
+  table.SetTitle("Table 6");
+  table.AddRow({"1"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str().rfind("Table 6", 0), 0u);
+}
+
+TEST(TablePrinter, CsvEscaping) {
+  TablePrinter table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,123 @@
+// DataSize, Duration and Months: conversions, billing round-up, and the
+// paper's binary GB/TB convention.
+
+#include <gtest/gtest.h>
+
+#include "common/data_size.h"
+#include "common/duration.h"
+#include "common/months.h"
+
+namespace cloudview {
+namespace {
+
+TEST(DataSize, BinaryConvention) {
+  // The paper: 0.5 TB = 512 GB, 2 TB = 2048 GB.
+  EXPECT_EQ(DataSize::FromTB(2), DataSize::FromGB(2048));
+  EXPECT_EQ(DataSize::FromGB(1), DataSize::FromMB(1024));
+  EXPECT_EQ(DataSize::FromMB(1), DataSize::FromKB(1024));
+  EXPECT_EQ(DataSize::FromKB(1), DataSize::FromBytes(1024));
+}
+
+TEST(DataSize, Accessors) {
+  DataSize half_tb = DataSize::FromGB(512);
+  EXPECT_DOUBLE_EQ(half_tb.terabytes(), 0.5);
+  EXPECT_DOUBLE_EQ(half_tb.gigabytes(), 512.0);
+  EXPECT_EQ(half_tb.bytes(), 512ll * 1024 * 1024 * 1024);
+}
+
+TEST(DataSize, Arithmetic) {
+  EXPECT_EQ(DataSize::FromGB(500) + DataSize::FromGB(50),
+            DataSize::FromGB(550));
+  EXPECT_EQ(DataSize::FromGB(10) - DataSize::FromGB(1),
+            DataSize::FromGB(9));
+  EXPECT_EQ(DataSize::FromGB(1) - DataSize::FromGB(2),
+            DataSize::FromGB(-1));
+  EXPECT_TRUE((DataSize::FromGB(1) - DataSize::FromGB(2)).is_negative());
+  EXPECT_EQ(DataSize::FromGB(3) * 4, DataSize::FromGB(12));
+}
+
+TEST(DataSize, FromGBRounded) {
+  EXPECT_EQ(DataSize::FromGBRounded(0.5), DataSize::FromMB(512));
+  EXPECT_EQ(DataSize::FromGBRounded(10.0), DataSize::FromGB(10));
+}
+
+TEST(DataSize, ToString) {
+  EXPECT_EQ(DataSize::FromGB(512).ToString(), "512 GB");
+  EXPECT_EQ(DataSize::FromGB(1536).ToString(), "1.5 TB");
+  EXPECT_EQ(DataSize::FromMB(64).ToString(), "64 MB");
+  EXPECT_EQ(DataSize::FromBytes(100).ToString(), "100 B");
+  EXPECT_EQ((DataSize::Zero() - DataSize::FromGB(1)).ToString(), "-1 GB");
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_EQ(Duration::FromHours(1), Duration::FromMinutes(60));
+  EXPECT_EQ(Duration::FromMinutes(1), Duration::FromSeconds(60));
+  EXPECT_EQ(Duration::FromSeconds(1), Duration::FromMillis(1000));
+  EXPECT_DOUBLE_EQ(Duration::FromMinutes(12).hours(), 0.2);
+}
+
+TEST(Duration, FromHoursRoundedIsExactForPaperValues) {
+  // 0.2 h = 720 s, the paper's Q1 processing time.
+  EXPECT_EQ(Duration::FromHoursRounded(0.2), Duration::FromSeconds(720));
+  EXPECT_EQ(Duration::FromHoursRounded(0.57),
+            Duration::FromMillis(2052 * 1000));
+}
+
+TEST(Duration, BillableHours) {
+  EXPECT_EQ(Duration::FromHours(50).BillableHours(), 50);
+  EXPECT_EQ((Duration::FromHours(50) + Duration::FromMillis(1))
+                .BillableHours(),
+            51);
+  EXPECT_EQ(Duration::Zero().BillableHours(), 0);
+  EXPECT_EQ(Duration::FromMillis(1).BillableHours(), 1);
+  EXPECT_EQ(Duration::FromHoursRounded(49.2).BillableHours(), 50);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::FromHours(2) + Duration::FromMinutes(30),
+            Duration::FromMinutes(150));
+  EXPECT_EQ(Duration::FromHours(1) - Duration::FromMinutes(90),
+            Duration::FromMinutes(-30));
+  EXPECT_EQ(Duration::FromMinutes(5) * 12, Duration::FromHours(1));
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::FromHours(50).ToString(), "50 h");
+  EXPECT_EQ(Duration::FromMinutes(12).ToString(), "12.0 min");
+  EXPECT_EQ(Duration::FromMinutes(72).ToString(), "1.200 h");
+  EXPECT_EQ(Duration::FromSeconds(72).ToString(), "1.2 min");
+  EXPECT_EQ(Duration::FromMillis(1500).ToString(), "1.5 s");
+  EXPECT_EQ(Duration::FromMillis(150).ToString(), "150 ms");
+}
+
+TEST(Months, Factories) {
+  EXPECT_EQ(Months::FromMonths(1), Months::FromMilli(1000));
+  EXPECT_EQ(Months::FromMonthsRounded(0.5), Months::FromMilli(500));
+  EXPECT_DOUBLE_EQ(Months::FromMonths(12).count(), 12.0);
+}
+
+TEST(Months, FromDurationUses730HourConvention) {
+  EXPECT_EQ(Months::FromDuration(Duration::FromHours(730)),
+            Months::FromMonths(1));
+  EXPECT_EQ(Months::FromDuration(Duration::FromHours(365)),
+            Months::FromMilli(500));
+  // Sub-milli-month sessions round to nearest.
+  EXPECT_EQ(Months::FromDuration(Duration::Zero()), Months::Zero());
+}
+
+TEST(Months, ArithmeticAndComparison) {
+  EXPECT_EQ(Months::FromMonths(7) + Months::FromMonths(5),
+            Months::FromMonths(12));
+  EXPECT_EQ(Months::FromMonths(12) - Months::FromMonths(7),
+            Months::FromMonths(5));
+  EXPECT_LT(Months::FromMilli(999), Months::FromMonths(1));
+  EXPECT_TRUE((Months::Zero() - Months::FromMilli(1)).is_negative());
+}
+
+TEST(Months, ToString) {
+  EXPECT_EQ(Months::FromMonths(12).ToString(), "12 mo");
+  EXPECT_EQ(Months::FromMilli(1500).ToString(), "1.500 mo");
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,148 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/sales_generator.h"
+#include "workload/generator.h"
+
+namespace cloudview {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesConfig config;
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(config).value()).MoveValue());
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+};
+
+TEST_F(WorkloadTest, PaperWorkloadHasTenQueries) {
+  Workload w = MakePaperWorkload(*lattice_).MoveValue();
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(w.TotalFrequency(), 10u);
+
+  // All targets distinct.
+  std::set<CuboidId> targets;
+  for (const QuerySpec& q : w.queries()) targets.insert(q.target);
+  EXPECT_EQ(targets.size(), 10u);
+}
+
+TEST_F(WorkloadTest, PaperWorkloadCoversTheThreeByThreeGrid) {
+  Workload w = MakePaperWorkload(*lattice_).MoveValue();
+  std::set<CuboidId> targets;
+  for (const QuerySpec& q : w.queries()) targets.insert(q.target);
+  for (const char* time : {"day", "month", "year"}) {
+    for (const char* geo : {"department", "region", "country"}) {
+      CuboidId id = lattice_->NodeByLevels({time, geo}).value();
+      EXPECT_TRUE(targets.count(id)) << time << "/" << geo;
+    }
+  }
+  // Plus the tenth: total profit per year.
+  EXPECT_TRUE(
+      targets.count(lattice_->NodeByLevels({"year", "ALL"}).value()));
+}
+
+TEST_F(WorkloadTest, FirstQueryIsThePaperQ1) {
+  // Q1 = "sales per year and country" (paper Section 2.1).
+  Workload w = MakePaperWorkload(*lattice_).MoveValue();
+  EXPECT_EQ(w.query(0).target,
+            lattice_->NodeByLevels({"year", "country"}).value());
+}
+
+TEST_F(WorkloadTest, PrefixKeepsOrder) {
+  Workload w = MakePaperWorkload(*lattice_).MoveValue();
+  Workload three = w.Prefix(3);
+  ASSERT_EQ(three.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(three.query(i).target, w.query(i).target);
+  }
+  EXPECT_EQ(w.Prefix(0).size(), 0u);
+  EXPECT_TRUE(w.Prefix(0).empty());
+}
+
+TEST_F(WorkloadTest, GeneratorIsDeterministic) {
+  WorkloadGenOptions options;
+  options.num_queries = 8;
+  options.seed = 123;
+  Workload a = GenerateWorkload(*lattice_, options).MoveValue();
+  Workload b = GenerateWorkload(*lattice_, options).MoveValue();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.query(i).target, b.query(i).target);
+    EXPECT_EQ(a.query(i).frequency, b.query(i).frequency);
+  }
+}
+
+TEST_F(WorkloadTest, GeneratorRespectsFrequencyRange) {
+  WorkloadGenOptions options;
+  options.num_queries = 30;
+  options.min_frequency = 2;
+  options.max_frequency = 9;
+  Workload w = GenerateWorkload(*lattice_, options).MoveValue();
+  for (const QuerySpec& q : w.queries()) {
+    EXPECT_GE(q.frequency, 2u);
+    EXPECT_LE(q.frequency, 9u);
+  }
+  EXPECT_GE(w.TotalFrequency(), 60u);
+}
+
+TEST_F(WorkloadTest, GeneratorNoDuplicatesMode) {
+  WorkloadGenOptions options;
+  options.num_queries = 12;
+  options.allow_duplicates = false;
+  Workload w = GenerateWorkload(*lattice_, options).MoveValue();
+  std::set<CuboidId> targets;
+  for (const QuerySpec& q : w.queries()) targets.insert(q.target);
+  EXPECT_EQ(targets.size(), w.size());
+}
+
+TEST_F(WorkloadTest, GeneratorExcludeBase) {
+  WorkloadGenOptions options;
+  options.num_queries = 15;
+  options.exclude_base = true;
+  options.allow_duplicates = false;
+  Workload w = GenerateWorkload(*lattice_, options).MoveValue();
+  for (const QuerySpec& q : w.queries()) {
+    EXPECT_NE(q.target, lattice_->base_id());
+  }
+}
+
+TEST_F(WorkloadTest, GeneratorValidation) {
+  WorkloadGenOptions bad;
+  bad.num_queries = 0;
+  EXPECT_TRUE(
+      GenerateWorkload(*lattice_, bad).status().IsInvalidArgument());
+
+  bad = WorkloadGenOptions{};
+  bad.min_frequency = 5;
+  bad.max_frequency = 2;
+  EXPECT_TRUE(
+      GenerateWorkload(*lattice_, bad).status().IsInvalidArgument());
+
+  bad = WorkloadGenOptions{};
+  bad.num_queries = 100;  // More than 16 distinct cuboids exist.
+  bad.allow_duplicates = false;
+  EXPECT_TRUE(
+      GenerateWorkload(*lattice_, bad).status().IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, SkewFavoursCoarseCuboids) {
+  WorkloadGenOptions options;
+  options.num_queries = 300;
+  options.cuboid_skew = 1.5;
+  Workload w = GenerateWorkload(*lattice_, options).MoveValue();
+  uint64_t coarse_hits = 0;
+  for (const QuerySpec& q : w.queries()) {
+    if (lattice_->EstimateRows(q.target) <= 300) ++coarse_hits;
+  }
+  // Most samples land on the coarse (small) end of the lattice.
+  EXPECT_GT(coarse_hits, w.size() / 2);
+}
+
+}  // namespace
+}  // namespace cloudview
