@@ -58,6 +58,12 @@ void PrintSpeedupTable() {
                   StrFormat("%.0f s", from_view.seconds()),
                   StrFormat("%.1fx", from_fact.seconds() /
                                          from_view.seconds())});
+    bench::JsonLine("engine")
+        .Str("cuboid", lattice.NameOf(q))
+        .Num("from_fact_s", from_fact.seconds())
+        .Num("from_view_s", from_view.seconds())
+        .Num("speedup", from_fact.seconds() / from_view.seconds())
+        .Emit();
   }
   table.Print(std::cout);
   std::cout << "\n";

@@ -115,13 +115,13 @@ void PrintSolverQualityTable() {
     };
 
     ScenarioRun exact = Unwrap(
-        scenario.Run(workload, spec, SolverKind::kExhaustive), "exact");
+        scenario.Run(workload, spec, "exhaustive"), "exact");
     ScenarioRun dp = Unwrap(
-        scenario.Run(workload, spec, SolverKind::kKnapsackDP), "dp");
+        scenario.Run(workload, spec, "knapsack-dp"), "dp");
     ScenarioRun greedy = Unwrap(
-        scenario.Run(workload, spec, SolverKind::kGreedy), "greedy");
+        scenario.Run(workload, spec, "greedy"), "greedy");
     ScenarioRun annealed = Unwrap(
-        scenario.Run(workload, spec, SolverKind::kAnnealing), "anneal");
+        scenario.Run(workload, spec, "annealing"), "anneal");
 
     double best = objective(exact);
     auto gap = [&](const ScenarioRun& run) {

@@ -1,0 +1,346 @@
+// Solver-strategy comparison: every registered solver on shared
+// workloads — wall time per solve, objective gap vs the exhaustive
+// ground truth, and subsets scored per second — plus the ablation the
+// incremental evaluation layer exists for: the same local search run
+// with incremental SubsetState probes vs full Evaluate() rebuilds on a
+// 20-candidate SSB instance. Rows are emitted in the bench_util.h
+// BENCH_JSON format for the perf trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/experiments.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/solver.h"
+#include "engine/sales_generator.h"
+#include "pricing/providers.h"
+#include "workload/ssb.h"
+#include "workload/workload.h"
+
+using namespace cloudview;
+using bench::Hours;
+using bench::JsonLine;
+using bench::Pct;
+using bench::Unwrap;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One self-owning evaluation substrate (the evaluator borrows the
+// lattice, simulator and cost model, so they live here together).
+struct Instance {
+  std::unique_ptr<CubeLattice> lattice;
+  std::unique_ptr<MapReduceSimulator> simulator;
+  std::unique_ptr<PricingModel> pricing;
+  std::unique_ptr<CloudCostModel> cost_model;
+  ClusterSpec cluster;
+  Workload workload;
+  DeploymentSpec deployment;
+  std::unique_ptr<SelectionEvaluator> evaluator;
+};
+
+// The paper's sales cube, sized so exhaustive stays the ground truth.
+Instance MakeSalesInstance(size_t workload_size, size_t max_candidates) {
+  Instance inst;
+  SalesConfig config;
+  config.logical_size = DataSize::FromGB(10);
+  inst.lattice = std::make_unique<CubeLattice>(
+      Unwrap(CubeLattice::Build(Unwrap(MakeSalesSchema(config), "schema")),
+             "lattice"));
+  MapReduceParams params;
+  params.job_startup = Duration::FromSeconds(45);
+  params.map_throughput_per_unit = DataSize::FromBytes(2'100 * 1024);
+  inst.simulator =
+      std::make_unique<MapReduceSimulator>(*inst.lattice, params);
+  inst.pricing = std::make_unique<PricingModel>(
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond));
+  inst.cost_model = std::make_unique<CloudCostModel>(*inst.pricing);
+  inst.cluster =
+      ClusterSpec{Unwrap(inst.pricing->instances().Find("small"), "type"),
+                  5};
+  inst.workload = Unwrap(MakePaperWorkload(*inst.lattice), "workload")
+                      .Prefix(workload_size);
+
+  inst.deployment.instance = inst.cluster.instance;
+  inst.deployment.nb_instances = inst.cluster.nodes;
+  inst.deployment.storage_period = Months::FromMilli(4);
+  inst.deployment.base_storage =
+      StorageTimeline(inst.lattice->fact_scan_size());
+  inst.deployment.maintenance_cycles = 0;
+
+  CandidateGenOptions options;
+  options.max_candidates = max_candidates;
+  options.max_rows_fraction = 0.05;
+  inst.evaluator = std::make_unique<SelectionEvaluator>(Unwrap(
+      SelectionEvaluator::Create(
+          *inst.lattice, inst.workload, *inst.simulator, inst.cluster,
+          *inst.cost_model, inst.deployment,
+          Unwrap(GenerateCandidates(*inst.lattice, inst.workload,
+                                    *inst.simulator, inst.cluster,
+                                    options),
+                 "candidates")),
+      "evaluator"));
+  return inst;
+}
+
+// The 4-dimensional SSB cube with a dashboard-style query mix (every
+// SSB query shape recurring at several frequencies): the larger
+// instance the incremental-evaluation ablation runs on.
+Instance MakeSsbInstance(size_t max_candidates, int workload_repeats) {
+  Instance inst;
+  SsbConfig config;
+  inst.lattice = std::make_unique<CubeLattice>(Unwrap(
+      CubeLattice::Build(Unwrap(MakeSsbSchema(config), "schema")),
+      "lattice"));
+  inst.simulator = std::make_unique<MapReduceSimulator>(
+      *inst.lattice, MapReduceParams{});
+  inst.pricing = std::make_unique<PricingModel>(
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond));
+  inst.cost_model = std::make_unique<CloudCostModel>(*inst.pricing);
+  inst.cluster =
+      ClusterSpec{Unwrap(inst.pricing->instances().Find("small"), "type"),
+                  5};
+  Workload ssb = Unwrap(MakeSsbWorkload(*inst.lattice), "workload");
+  std::vector<QuerySpec> mix;
+  for (int r = 0; r < workload_repeats; ++r) {
+    for (QuerySpec query : ssb.queries()) {
+      query.frequency = static_cast<uint64_t>(r + 1);
+      mix.push_back(std::move(query));
+    }
+  }
+  inst.workload = Workload(std::move(mix));
+
+  inst.deployment.instance = inst.cluster.instance;
+  inst.deployment.nb_instances = inst.cluster.nodes;
+  inst.deployment.storage_period = Months::FromMilli(3);
+  inst.deployment.base_storage =
+      StorageTimeline(inst.lattice->fact_scan_size());
+  inst.deployment.maintenance_cycles = 0;
+
+  CandidateGenOptions options;
+  options.max_candidates = max_candidates;
+  options.max_rows_fraction = 0.10;
+  inst.evaluator = std::make_unique<SelectionEvaluator>(Unwrap(
+      SelectionEvaluator::Create(
+          *inst.lattice, inst.workload, *inst.simulator, inst.cluster,
+          *inst.cost_model, inst.deployment,
+          Unwrap(GenerateCandidates(*inst.lattice, inst.workload,
+                                    *inst.simulator, inst.cluster,
+                                    options),
+                 "candidates")),
+      "evaluator"));
+  return inst;
+}
+
+struct Measured {
+  SelectionResult result;
+  double wall_ms_per_solve = 0.0;
+  double subsets_per_sec = 0.0;
+};
+
+// Times repeated fresh solves (fresh memo per repetition, so caching
+// across repetitions cannot flatter a solver).
+Measured MeasureSolver(const Solver& solver, const Instance& inst,
+                       const ObjectiveSpec& spec, bool incremental) {
+  Measured out;
+  uint64_t scored = 0;
+  int reps = 0;
+  auto start = std::chrono::steady_clock::now();
+  do {
+    EvaluationCache cache;
+    SolverContext context(*inst.evaluator, spec,
+                          incremental ? &cache : nullptr);
+    context.set_use_incremental(incremental);
+    out.result = Unwrap(solver.Solve(spec, context), "solve");
+    scored += context.counters().subsets_scored();
+    ++reps;
+  } while (MillisSince(start) < 100.0 && reps < 50);
+  double total_ms = MillisSince(start);
+  out.wall_ms_per_solve = total_ms / reps;
+  out.subsets_per_sec = 1000.0 * static_cast<double>(scored) / total_ms;
+  return out;
+}
+
+double ObjectiveOf(const ObjectiveSpec& spec, const SelectionResult& r) {
+  switch (spec.scenario) {
+    case Scenario::kMV1BudgetLimit:
+      return r.time.hours();
+    case Scenario::kMV2TimeLimit:
+      return r.evaluation.cost.total().dollars();
+    case Scenario::kMV3Tradeoff:
+      return r.objective_value;
+  }
+  return 0;
+}
+
+// --- Part 1: every registered strategy vs exhaustive ------------------------
+
+void PrintSolverComparison() {
+  Instance inst = MakeSalesInstance(/*workload_size=*/10,
+                                    /*max_candidates=*/12);
+  std::cout << "Instance: " << inst.workload.size() << " queries, "
+            << inst.evaluator->num_candidates() << " candidates\n\n";
+
+  ObjectiveSpec mv1;
+  mv1.scenario = Scenario::kMV1BudgetLimit;
+  mv1.budget_limit = Money::FromCents(240);
+  ObjectiveSpec mv2;
+  mv2.scenario = Scenario::kMV2TimeLimit;
+  mv2.time_limit = Duration::FromHoursRounded(2.24);
+  mv2.time_includes_materialization = false;
+  ObjectiveSpec mv3;
+  mv3.scenario = Scenario::kMV3Tradeoff;
+  mv3.alpha = 0.5;
+
+  const Solver& exhaustive = *Unwrap(
+      SolverRegistry::Global().Find("exhaustive"), "exhaustive");
+
+  TablePrinter table({"scenario", "solver", "views", "objective",
+                      "gap vs exhaustive", "wall/solve",
+                      "subsets/sec"});
+  table.SetTitle("Registered solver strategies on the paper workload");
+
+  for (const ObjectiveSpec& spec : {mv1, mv2, mv3}) {
+    Measured exact =
+        MeasureSolver(exhaustive, inst, spec, /*incremental=*/true);
+    double best = ObjectiveOf(spec, exact.result);
+    for (const std::string& name : SolverRegistry::Global().Names()) {
+      const Solver& solver =
+          *Unwrap(SolverRegistry::Global().Find(name), "solver");
+      Measured m = name == "exhaustive"
+                       ? exact
+                       : MeasureSolver(solver, inst, spec, true);
+      double objective = ObjectiveOf(spec, m.result);
+      double gap = best > 0 ? (objective - best) / best : 0.0;
+      table.AddRow(
+          {ToString(spec.scenario), name,
+           std::to_string(m.result.evaluation.selected.size()),
+           StrFormat("%.4f", objective), Pct(gap),
+           StrFormat("%.2f ms", m.wall_ms_per_solve),
+           StrFormat("%.0f", m.subsets_per_sec)});
+      JsonLine("solvers")
+          .Str("scenario", ToString(spec.scenario))
+          .Str("solver", name)
+          .Num("objective", objective)
+          .Num("gap_vs_exhaustive", gap)
+          .Num("wall_ms_per_solve", m.wall_ms_per_solve)
+          .Num("subsets_per_sec", m.subsets_per_sec)
+          .Int("views", static_cast<int64_t>(
+                            m.result.evaluation.selected.size()))
+          .Emit();
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- Part 2: incremental vs full evaluation ---------------------------------
+
+void PrintIncrementalAblation() {
+  Instance inst = MakeSsbInstance(/*max_candidates=*/20,
+                                  /*workload_repeats=*/3);
+  size_t n = inst.evaluator->num_candidates();
+  std::cout << "Ablation instance: " << inst.workload.size()
+            << " queries, " << n << " candidates\n";
+
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+
+  const Solver& local_search = *Unwrap(
+      SolverRegistry::Global().Find("local-search"), "local-search");
+  Measured incremental =
+      MeasureSolver(local_search, inst, spec, /*incremental=*/true);
+  Measured full =
+      MeasureSolver(local_search, inst, spec, /*incremental=*/false);
+
+  double speedup = full.subsets_per_sec > 0
+                       ? incremental.subsets_per_sec / full.subsets_per_sec
+                       : 0.0;
+
+  TablePrinter table({"evaluation path", "objective", "wall/solve",
+                      "subsets/sec"});
+  table.SetTitle(
+      "Local search: incremental SubsetState vs full Evaluate()");
+  table.AddRow({"incremental (SubsetState)",
+                StrFormat("%.4f", incremental.result.objective_value),
+                StrFormat("%.2f ms", incremental.wall_ms_per_solve),
+                StrFormat("%.0f", incremental.subsets_per_sec)});
+  table.AddRow({"full re-evaluation",
+                StrFormat("%.4f", full.result.objective_value),
+                StrFormat("%.2f ms", full.wall_ms_per_solve),
+                StrFormat("%.0f", full.subsets_per_sec)});
+  table.Print(std::cout);
+  std::cout << "Incremental speedup: " << StrFormat("%.1fx", speedup)
+            << " more subsets/sec (identical objective: "
+            << (incremental.result.evaluation.selected ==
+                        full.result.evaluation.selected
+                    ? "yes"
+                    : "NO")
+            << ")\n\n";
+
+  JsonLine("solvers")
+      .Str("ablation", "incremental_vs_full")
+      .Int("candidates", static_cast<int64_t>(n))
+      .Num("incremental_subsets_per_sec", incremental.subsets_per_sec)
+      .Num("full_subsets_per_sec", full.subsets_per_sec)
+      .Num("speedup", speedup)
+      .Emit();
+}
+
+// --- Microbenchmarks: the two evaluation paths head to head -----------------
+
+Instance& SharedSsbInstance() {
+  static Instance* inst = new Instance(MakeSsbInstance(20, 3));
+  return *inst;
+}
+
+void BM_FullEvaluate(benchmark::State& state) {
+  Instance& inst = SharedSsbInstance();
+  size_t n = inst.evaluator->num_candidates();
+  Rng rng(42);
+  std::vector<size_t> subset;
+  for (size_t c = 0; c < n; ++c) {
+    if (rng.Bernoulli(0.5)) subset.push_back(c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inst.evaluator->Evaluate(subset).value().cost.total().micros());
+  }
+}
+BENCHMARK(BM_FullEvaluate);
+
+void BM_IncrementalToggleAndCost(benchmark::State& state) {
+  Instance& inst = SharedSsbInstance();
+  size_t n = inst.evaluator->num_candidates();
+  SubsetState subset_state(*inst.evaluator);
+  Rng rng(43);
+  for (auto _ : state) {
+    subset_state.Toggle(static_cast<size_t>(rng.Uniform(n)));
+    benchmark::DoNotOptimize(
+        inst.evaluator->FastTotalCost(subset_state).value().micros());
+  }
+}
+BENCHMARK(BM_IncrementalToggleAndCost);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSolverComparison();
+  PrintIncrementalAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -72,7 +72,7 @@ int main() {
     spec.scenario = Scenario::kMV1BudgetLimit;
     spec.budget_limit = base.cost.total();  // Same budget as no views.
     SelectionResult r =
-        Unwrap(selector.Solve(spec, SolverKind::kKnapsackDP), "mv1");
+        Unwrap(selector.Solve(spec, "knapsack-dp"), "mv1");
     table.AddRow({"MV1", "budget = " + spec.budget_limit.ToString(),
                   std::to_string(r.evaluation.selected.size()),
                   Hours(r.time), r.evaluation.cost.total().ToString(),
@@ -86,7 +86,7 @@ int main() {
         Duration::FromMillis(base.processing_time.millis() / 2);
     spec.time_includes_materialization = false;
     SelectionResult r =
-        Unwrap(selector.Solve(spec, SolverKind::kKnapsackDP), "mv2");
+        Unwrap(selector.Solve(spec, "knapsack-dp"), "mv2");
     table.AddRow(
         {"MV2", "Tl = " + Hours(spec.time_limit),
          std::to_string(r.evaluation.selected.size()),
@@ -101,7 +101,7 @@ int main() {
     spec.scenario = Scenario::kMV3Tradeoff;
     spec.alpha = alpha;
     SelectionResult r =
-        Unwrap(selector.Solve(spec, SolverKind::kKnapsackDP), "mv3");
+        Unwrap(selector.Solve(spec, "knapsack-dp"), "mv3");
     table.AddRow({"MV3", StrFormat("alpha = %.1f", alpha),
                   std::to_string(r.evaluation.selected.size()),
                   Hours(r.time), r.evaluation.cost.total().ToString(),
@@ -114,7 +114,7 @@ int main() {
   spec.scenario = Scenario::kMV3Tradeoff;
   spec.alpha = 0.7;
   SelectionResult r =
-      Unwrap(selector.Solve(spec, SolverKind::kKnapsackDP), "mv3");
+      Unwrap(selector.Solve(spec, "knapsack-dp"), "mv3");
   for (const ViewCostInput& view : r.evaluation.view_input.views) {
     std::cout << "  " << view.name << "  (" << view.size << ")\n";
   }

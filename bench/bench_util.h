@@ -1,11 +1,20 @@
-// Shared helpers for the benchmark harnesses.
+// Shared helpers for the benchmark harnesses, including the
+// machine-readable result format the perf trajectory scrapes: one JSON
+// object per line on stdout, prefixed "BENCH_JSON ", e.g.
+//
+//   BENCH_JSON {"bench":"solvers","name":"MV1/10q/greedy","wall_ms":1.2}
+//
+// Emit rows with JsonLine; string fields are escaped, numeric fields
+// print as plain JSON numbers (NaN/inf become null).
 
 #ifndef CLOUDVIEW_BENCH_BENCH_UTIL_H_
 #define CLOUDVIEW_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "common/duration.h"
@@ -37,6 +46,53 @@ T Unwrap(Result<T> result, const char* what) {
   }
   return result.MoveValue();
 }
+
+/// \brief One machine-readable result row (see the header comment).
+class JsonLine {
+ public:
+  /// \brief `bench` names the harness, e.g. "solvers".
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + Escape(bench) + "\"";
+  }
+
+  JsonLine& Str(const char* key, const std::string& value) {
+    body_ += StrFormat(",\"%s\":\"%s\"", key, Escape(value).c_str());
+    return *this;
+  }
+
+  JsonLine& Num(const char* key, double value) {
+    if (std::isfinite(value)) {
+      body_ += StrFormat(",\"%s\":%.6g", key, value);
+    } else {
+      body_ += StrFormat(",\"%s\":null", key);
+    }
+    return *this;
+  }
+
+  JsonLine& Int(const char* key, int64_t value) {
+    body_ += StrFormat(",\"%s\":%lld", key,
+                       static_cast<long long>(value));
+    return *this;
+  }
+
+  /// \brief Prints "BENCH_JSON {...}" on its own stdout line.
+  void Emit(std::ostream& os = std::cout) const {
+    os << "BENCH_JSON " << body_ << "}\n";
+  }
+
+ private:
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string body_;
+};
 
 }  // namespace bench
 }  // namespace cloudview

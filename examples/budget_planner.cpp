@@ -5,13 +5,17 @@
 // Sweeps MV1 budgets and MV3 tradeoff weights over the 10-query sales
 // workload and prints the achievable (time, cost) frontier.
 //
-//   $ ./build/examples/example_budget_planner
+//   $ ./build/example_budget_planner [solver]
+//
+// `solver` is any name registered in the SolverRegistry (default
+// knapsack-dp; try local-search or annealing).
 
 #include <iostream>
 
 #include "common/str_format.h"
 #include "common/table_printer.h"
 #include "core/experiments.h"
+#include "core/optimizer/solver.h"
 
 using namespace cloudview;
 
@@ -28,8 +32,18 @@ T Check(Result<T> result, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   ExperimentConfig config;
+  if (argc > 1) config.solver = argv[1];
+  if (!SolverRegistry::Global().Contains(config.solver)) {
+    std::cerr << "unknown solver '" << config.solver << "'; registered:";
+    for (const std::string& name : SolverRegistry::Global().Names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+  std::cout << "Solver strategy: " << config.solver << "\n\n";
   CloudScenario scenario =
       Check(CloudScenario::Create(config.scenario), "scenario");
   Workload workload = Check(scenario.PaperWorkload(), "workload");
@@ -42,7 +56,8 @@ int main() {
     ObjectiveSpec spec;
     spec.scenario = Scenario::kMV1BudgetLimit;
     spec.budget_limit = Money::FromCents(cents);
-    ScenarioRun run = Check(scenario.Run(workload, spec), "run");
+    ScenarioRun run =
+        Check(scenario.Run(workload, spec, config.solver), "run");
     budgets.AddRow(
         {spec.budget_limit.ToString(),
          run.selection.feasible ? "yes" : "NO",

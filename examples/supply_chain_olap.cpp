@@ -8,11 +8,14 @@
 //  5. verify the view-backed answers equal base-table answers,
 //  6. print the itemized invoice for the simulated session.
 //
-//   $ ./build/examples/example_supply_chain_olap
+//   $ ./build/example_supply_chain_olap [solver]
+//
+// `solver` is any registered strategy name (default knapsack-dp).
 
 #include <iostream>
 
 #include "core/experiments.h"
+#include "core/optimizer/solver.h"
 #include "engine/aggregator.h"
 #include "engine/executor.h"
 #include "engine/sales_generator.h"
@@ -34,10 +37,11 @@ T Check(Result<T> result, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // 1. The deployment: the paper's Section 6 setup (10 GB sales subset,
   // five small instances) plus an in-memory sample to execute on.
   ExperimentConfig config;
+  if (argc > 1) config.solver = argv[1];
   config.scenario.sales.sample_rows = 300'000;
   CloudScenario scenario =
       Check(CloudScenario::Create(config.scenario), "scenario");
@@ -55,9 +59,11 @@ int main() {
   ObjectiveSpec spec;
   spec.scenario = Scenario::kMV1BudgetLimit;
   spec.budget_limit = Money::FromCents(240);
-  ScenarioRun run = Check(scenario.Run(workload, spec), "run");
+  ScenarioRun run =
+      Check(scenario.Run(workload, spec, config.solver), "run");
 
-  std::cout << "\nMV1 selection under " << spec.budget_limit << ":\n";
+  std::cout << "\nMV1 selection under " << spec.budget_limit << " ("
+            << config.solver << " solver):\n";
   for (const ViewCostInput& view :
        run.selection.evaluation.view_input.views) {
     std::cout << "  materialize " << view.name << "  (" << view.size

@@ -13,6 +13,7 @@
 #include "core/experiments.h"
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/evaluator.h"
+#include "core/optimizer/solver.h"
 
 using namespace cloudview;
 
@@ -86,6 +87,27 @@ int main() {
              : "never"});
   }
   table.Print(std::cout);
+
+  // Second opinion: run every registered solver strategy on the MV3
+  // blend and show where they land — the advisor's sanity check that
+  // the recommendation is not a single-heuristic artifact.
+  ViewSelector selector(evaluator);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+  TablePrinter solvers({"solver", "views", "time", "cost", "blend"});
+  solvers.SetTitle("Strategy cross-check (MV3, alpha = 0.5)");
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    auto result = selector.Solve(spec, name);
+    if (!result.ok()) continue;  // e.g. exhaustive over its size cap
+    solvers.AddRow(
+        {name,
+         std::to_string(result.value().evaluation.selected.size()),
+         StrFormat("%.2f h", result.value().time.hours()),
+         result.value().evaluation.cost.total().ToString(),
+         StrFormat("%.4f", result.value().objective_value)});
+  }
+  solvers.Print(std::cout);
 
   std::cout
       << "\nReading: 'cost delta' is the standalone change of one session's\n"

@@ -37,7 +37,8 @@ struct ExperimentConfig {
   std::vector<Duration> time_limits = {
       Duration::FromHoursRounded(0.57), Duration::FromHoursRounded(0.99),
       Duration::FromHoursRounded(2.24)};
-  SolverKind solver = SolverKind::kKnapsackDP;
+  /// Registry name of the solver driving the selections.
+  std::string solver = std::string(kDefaultSolverName);
 
   ExperimentConfig();  // Sets the calibrated scenario defaults.
 };

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/optimizer/solver.h"
 
 namespace cloudview {
 
@@ -12,111 +13,99 @@ namespace {
 
 // Scalarized objective: normalized primary objective plus a heavy
 // penalty per unit of constraint violation (also normalized).
-double Scalarize(const ObjectiveSpec& spec, const ViewSelector& selector,
-                 const SubsetEvaluation& baseline,
-                 const SubsetEvaluation& eval) {
+double Scalarize(const SolverContext& context, Duration time, Money cost) {
   constexpr double kViolationPenalty = 100.0;
+  const ObjectiveSpec& spec = context.spec();
+  const SubsetEvaluation& baseline = context.evaluator().baseline();
   double base_time =
-      static_cast<double>(spec.time_includes_materialization
-                              ? baseline.makespan.millis()
-                              : baseline.processing_time.millis());
-  double base_cost = static_cast<double>(baseline.cost.total().micros());
-  double time = static_cast<double>(spec.time_includes_materialization
-                                        ? eval.makespan.millis()
-                                        : eval.processing_time.millis());
-  double cost = static_cast<double>(eval.cost.total().micros());
+      static_cast<double>(context.TimeMetric(baseline).millis());
+  double base_cost =
+      static_cast<double>(baseline.cost.total().micros());
 
   switch (spec.scenario) {
     case Scenario::kMV1BudgetLimit: {
       double violation = std::max(
-          0.0, cost - static_cast<double>(spec.budget_limit.micros()));
-      return time / base_time +
+          0.0, static_cast<double>(cost.micros()) -
+                   static_cast<double>(spec.budget_limit.micros()));
+      return static_cast<double>(time.millis()) / base_time +
              kViolationPenalty * violation / base_cost;
     }
     case Scenario::kMV2TimeLimit: {
       double violation = std::max(
-          0.0, time - static_cast<double>(spec.time_limit.millis()));
-      return cost / base_cost +
+          0.0, static_cast<double>(time.millis()) -
+                   static_cast<double>(spec.time_limit.millis()));
+      return static_cast<double>(cost.micros()) / base_cost +
              kViolationPenalty * violation / base_time;
     }
     case Scenario::kMV3Tradeoff:
-      return selector.TradeoffObjective(spec, eval);
+      return context.TradeoffObjective(time, cost);
   }
   return 0.0;
 }
 
-bool Feasible(const ObjectiveSpec& spec, const SubsetEvaluation& eval) {
-  Duration time = spec.time_includes_materialization
-                      ? eval.makespan
-                      : eval.processing_time;
-  switch (spec.scenario) {
-    case Scenario::kMV1BudgetLimit:
-      return eval.cost.total() <= spec.budget_limit;
-    case Scenario::kMV2TimeLimit:
-      return time <= spec.time_limit;
-    case Scenario::kMV3Tradeoff:
-      return true;
-  }
-  return true;
-}
-
-}  // namespace
-
-Result<SelectionResult> AnnealSelection(
-    const SelectionEvaluator& evaluator, const ObjectiveSpec& spec,
-    const AnnealingOptions& options) {
+Result<SelectionResult> Anneal(const ObjectiveSpec& spec,
+                               SolverContext& context,
+                               const AnnealingOptions& options) {
   if (options.iterations <= 0 || options.cooling <= 0.0 ||
       options.cooling >= 1.0 || options.initial_temperature < 0.0) {
     return Status::InvalidArgument("bad annealing schedule");
   }
-  size_t n = evaluator.num_candidates();
-  ViewSelector selector(evaluator);
-  const SubsetEvaluation& baseline = evaluator.baseline();
+  size_t n = context.num_candidates();
 
-  std::vector<bool> member(n, false);
-  SubsetEvaluation current = baseline;
-  double current_score = Scalarize(spec, selector, baseline, current);
-  SubsetEvaluation best = current;
+  SubsetState current(context.evaluator());
+  CV_ASSIGN_OR_RETURN(SolverContext::Probe probe,
+                      context.ProbeState(current));
+  double current_score = Scalarize(context, probe.time, probe.cost);
+  std::vector<size_t> best = current.Selected();
   double best_score = current_score;
 
   Rng rng(options.seed);
   double temperature = options.initial_temperature;
   for (int it = 0; it < options.iterations && n > 0; ++it) {
     size_t flip = static_cast<size_t>(rng.Uniform(n));
-    std::vector<size_t> proposal;
-    proposal.reserve(current.selected.size() + 1);
-    for (size_t c : current.selected) {
-      if (c != flip) proposal.push_back(c);
-    }
-    if (!member[flip]) proposal.push_back(flip);
-
-    CV_ASSIGN_OR_RETURN(SubsetEvaluation trial,
-                        evaluator.Evaluate(proposal));
-    double trial_score = Scalarize(spec, selector, baseline, trial);
+    CV_ASSIGN_OR_RETURN(probe, context.ProbeToggle(current, flip));
+    double trial_score = Scalarize(context, probe.time, probe.cost);
     double delta = trial_score - current_score;
     if (delta <= 0.0 ||
         rng.UniformDouble() < std::exp(-delta / std::max(1e-12,
                                                          temperature))) {
-      member[flip] = !member[flip];
-      current = std::move(trial);
+      current.Toggle(flip);  // Accept: commit the proposal.
       current_score = trial_score;
       if (current_score < best_score) {
-        best = current;
+        best = current.Selected();
         best_score = current_score;
       }
     }
     temperature *= options.cooling;
   }
-
-  SelectionResult result;
-  result.feasible = Feasible(spec, best);
-  result.time = spec.time_includes_materialization
-                    ? best.makespan
-                    : best.processing_time;
-  result.objective_value = selector.TradeoffObjective(spec, best);
-  result.evaluation = std::move(best);
-  result.solver = SolverKind::kAnnealing;
+  CV_ASSIGN_OR_RETURN(SelectionResult result, context.Finalize(best));
+  result.solver = "annealing";
   return result;
+}
+
+class AnnealingSolver : public Solver {
+ public:
+  std::string_view name() const override { return "annealing"; }
+  std::string_view description() const override {
+    return "simulated annealing with random toggles (escapes local optima)";
+  }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                SolverContext& context) const override {
+    return Anneal(spec, context, AnnealingOptions{});
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(AnnealingSolver)
+
+}  // namespace
+
+Result<SelectionResult> AnnealSelection(
+    const SelectionEvaluator& evaluator, const ObjectiveSpec& spec,
+    const AnnealingOptions& options) {
+  EvaluationCache cache;
+  SolverContext context(evaluator, spec, &cache);
+  return Anneal(spec, context, options);
 }
 
 }  // namespace cloudview

@@ -1,11 +1,12 @@
-// Simulated-annealing view selection — an optional solver beyond the
-// paper's knapsack DP (its Section 8 notes that "optimization techniques
-// are the most efficient when combined").
+// Simulated-annealing view selection — registered as the "annealing"
+// solver strategy (the paper's Section 8 notes that "optimization
+// techniques are the most efficient when combined").
 //
 // Annealing explores the subset space with random single-view toggles
 // and a geometric cooling schedule; unlike the exact local search it can
 // escape local optima on rugged instances (strong view interactions,
-// stepwise hour billing). Deterministic in AnnealingOptions::seed.
+// stepwise hour billing). Proposals are O(queries) incremental
+// SubsetState moves. Deterministic in AnnealingOptions::seed.
 
 #ifndef CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
 #define CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
@@ -31,8 +32,10 @@ struct AnnealingOptions {
 
 /// \brief Runs annealing on the given scenario objective and returns the
 /// best selection visited (always at least as good as the empty set).
+/// Convenience wrapper over the registered "annealing" strategy for
+/// callers that want a custom schedule.
 ///
-/// Constraint handling matches ViewSelector's local search: the score is
+/// Constraint handling matches the hill-climb strategies: the score is
 /// lexicographic (violation first), folded into a single scalar with a
 /// large violation penalty so the walk is pulled into the feasible
 /// region before optimizing within it.

@@ -26,6 +26,10 @@ SelectionEvaluator::SelectionEvaluator(
       candidates_(std::move(candidates)) {
   size_t m = workload.size();
   base_time_.resize(m);
+  frequency_.resize(m);
+  for (size_t q = 0; q < m; ++q) {
+    frequency_[q] = static_cast<int64_t>(workload.query(q).frequency);
+  }
   result_bytes_.resize(m);
   view_time_.assign(m, std::vector<Duration>(candidates_.size(),
                                              kUnanswerable));
@@ -39,6 +43,25 @@ SelectionEvaluator::SelectionEvaluator(
             candidates_[c].view, target, cluster);
       }
     }
+  }
+  view_time_by_candidate_.resize(m * candidates_.size(), kUnanswerable);
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    for (size_t q = 0; q < m; ++q) {
+      view_time_by_candidate_[c * m + q] = view_time_[q][c];
+    }
+  }
+  ranked_candidates_.resize(m);
+  for (size_t q = 0; q < m; ++q) {
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      if (view_time_[q][c] < base_time_[q]) {
+        ranked_candidates_[q].push_back(static_cast<uint32_t>(c));
+      }
+    }
+    std::stable_sort(ranked_candidates_[q].begin(),
+                     ranked_candidates_[q].end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return view_time_[q][a] < view_time_[q][b];
+                     });
   }
 }
 
@@ -107,6 +130,71 @@ Result<SubsetEvaluation> SelectionEvaluator::Evaluate(
   return eval;
 }
 
+Result<Money> SelectionEvaluator::FastTotalCost(
+    const SubsetTotals& totals) const {
+  const PricingModel& pricing = cost_model_->pricing();
+
+  // Compute charges (Formula 6): functions of the three time totals only.
+  // Mirrors CloudCostModel::CostWithViews — in the single-session mode
+  // the per-activity exact charges cancel against the rounding surcharge,
+  // so the compute total is the rounded bill of the whole busy span.
+  Money compute;
+  if (deployment_.single_compute_session) {
+    Duration busy = totals.processing + totals.materialization +
+                    totals.maintenance * deployment_.maintenance_cycles;
+    compute = pricing.ComputeCost(deployment_.instance, busy,
+                                  deployment_.nb_instances);
+  } else {
+    compute = pricing.ComputeCost(deployment_.instance, totals.processing,
+                                  deployment_.nb_instances);
+    if (!totals.materialization.is_zero()) {
+      compute += pricing.ComputeCost(deployment_.instance,
+                                     totals.materialization,
+                                     deployment_.nb_instances);
+    }
+    if (deployment_.maintenance_cycles != 0 &&
+        !totals.maintenance.is_zero()) {
+      compute += pricing.ComputeCost(deployment_.instance,
+                                     totals.maintenance,
+                                     deployment_.nb_instances) *
+                 deployment_.maintenance_cycles;
+    }
+  }
+
+  // Storage (Formula 5): base timeline plus the duplicated bytes from
+  // month 0, memoized per distinct byte total.
+  Money storage;
+  int64_t key = totals.view_bytes.bytes();
+  auto memo = storage_cost_memo_.find(key);
+  if (memo != storage_cost_memo_.end()) {
+    storage = memo->second;
+  } else {
+    StorageTimeline timeline = deployment_.base_storage;
+    if (key != 0) {
+      CV_RETURN_IF_ERROR(
+          timeline.AddDelta(Months::Zero(), totals.view_bytes));
+    }
+    CV_ASSIGN_OR_RETURN(
+        storage,
+        cost_model_->storage().Cost(timeline, deployment_.storage_period));
+    // Bounded: exhaustive enumeration can produce ~2^n distinct byte
+    // totals; past the cap, later totals just recompute.
+    if (storage_cost_memo_.size() < (1u << 16)) {
+      storage_cost_memo_.emplace(key, storage);
+    }
+  }
+
+  // Transfer (Section 4.1): views never leave the cloud, so the charge
+  // is the baseline's, whatever the subset.
+  return compute + storage + transfer_cost();
+}
+
+Result<Money> SelectionEvaluator::FastTotalCost(
+    const SubsetState& state) const {
+  CV_CHECK(&state.evaluator() == this) << "state built on another evaluator";
+  return FastTotalCost(state.totals());
+}
+
 Duration SelectionEvaluator::StandaloneProcessingSaving(size_t c) const {
   CV_CHECK(c < candidates_.size()) << "candidate index out of range";
   Duration saved = Duration::Zero();
@@ -125,6 +213,122 @@ Result<Money> SelectionEvaluator::StandaloneCostDelta(size_t c) const {
   }
   CV_ASSIGN_OR_RETURN(SubsetEvaluation solo, Evaluate({c}));
   return solo.cost.total() - baseline_.cost.total();
+}
+
+// ---------------------------------------------------------------------------
+// SubsetState: incremental argmin + running totals.
+
+SubsetState::SubsetState(const SelectionEvaluator& evaluator)
+    : evaluator_(&evaluator),
+      member_(evaluator.num_candidates(), 0),
+      best_view_(evaluator.num_queries(), kFromBase),
+      best_time_(evaluator.num_queries()) {
+  for (size_t q = 0; q < evaluator.num_queries(); ++q) {
+    best_time_[q] = evaluator.base_time(q);
+    processing_ += best_time_[q] * evaluator.frequency(q);
+  }
+}
+
+void SubsetState::Add(size_t c) {
+  CV_CHECK(c < member_.size()) << "candidate index out of range";
+  CV_CHECK(!member_[c]) << "candidate " << c << " already selected";
+  member_[c] = 1;
+  ++count_;
+  hash_ ^= CandidateToken(c);
+
+  const ViewCandidate& candidate = evaluator_->candidates()[c];
+  materialization_ += candidate.materialization_time;
+  maintenance_ += candidate.maintenance_time;
+  view_bytes_ += candidate.size;
+
+  const Duration* column = evaluator_->view_time_of(c);
+  for (size_t q = 0; q < best_time_.size(); ++q) {
+    Duration t = column[q];
+    if (t < best_time_[q]) {
+      processing_ += (t - best_time_[q]) * evaluator_->frequency(q);
+      best_time_[q] = t;
+      best_view_[q] = c;
+    }
+  }
+}
+
+void SubsetState::Remove(size_t c) {
+  CV_CHECK(c < member_.size()) << "candidate index out of range";
+  CV_CHECK(member_[c]) << "candidate " << c << " not selected";
+  member_[c] = 0;
+  --count_;
+  hash_ ^= CandidateToken(c);
+
+  const ViewCandidate& candidate = evaluator_->candidates()[c];
+  materialization_ -= candidate.materialization_time;
+  maintenance_ -= candidate.maintenance_time;
+  view_bytes_ -= candidate.size;
+
+  // Only queries that lost their argmin need repair. The replacement is
+  // the first surviving member on the query's precomputed ranking
+  // (ascending view_time), or the base table when none survives — the
+  // same minimum Evaluate()'s strict-min pass finds, located in
+  // expected O(1) instead of a member scan.
+  for (size_t q = 0; q < best_time_.size(); ++q) {
+    if (best_view_[q] != c) continue;
+    Duration best = evaluator_->base_time(q);
+    size_t argmin = kFromBase;
+    for (uint32_t ranked : evaluator_->ranked_candidates(q)) {
+      if (member_[ranked]) {
+        best = evaluator_->view_time(q, ranked);
+        argmin = ranked;
+        break;
+      }
+    }
+    processing_ += (best - best_time_[q]) * evaluator_->frequency(q);
+    best_time_[q] = best;
+    best_view_[q] = argmin;
+  }
+}
+
+SubsetTotals SubsetState::PeekToggle(size_t c) const {
+  CV_CHECK(c < member_.size()) << "candidate index out of range";
+  SubsetTotals totals{processing_, materialization_, maintenance_,
+                      view_bytes_, hash_ ^ CandidateToken(c)};
+  const ViewCandidate& candidate = evaluator_->candidates()[c];
+  if (!member_[c]) {
+    totals.materialization += candidate.materialization_time;
+    totals.maintenance += candidate.maintenance_time;
+    totals.view_bytes += candidate.size;
+    const Duration* column = evaluator_->view_time_of(c);
+    for (size_t q = 0; q < best_time_.size(); ++q) {
+      if (column[q] < best_time_[q]) {
+        totals.processing +=
+            (column[q] - best_time_[q]) * evaluator_->frequency(q);
+      }
+    }
+  } else {
+    totals.materialization -= candidate.materialization_time;
+    totals.maintenance -= candidate.maintenance_time;
+    totals.view_bytes -= candidate.size;
+    for (size_t q = 0; q < best_time_.size(); ++q) {
+      if (best_view_[q] != c) continue;
+      Duration best = evaluator_->base_time(q);
+      for (uint32_t ranked : evaluator_->ranked_candidates(q)) {
+        if (ranked != c && member_[ranked]) {
+          best = evaluator_->view_time(q, ranked);
+          break;
+        }
+      }
+      totals.processing +=
+          (best - best_time_[q]) * evaluator_->frequency(q);
+    }
+  }
+  return totals;
+}
+
+std::vector<size_t> SubsetState::Selected() const {
+  std::vector<size_t> out;
+  out.reserve(count_);
+  for (size_t c = 0; c < member_.size(); ++c) {
+    if (member_[c]) out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace cloudview

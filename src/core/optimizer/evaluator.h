@@ -1,19 +1,30 @@
 // SelectionEvaluator: exact, interaction-aware evaluation of a candidate
-// subset — the ground truth every solver (knapsack, greedy, exhaustive)
-// optimizes against.
+// subset — the ground truth every registered solver optimizes against.
 //
 // "Interaction-aware" means a query is answered by the *best* view in the
 // selected set (or the base table), so view benefits do not simply add
 // up. The knapsack formulation uses additive standalone benefits (the
-// paper's approach); the selector then re-evaluates its pick exactly
-// through this class and repairs if needed.
+// paper's approach); the solvers then re-evaluate their pick exactly
+// through this class and repair if needed.
+//
+// Two evaluation paths are provided (DESIGN.md §5.12):
+//  * Evaluate(): the exact ground truth — rebuilds the per-query argmin
+//    and the full CostBreakdown from scratch, O(queries x |subset|).
+//  * SubsetState + FastTotalCost(): incremental re-scoring for
+//    local-search moves — a single add/remove updates the per-query
+//    argmin and the running Formula 7/11 totals in O(queries), and the
+//    monetary total is recomputed from those totals alone. The property
+//    tests assert the two paths agree bit-for-bit.
 
 #ifndef CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
 #define CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/lattice.h"
+#include "common/hash.h"
 #include "common/result.h"
 #include "core/cost/cloud_cost_model.h"
 #include "core/optimizer/view_candidate.h"
@@ -21,6 +32,39 @@
 #include "workload/workload.h"
 
 namespace cloudview {
+
+class SubsetState;
+
+/// \brief Zobrist token of candidate `c`: subset hashes are XORs of
+/// member tokens, so they update in O(1) per add/remove and are
+/// independent of insertion order.
+inline uint64_t CandidateToken(size_t c) {
+  return Mix64(static_cast<uint64_t>(c) + 0x9E3779B97F4A7C15ULL);
+}
+
+/// \brief Order-independent hash of a candidate subset (memo-cache key).
+inline uint64_t SubsetHash(const std::vector<size_t>& selected) {
+  uint64_t h = 0;
+  for (size_t c : selected) h ^= CandidateToken(c);
+  return h;
+}
+
+/// \brief The running totals a subset is scored on: everything the
+/// objectives and the monetary fast path consume, plus the memo key.
+struct SubsetTotals {
+  /// Formula 9 total (frequency-weighted).
+  Duration processing;
+  /// Formula 7 total.
+  Duration materialization;
+  /// Formula 11 total (per cycle).
+  Duration maintenance;
+  /// Duplicated bytes stored for the subset.
+  DataSize view_bytes;
+  /// SubsetHash of the subset.
+  uint64_t hash = 0;
+
+  Duration makespan() const { return processing + materialization; }
+};
 
 /// \brief Everything the objectives need to know about one subset.
 struct SubsetEvaluation {
@@ -44,6 +88,9 @@ struct SubsetEvaluation {
 ///
 /// The workload and deployment are copied in (both are small); the
 /// lattice and cost model are borrowed and must outlive the evaluator.
+///
+/// Not thread-safe, including const methods: FastTotalCost() memoizes
+/// storage costs internally. Use one evaluator per thread.
 class SelectionEvaluator {
  public:
   /// \brief Builds the evaluator. `lattice` and `cost_model` must
@@ -59,7 +106,27 @@ class SelectionEvaluator {
   }
   size_t num_candidates() const { return candidates_.size(); }
   const Workload& workload() const { return workload_; }
+  size_t num_queries() const { return workload_.size(); }
   const DeploymentSpec& deployment() const { return deployment_; }
+
+  /// \brief Query `q` answered from the base table (precomputed).
+  Duration base_time(size_t q) const { return base_time_[q]; }
+  /// \brief Query `q` answered from candidate `c`; a huge sentinel when
+  /// `c` cannot answer `q` (never wins a min against base_time).
+  Duration view_time(size_t q, size_t c) const { return view_time_[q][c]; }
+  /// \brief Candidate `c`'s timing column, contiguous over queries — the
+  /// cache-friendly layout SubsetState::Add walks on every probe.
+  const Duration* view_time_of(size_t c) const {
+    return view_time_by_candidate_.data() + c * workload_.size();
+  }
+  /// \brief Candidates that can beat the base table for query `q`,
+  /// ascending by view_time — SubsetState::Remove's argmin repair walks
+  /// this and stops at the first surviving member (expected O(1)).
+  const std::vector<uint32_t>& ranked_candidates(size_t q) const {
+    return ranked_candidates_[q];
+  }
+  /// \brief Frequency weight of query `q` (Formula 9).
+  int64_t frequency(size_t q) const { return frequency_[q]; }
 
   /// \brief Exact evaluation of a subset (indices into candidates()).
   Result<SubsetEvaluation> Evaluate(
@@ -67,6 +134,17 @@ class SelectionEvaluator {
 
   /// \brief The no-view evaluation (cached).
   const SubsetEvaluation& baseline() const { return baseline_; }
+
+  /// \brief Total monetary cost recomputed from running totals alone —
+  /// no per-query rebuild. Matches Evaluate(...).cost.total() exactly:
+  /// compute charges are functions of the three time totals, transfer is
+  /// subset-independent (Section 4.1), and storage depends only on the
+  /// duplicated view bytes (memoized per distinct total).
+  Result<Money> FastTotalCost(const SubsetTotals& totals) const;
+  Result<Money> FastTotalCost(const SubsetState& state) const;
+
+  /// \brief Transfer cost, constant across subsets (cached).
+  Money transfer_cost() const { return baseline_.cost.transfer; }
 
   /// \brief Processing time saved by materializing candidate `c` alone
   /// (additive knapsack approximation).
@@ -93,13 +171,204 @@ class SelectionEvaluator {
 
   // base_time_[q]: query q answered from the base table.
   std::vector<Duration> base_time_;
+  // frequency_[q]: per-query frequency weight (hot-path copy).
+  std::vector<int64_t> frequency_;
   // view_time_[q][c]: query q answered from candidate c; Duration max
   // when c cannot answer q.
   std::vector<std::vector<Duration>> view_time_;
+  // The same matrix candidate-major ([c * num_queries + q]), so the
+  // incremental Add scan is a contiguous walk.
+  std::vector<Duration> view_time_by_candidate_;
+  // ranked_candidates_[q]: candidates beating base_time_[q], ascending
+  // by view_time (ties by index, matching Evaluate()'s scan order).
+  std::vector<std::vector<uint32_t>> ranked_candidates_;
   // result_bytes_[q]: logical result volume of query q.
   std::vector<DataSize> result_bytes_;
 
   SubsetEvaluation baseline_;
+
+  // Storage cost by duplicated-byte total: distinct subsets share few
+  // distinct totals, and the tiered Formula 5 walk is the only
+  // non-trivial arithmetic left on the fast path.
+  mutable std::unordered_map<int64_t, Money> storage_cost_memo_;
+};
+
+/// \brief Incrementally maintained evaluation of one evolving subset.
+///
+/// Tracks, across single add/remove moves:
+///  * per-query best-view argmin and best time (ties broken toward the
+///    base table, matching Evaluate()'s strict-min scan),
+///  * the frequency-weighted processing total (Formula 9),
+///  * the running materialization / maintenance / duplicated-bytes
+///    totals (Formulas 7 and 11),
+///  * the Zobrist subset hash (memo-cache key).
+///
+/// Add() is O(queries); Remove() is O(queries) plus an argmin rescan of
+/// the remaining members for the queries that lose their best view. All
+/// totals are integer arithmetic, so they equal a from-scratch
+/// Evaluate() exactly, not just approximately.
+class SubsetState {
+ public:
+  /// \brief The empty selection. Keeps a reference; `evaluator` must
+  /// outlive the state.
+  explicit SubsetState(const SelectionEvaluator& evaluator);
+
+  /// \brief Adds candidate `c` (must not be a member).
+  void Add(size_t c);
+  /// \brief Removes candidate `c` (must be a member).
+  void Remove(size_t c);
+  /// \brief Adds or removes `c`, whichever applies.
+  void Toggle(size_t c) { contains(c) ? Remove(c) : Add(c); }
+
+  /// \brief The totals this state would have after Toggle(c), computed
+  /// read-only — the move-scoring primitive search loops probe
+  /// neighborhoods with (no commit, no revert, no writes).
+  SubsetTotals PeekToggle(size_t c) const;
+
+  /// \brief This state's current totals.
+  SubsetTotals totals() const {
+    return SubsetTotals{processing_, materialization_, maintenance_,
+                        view_bytes_, hash_};
+  }
+
+  bool contains(size_t c) const { return member_[c] != 0; }
+  /// \brief Number of selected candidates.
+  size_t size() const { return count_; }
+  /// \brief Member indices, ascending (materialized on demand).
+  std::vector<size_t> Selected() const;
+
+  /// \brief Order-independent subset hash (matches SubsetHash()).
+  uint64_t hash() const { return hash_; }
+
+  /// \brief Formula 9 total with this subset in place.
+  Duration processing_time() const { return processing_; }
+  /// \brief Formula 7 total.
+  Duration materialization_time() const { return materialization_; }
+  /// \brief Formula 11 total (per maintenance cycle).
+  Duration maintenance_time() const { return maintenance_; }
+  /// \brief processing + one-time materialization (see SubsetEvaluation).
+  Duration makespan() const { return processing_ + materialization_; }
+  /// \brief Duplicated bytes stored for the subset.
+  DataSize view_bytes() const { return view_bytes_; }
+
+  const SelectionEvaluator& evaluator() const { return *evaluator_; }
+
+ private:
+  const SelectionEvaluator* evaluator_;
+  // kFromBase in best_view_[q] means the base table answers q best.
+  static constexpr size_t kFromBase = static_cast<size_t>(-1);
+
+  std::vector<uint8_t> member_;
+  size_t count_ = 0;
+  std::vector<size_t> best_view_;
+  std::vector<Duration> best_time_;
+  Duration processing_;
+  Duration materialization_;
+  Duration maintenance_;
+  DataSize view_bytes_;
+  uint64_t hash_ = 0;
+};
+
+/// \brief Memo of compact subset evaluations keyed by SubsetHash.
+///
+/// Stores only what the objectives score on — the two time metrics and
+/// the monetary total — so repeated probes of the same subset (local
+/// search re-visiting a neighborhood, annealing re-proposing a toggle,
+/// different solvers probing the same region) skip even the fast
+/// incremental cost path. Shared by every solver run on one selector.
+///
+/// Implementation: open-addressing with linear probing over a flat
+/// power-of-two slot array. Keys are Zobrist hashes (already avalanche
+/// mixed), so the raw key indexes well; a memo probe is a handful of
+/// contiguous loads, not a node-based map walk — this sits on the hot
+/// path of every solver move.
+///
+/// Entries are keyed by the 64-bit hash alone — a colliding subset
+/// would silently read another subset's entry. The accepted tradeoff:
+/// at the millions-of-entries scale a selector can accumulate, the
+/// collision probability is ~n^2/2^65 (< 1e-6), and final results are
+/// immune because Finalize() re-scores through exact Evaluate().
+class EvaluationCache {
+ public:
+  struct Entry {
+    Duration processing_time;
+    Duration makespan;
+    Money total_cost;
+  };
+
+  EvaluationCache() { Rehash(1 << 12); }
+
+  /// \brief Returns the entry for `key`, or nullptr on a miss.
+  const Entry* Find(uint64_t key) const {
+    ++lookups_;
+    if (key == kEmptySubsetKey) {
+      if (!has_empty_) return nullptr;
+      ++hits_;
+      return &empty_entry_;
+    }
+    size_t mask = slots_.size() - 1;
+    for (size_t i = key & mask;; i = (i + 1) & mask) {
+      if (slots_[i].key == kEmptySubsetKey) return nullptr;
+      if (slots_[i].key == key) {
+        ++hits_;
+        return &slots_[i].entry;
+      }
+    }
+  }
+
+  void Insert(uint64_t key, const Entry& entry) {
+    if (key == kEmptySubsetKey) {
+      empty_entry_ = entry;
+      has_empty_ = true;
+      return;
+    }
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    size_t mask = slots_.size() - 1;
+    for (size_t i = key & mask;; i = (i + 1) & mask) {
+      if (slots_[i].key == key) return;  // Entries are immutable.
+      if (slots_[i].key == kEmptySubsetKey) {
+        slots_[i] = Slot{key, entry};
+        ++size_;
+        return;
+      }
+    }
+  }
+
+  size_t size() const { return size_ + (has_empty_ ? 1 : 0); }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+
+ private:
+  /// SubsetHash({}) == 0; the zero key marks empty slots instead and the
+  /// empty subset gets a dedicated side entry.
+  static constexpr uint64_t kEmptySubsetKey = 0;
+
+  struct Slot {
+    uint64_t key = kEmptySubsetKey;
+    Entry entry;
+  };
+
+  void Rehash(size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptySubsetKey) continue;
+      for (size_t i = slot.key & mask;; i = (i + 1) & mask) {
+        if (slots_[i].key == kEmptySubsetKey) {
+          slots_[i] = slot;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  bool has_empty_ = false;
+  Entry empty_entry_;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t hits_ = 0;
 };
 
 }  // namespace cloudview

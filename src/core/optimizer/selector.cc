@@ -1,42 +1,10 @@
 #include "core/optimizer/selector.h"
 
-#include <algorithm>
-#include <array>
-#include <cmath>
-#include <functional>
-#include <vector>
+#include <string>
 
-#include "common/logging.h"
-#include "core/optimizer/annealing.h"
-#include "core/optimizer/knapsack.h"
+#include "core/optimizer/solver.h"
 
 namespace cloudview {
-
-namespace {
-
-std::vector<size_t> Without(const std::vector<size_t>& selected,
-                            size_t index) {
-  std::vector<size_t> out;
-  out.reserve(selected.size());
-  for (size_t s : selected) {
-    if (s != index) out.push_back(s);
-  }
-  return out;
-}
-
-std::vector<size_t> With(const std::vector<size_t>& selected, size_t index) {
-  std::vector<size_t> out = selected;
-  out.push_back(index);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-bool Contains(const std::vector<size_t>& selected, size_t index) {
-  return std::find(selected.begin(), selected.end(), index) !=
-         selected.end();
-}
-
-}  // namespace
 
 const char* ToString(Scenario scenario) {
   switch (scenario) {
@@ -50,325 +18,24 @@ const char* ToString(Scenario scenario) {
   return "?";
 }
 
-const char* ToString(SolverKind kind) {
-  switch (kind) {
-    case SolverKind::kKnapsackDP:
-      return "knapsack-dp";
-    case SolverKind::kGreedy:
-      return "greedy";
-    case SolverKind::kExhaustive:
-      return "exhaustive";
-    case SolverKind::kAnnealing:
-      return "annealing";
-  }
-  return "?";
-}
-
-Duration ViewSelector::TimeMetric(const ObjectiveSpec& spec,
-                                  const SubsetEvaluation& eval) const {
-  return spec.time_includes_materialization ? eval.makespan
-                                            : eval.processing_time;
-}
-
 double ViewSelector::TradeoffObjective(const ObjectiveSpec& spec,
                                        const SubsetEvaluation& eval) const {
-  const SubsetEvaluation& base = evaluator_->baseline();
-  double t0 = spec.mv3_reference_time.is_zero()
-                  ? static_cast<double>(TimeMetric(spec, base).millis())
-                  : static_cast<double>(spec.mv3_reference_time.millis());
-  double c0 = spec.mv3_reference_cost.is_zero()
-                  ? static_cast<double>(base.cost.total().micros())
-                  : static_cast<double>(spec.mv3_reference_cost.micros());
-  CV_CHECK(t0 > 0.0 && c0 > 0.0) << "degenerate baseline for MV3";
-  double t = static_cast<double>(TimeMetric(spec, eval).millis());
-  double c = static_cast<double>(eval.cost.total().micros());
-  return spec.alpha * (t / t0) + (1.0 - spec.alpha) * (c / c0);
+  SolverContext context(*evaluator_, spec);
+  return context.TradeoffObjective(eval);
 }
 
 Result<SelectionResult> ViewSelector::Solve(const ObjectiveSpec& spec,
-                                            SolverKind solver) const {
+                                            std::string_view solver) const {
   if (spec.scenario == Scenario::kMV3Tradeoff &&
       (spec.alpha < 0.0 || spec.alpha > 1.0)) {
     return Status::InvalidArgument("alpha must be within [0, 1]");
   }
-  Result<SelectionResult> result = Status::Internal("unreachable");
-  if (solver == SolverKind::kAnnealing) {
-    result = AnnealSelection(*evaluator_, spec);
-  } else {
-    switch (spec.scenario) {
-      case Scenario::kMV1BudgetLimit:
-        result = SolveMV1(spec, solver);
-        break;
-      case Scenario::kMV2TimeLimit:
-        result = SolveMV2(spec, solver);
-        break;
-      case Scenario::kMV3Tradeoff:
-        result = SolveMV3(spec, solver);
-        break;
-    }
-  }
-  if (!result.ok()) return result.status();
-  SelectionResult out = result.MoveValue();
-  out.solver = solver;
-  out.time = TimeMetric(spec, out.evaluation);
-  out.objective_value = TradeoffObjective(spec, out.evaluation);
-  return out;
-}
-
-Result<SubsetEvaluation> ViewSelector::LocalSearch(
-    SubsetEvaluation start, const ScoreFn& score) const {
-  SubsetEvaluation current = std::move(start);
-  Score current_score = score(current);
-  bool improved = true;
-  while (improved) {
-    improved = false;
-    SubsetEvaluation best = current;
-    Score best_score = current_score;
-    for (size_t c = 0; c < evaluator_->num_candidates(); ++c) {
-      std::vector<size_t> trial_set = Contains(current.selected, c)
-                                          ? Without(current.selected, c)
-                                          : With(current.selected, c);
-      CV_ASSIGN_OR_RETURN(SubsetEvaluation trial,
-                          evaluator_->Evaluate(trial_set));
-      Score trial_score = score(trial);
-      if (trial_score < best_score) {
-        best = std::move(trial);
-        best_score = trial_score;
-        improved = true;
-      }
-    }
-    current = std::move(best);
-    current_score = best_score;
-  }
-  return current;
-}
-
-// ---------------------------------------------------------------------------
-// MV1: minimize time subject to cost <= budget.
-
-Result<SelectionResult> ViewSelector::SolveMV1(const ObjectiveSpec& spec,
-                                               SolverKind solver) const {
-  if (solver == SolverKind::kExhaustive) return ExhaustiveSearch(spec);
-
-  const SubsetEvaluation& base = evaluator_->baseline();
-  std::vector<size_t> seed;
-
-  if (solver == SolverKind::kKnapsackDP &&
-      base.cost.total() <= spec.budget_limit) {
-    // The paper's formulation: additive standalone savings as values,
-    // standalone cost footprints as weights, leftover budget as capacity.
-    std::vector<KnapsackItem> items(evaluator_->num_candidates());
-    for (size_t c = 0; c < items.size(); ++c) {
-      Duration saving = evaluator_->StandaloneProcessingSaving(c);
-      if (spec.time_includes_materialization) {
-        saving -= evaluator_->candidates()[c].materialization_time;
-      }
-      items[c].value = saving.millis();
-      CV_ASSIGN_OR_RETURN(Money delta, evaluator_->StandaloneCostDelta(c));
-      items[c].weight = delta.micros();
-    }
-    int64_t capacity = (spec.budget_limit - base.cost.total()).micros();
-    CV_ASSIGN_OR_RETURN(KnapsackSolution sol,
-                        MaximizeValue(items, capacity));
-    seed = sol.selected;
-  }
-
-  CV_ASSIGN_OR_RETURN(SubsetEvaluation eval, evaluator_->Evaluate(seed));
-  // Exact repair + improvement: first respect the budget, then minimize
-  // the time metric, then prefer the cheaper plan.
-  ScoreFn score = [&](const SubsetEvaluation& e) -> Score {
-    int64_t violation =
-        std::max<int64_t>(0, (e.cost.total() - spec.budget_limit).micros());
-    return {violation, TimeMetric(spec, e).millis(),
-            e.cost.total().micros()};
-  };
-  CV_ASSIGN_OR_RETURN(eval, LocalSearch(std::move(eval), score));
-
-  SelectionResult result;
-  result.feasible = eval.cost.total() <= spec.budget_limit;
-  result.evaluation = std::move(eval);
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// MV2: minimize cost subject to time <= limit.
-
-Result<SelectionResult> ViewSelector::SolveMV2(const ObjectiveSpec& spec,
-                                               SolverKind solver) const {
-  if (solver == SolverKind::kExhaustive) return ExhaustiveSearch(spec);
-
-  const SubsetEvaluation& base = evaluator_->baseline();
-  std::vector<size_t> seed;
-
-  if (solver == SolverKind::kKnapsackDP) {
-    Duration needed = TimeMetric(spec, base) - spec.time_limit;
-    if (needed > Duration::Zero()) {
-      // Dual knapsack: cheapest additive footprint reaching the required
-      // saving. Footprints are clamped to >= 1 micro-dollar so the DP
-      // prefers genuinely small sets (interactions are repaired below).
-      std::vector<KnapsackItem> items(evaluator_->num_candidates());
-      for (size_t c = 0; c < items.size(); ++c) {
-        Duration saving = evaluator_->StandaloneProcessingSaving(c);
-        if (spec.time_includes_materialization) {
-          saving -= evaluator_->candidates()[c].materialization_time;
-        }
-        items[c].value = saving.millis();
-        CV_ASSIGN_OR_RETURN(Money delta,
-                            evaluator_->StandaloneCostDelta(c));
-        items[c].weight = std::max<int64_t>(1, delta.micros());
-      }
-      auto sol = MinimizeWeightForValue(items, needed.millis());
-      if (sol.ok()) {
-        seed = sol.value().selected;
-      } else if (!sol.status().IsNotFound()) {
-        return sol.status();
-      }
-      // NotFound: additive savings cannot reach the target; start from
-      // the empty set and let the local search do what it can.
-    }
-  }
-
-  CV_ASSIGN_OR_RETURN(SubsetEvaluation eval, evaluator_->Evaluate(seed));
-  // First get under the limit (removing a redundant view can *shorten*
-  // the makespan), then cheapen the plan, then prefer the faster one.
-  ScoreFn score = [&](const SubsetEvaluation& e) -> Score {
-    int64_t violation = std::max<int64_t>(
-        0, (TimeMetric(spec, e) - spec.time_limit).millis());
-    return {violation, e.cost.total().micros(),
-            TimeMetric(spec, e).millis()};
-  };
-  CV_ASSIGN_OR_RETURN(eval, LocalSearch(std::move(eval), score));
-
-  SelectionResult result;
-  result.feasible = TimeMetric(spec, eval) <= spec.time_limit;
-  result.evaluation = std::move(eval);
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// MV3: minimize the normalized blend (unconstrained).
-
-Result<SelectionResult> ViewSelector::SolveMV3(const ObjectiveSpec& spec,
-                                               SolverKind solver) const {
-  if (solver == SolverKind::kExhaustive) return ExhaustiveSearch(spec);
-
-  std::vector<size_t> seed;
-  if (solver == SolverKind::kKnapsackDP) {
-    // Additive seeding: every candidate whose standalone blend improves
-    // on the baseline; exact local search repairs interactions.
-    const SubsetEvaluation& base = evaluator_->baseline();
-    double base_obj = TradeoffObjective(spec, base);
-    for (size_t c = 0; c < evaluator_->num_candidates(); ++c) {
-      CV_ASSIGN_OR_RETURN(SubsetEvaluation solo, evaluator_->Evaluate({c}));
-      if (TradeoffObjective(spec, solo) < base_obj) seed.push_back(c);
-    }
-  }
-
-  CV_ASSIGN_OR_RETURN(SubsetEvaluation eval, evaluator_->Evaluate(seed));
-  // The blend is a double; scale to fixed point for the lexicographic
-  // comparator (1e-12 resolution is far below any real difference).
-  ScoreFn score = [&](const SubsetEvaluation& e) -> Score {
-    double obj = TradeoffObjective(spec, e);
-    return {0, static_cast<int64_t>(std::llround(obj * 1e12)),
-            e.cost.total().micros()};
-  };
-  CV_ASSIGN_OR_RETURN(eval, LocalSearch(std::move(eval), score));
-
-  SelectionResult result;
-  result.feasible = true;
-  result.evaluation = std::move(eval);
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Exhaustive enumeration (ground truth for small candidate sets).
-
-Result<SelectionResult> ViewSelector::ExhaustiveSearch(
-    const ObjectiveSpec& spec) const {
-  size_t n = evaluator_->num_candidates();
-  if (n > 20) {
-    return Status::InvalidArgument(
-        "exhaustive search supports at most 20 candidates");
-  }
-
-  bool have_feasible = false;
-  SubsetEvaluation best_feasible;
-  SubsetEvaluation least_violating;
-  double least_violation = 0.0;
-  bool have_any = false;
-
-  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
-    std::vector<size_t> subset;
-    for (size_t c = 0; c < n; ++c) {
-      if (mask & (uint64_t{1} << c)) subset.push_back(c);
-    }
-    CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
-                        evaluator_->Evaluate(subset));
-    Duration time = TimeMetric(spec, eval);
-    Money cost = eval.cost.total();
-
-    bool feasible = true;
-    double violation = 0.0;
-    switch (spec.scenario) {
-      case Scenario::kMV1BudgetLimit:
-        feasible = cost <= spec.budget_limit;
-        violation =
-            static_cast<double>((cost - spec.budget_limit).micros());
-        break;
-      case Scenario::kMV2TimeLimit:
-        feasible = time <= spec.time_limit;
-        violation =
-            static_cast<double>((time - spec.time_limit).millis());
-        break;
-      case Scenario::kMV3Tradeoff:
-        break;
-    }
-
-    if (feasible) {
-      bool better = !have_feasible;
-      if (have_feasible) {
-        switch (spec.scenario) {
-          case Scenario::kMV1BudgetLimit: {
-            Duration best_time = TimeMetric(spec, best_feasible);
-            better = time < best_time ||
-                     (time == best_time &&
-                      cost < best_feasible.cost.total());
-            break;
-          }
-          case Scenario::kMV2TimeLimit: {
-            Money best_cost = best_feasible.cost.total();
-            better = cost < best_cost ||
-                     (cost == best_cost &&
-                      time < TimeMetric(spec, best_feasible));
-            break;
-          }
-          case Scenario::kMV3Tradeoff:
-            better = TradeoffObjective(spec, eval) <
-                     TradeoffObjective(spec, best_feasible) - 1e-12;
-            break;
-        }
-      }
-      if (better) {
-        best_feasible = std::move(eval);
-        have_feasible = true;
-      }
-    } else if (!have_feasible) {
-      if (!have_any || violation < least_violation) {
-        least_violating = std::move(eval);
-        least_violation = violation;
-        have_any = true;
-      }
-    }
-  }
-
-  SelectionResult result;
-  if (have_feasible) {
-    result.evaluation = std::move(best_feasible);
-    result.feasible = true;
-  } else {
-    result.evaluation = std::move(least_violating);
-    result.feasible = false;
-  }
+  CV_ASSIGN_OR_RETURN(const Solver* strategy,
+                      SolverRegistry::Global().Find(solver));
+  SolverContext context(*evaluator_, spec, &cache_);
+  CV_ASSIGN_OR_RETURN(SelectionResult result,
+                      strategy->Solve(spec, context));
+  result.solver = std::string(solver);
   return result;
 }
 

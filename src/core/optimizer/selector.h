@@ -5,10 +5,14 @@
 //   MV2 (time limit Tl):      minimize C       s.t. T <= Tl   (Formula 14)
 //   MV3 (tradeoff, alpha):    minimize alpha*T + (1-alpha)*C  (Formula 15)
 //
-// The primary solver is the paper's 0/1 knapsack DP over additive
-// standalone benefits, followed by an exact interaction-aware repair and
-// improvement pass. Greedy and exhaustive solvers are provided as the
-// baseline and the ground truth for ablation.
+// All three are one generic constrained-optimization problem: minimize a
+// lexicographic (constraint violation, primary objective, tie-breaker)
+// score over subsets of Vcand. How the subset space is *searched* is a
+// pluggable strategy: ViewSelector looks the solver up by name in the
+// SolverRegistry (see solver.h) and runs it against a SolverContext that
+// carries the scenario scoring plus the shared evaluation memo. The
+// built-in strategies are "knapsack-dp" (the paper's DP + exact repair),
+// "greedy", "exhaustive", "annealing" and "local-search".
 //
 // MV3 mixes hours with dollars; we evaluate the blend on
 // baseline-normalized terms (T/T0, C/C0) so alpha is a unit-free
@@ -17,10 +21,8 @@
 #ifndef CLOUDVIEW_CORE_OPTIMIZER_SELECTOR_H_
 #define CLOUDVIEW_CORE_OPTIMIZER_SELECTOR_H_
 
-#include <array>
-#include <cstdint>
-#include <functional>
 #include <string>
+#include <string_view>
 
 #include "common/duration.h"
 #include "common/money.h"
@@ -34,20 +36,8 @@ enum class Scenario { kMV1BudgetLimit, kMV2TimeLimit, kMV3Tradeoff };
 
 const char* ToString(Scenario scenario);
 
-/// \brief How to search the subset space.
-enum class SolverKind {
-  /// The paper's knapsack DP + exact repair.
-  kKnapsackDP,
-  /// Benefit-per-dollar hill climbing (baseline).
-  kGreedy,
-  /// Full enumeration (<= 20 candidates); ground truth for tests.
-  kExhaustive,
-  /// Simulated annealing (see annealing.h); escapes local optima on
-  /// rugged instances.
-  kAnnealing,
-};
-
-const char* ToString(SolverKind kind);
+/// \brief The registry name of the paper's primary solver.
+inline constexpr std::string_view kDefaultSolverName = "knapsack-dp";
 
 /// \brief Scenario parameters.
 struct ObjectiveSpec {
@@ -78,51 +68,40 @@ struct SelectionResult {
   bool feasible = true;
   /// MV3 only: the normalized blended objective of the selection.
   double objective_value = 0.0;
-  SolverKind solver = SolverKind::kKnapsackDP;
+  /// Registry name of the solver that produced this selection.
+  std::string solver;
 
   /// \brief The time metric the objective used (makespan or processing).
   Duration time;
 };
 
-/// \brief Solves the three scenarios against a SelectionEvaluator.
+/// \brief Solves the three scenarios against a SelectionEvaluator by
+/// dispatching to a registered solver strategy.
+///
+/// Not thread-safe, including Solve() const: subset evaluations are
+/// memoized across calls. Use one selector per thread.
 class ViewSelector {
  public:
   /// \brief Keeps a reference; `evaluator` must outlive the selector.
   explicit ViewSelector(const SelectionEvaluator& evaluator)
       : evaluator_(&evaluator) {}
 
-  /// \brief Runs the scenario with the given solver.
-  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
-                                SolverKind solver) const;
+  /// \brief Runs the scenario with the named solver (see
+  /// SolverRegistry::Names() for what is available). NotFound for an
+  /// unregistered name. Evaluations are memoized across calls on the
+  /// same selector, so sweeping specs or comparing solvers is cheap.
+  Result<SelectionResult> Solve(
+      const ObjectiveSpec& spec,
+      std::string_view solver = kDefaultSolverName) const;
 
   /// \brief MV3's normalized blend for a given evaluation.
   double TradeoffObjective(const ObjectiveSpec& spec,
                            const SubsetEvaluation& eval) const;
 
  private:
-  /// Lexicographic move score: (constraint violation, primary objective,
-  /// tie-breaker); lower is better, violation 0 means feasible.
-  using Score = std::array<int64_t, 3>;
-  using ScoreFn = std::function<Score(const SubsetEvaluation&)>;
-
-  Duration TimeMetric(const ObjectiveSpec& spec,
-                      const SubsetEvaluation& eval) const;
-
-  /// Exact hill climbing over single add/remove moves until no move
-  /// improves the score.
-  Result<SubsetEvaluation> LocalSearch(SubsetEvaluation start,
-                                       const ScoreFn& score) const;
-
-  Result<SelectionResult> SolveMV1(const ObjectiveSpec& spec,
-                                   SolverKind solver) const;
-  Result<SelectionResult> SolveMV2(const ObjectiveSpec& spec,
-                                   SolverKind solver) const;
-  Result<SelectionResult> SolveMV3(const ObjectiveSpec& spec,
-                                   SolverKind solver) const;
-
-  Result<SelectionResult> ExhaustiveSearch(const ObjectiveSpec& spec) const;
-
   const SelectionEvaluator* evaluator_;
+  /// Subset evaluations are spec-independent; share them across runs.
+  mutable EvaluationCache cache_;
 };
 
 }  // namespace cloudview

@@ -1,0 +1,265 @@
+#include "core/optimizer/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+constexpr size_t kNoMove = static_cast<size_t>(-1);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SolverContext
+
+SolverContext::SolverContext(const SelectionEvaluator& evaluator,
+                             const ObjectiveSpec& spec,
+                             EvaluationCache* cache)
+    : evaluator_(&evaluator), spec_(&spec), cache_(cache) {
+  const SubsetEvaluation& base = evaluator.baseline();
+  t0_millis_ = spec.mv3_reference_time.is_zero()
+                   ? static_cast<double>(TimeMetric(base).millis())
+                   : static_cast<double>(spec.mv3_reference_time.millis());
+  c0_micros_ = spec.mv3_reference_cost.is_zero()
+                   ? static_cast<double>(base.cost.total().micros())
+                   : static_cast<double>(spec.mv3_reference_cost.micros());
+  CV_CHECK(t0_millis_ > 0.0 && c0_micros_ > 0.0)
+      << "degenerate baseline for MV3";
+}
+
+double SolverContext::TradeoffObjective(Duration time, Money cost) const {
+  double t = static_cast<double>(time.millis());
+  double c = static_cast<double>(cost.micros());
+  return spec_->alpha * (t / t0_millis_) +
+         (1.0 - spec_->alpha) * (c / c0_micros_);
+}
+
+bool SolverContext::Feasible(Duration time, Money cost) const {
+  switch (spec_->scenario) {
+    case Scenario::kMV1BudgetLimit:
+      return cost <= spec_->budget_limit;
+    case Scenario::kMV2TimeLimit:
+      return time <= spec_->time_limit;
+    case Scenario::kMV3Tradeoff:
+      return true;
+  }
+  return true;
+}
+
+SolverContext::Score SolverContext::ScoreOf(Duration time,
+                                            Money cost) const {
+  switch (spec_->scenario) {
+    case Scenario::kMV1BudgetLimit: {
+      // Respect the budget, then minimize time, then prefer cheaper.
+      int64_t violation = std::max<int64_t>(
+          0, (cost - spec_->budget_limit).micros());
+      return {violation, time.millis(), cost.micros()};
+    }
+    case Scenario::kMV2TimeLimit: {
+      // Get under the limit, then cheapen, then prefer faster.
+      int64_t violation =
+          std::max<int64_t>(0, (time - spec_->time_limit).millis());
+      return {violation, cost.micros(), time.millis()};
+    }
+    case Scenario::kMV3Tradeoff: {
+      // The blend is a double; scale to fixed point for the
+      // lexicographic comparator (1e-12 resolution is far below any
+      // real difference).
+      double objective = TradeoffObjective(time, cost);
+      return {0, static_cast<int64_t>(std::llround(objective * 1e12)),
+              cost.micros()};
+    }
+  }
+  return {0, 0, 0};
+}
+
+Result<SolverContext::Probe> SolverContext::ProbeTotals(
+    const SubsetTotals& totals) {
+  bool cached = cache_ != nullptr && use_cache_;
+  if (cached) {
+    if (const EvaluationCache::Entry* entry = cache_->Find(totals.hash)) {
+      ++counters_.cache_hits;
+      return Probe{TimeMetric(entry->processing_time, entry->makespan),
+                   entry->total_cost};
+    }
+  }
+  ++counters_.incremental_probes;
+  CV_ASSIGN_OR_RETURN(Money cost, evaluator_->FastTotalCost(totals));
+  if (cached) {
+    cache_->Insert(totals.hash,
+                   {totals.processing, totals.makespan(), cost});
+  }
+  return Probe{TimeMetric(totals.processing, totals.makespan()), cost};
+}
+
+Result<SolverContext::Probe> SolverContext::ProbeState(
+    const SubsetState& state) {
+  if (!use_incremental_) {
+    ++counters_.full_evaluations;
+    CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
+                        evaluator_->Evaluate(state.Selected()));
+    return Probe{TimeMetric(eval), eval.cost.total()};
+  }
+  return ProbeTotals(state.totals());
+}
+
+Result<SolverContext::Probe> SolverContext::ProbeToggle(
+    const SubsetState& state, size_t c) {
+  if (!use_incremental_) {
+    ++counters_.full_evaluations;
+    std::vector<size_t> selected = state.Selected();
+    if (state.contains(c)) {
+      selected.erase(std::find(selected.begin(), selected.end(), c));
+    } else {
+      selected.push_back(c);
+    }
+    CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
+                        evaluator_->Evaluate(selected));
+    return Probe{TimeMetric(eval), eval.cost.total()};
+  }
+  return ProbeTotals(state.PeekToggle(c));
+}
+
+Result<SubsetEvaluation> SolverContext::Evaluate(
+    const std::vector<size_t>& selected) {
+  ++counters_.full_evaluations;
+  return evaluator_->Evaluate(selected);
+}
+
+Status SolverContext::HillClimb(SubsetState& state, bool with_swaps) {
+  Result<Score> current = ScoreState(state);
+  CV_RETURN_IF_ERROR(current.status());
+  Score current_score = current.value();
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    Score best_score = current_score;
+    size_t best_add = kNoMove;
+    size_t best_remove = kNoMove;
+
+    // Single add/remove moves, probed read-only.
+    for (size_t c = 0; c < num_candidates(); ++c) {
+      Result<Score> trial = ScoreToggle(state, c);
+      CV_RETURN_IF_ERROR(trial.status());
+      if (trial.value() < best_score) {
+        best_score = trial.value();
+        best_add = state.contains(c) ? kNoMove : c;
+        best_remove = state.contains(c) ? c : kNoMove;
+        improved = true;
+      }
+    }
+
+    // Swap moves (remove one member, add one non-member): the
+    // neighborhood that escapes same-size plateaus single toggles
+    // cannot cross (arXiv 2606.03772). One committed removal per
+    // member; the adds are read-only peeks.
+    if (with_swaps) {
+      std::vector<size_t> members = state.Selected();
+      for (size_t out : members) {
+        state.Remove(out);
+        for (size_t in = 0; in < num_candidates(); ++in) {
+          if (in == out || state.contains(in)) continue;
+          Result<Score> trial = ScoreToggle(state, in);
+          if (!trial.ok()) {
+            state.Add(out);
+            return trial.status();
+          }
+          if (trial.value() < best_score) {
+            best_score = trial.value();
+            best_add = in;
+            best_remove = out;
+            improved = true;
+          }
+        }
+        state.Add(out);
+      }
+    }
+
+    if (improved) {
+      if (best_remove != kNoMove) state.Remove(best_remove);
+      if (best_add != kNoMove) state.Add(best_add);
+      current_score = best_score;
+    }
+  }
+  return Status::OK();
+}
+
+Result<SelectionResult> SolverContext::Finalize(
+    const std::vector<size_t>& selected) {
+  CV_ASSIGN_OR_RETURN(SubsetEvaluation eval, Evaluate(selected));
+  SelectionResult result;
+  result.time = TimeMetric(eval);
+  result.feasible = Feasible(result.time, eval.cost.total());
+  result.objective_value =
+      TradeoffObjective(result.time, eval.cost.total());
+  result.evaluation = std::move(eval);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SolverRegistry
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = new SolverRegistry();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  CV_CHECK(solver != nullptr) << "null solver";
+  if (Contains(solver->name())) {
+    return Status::AlreadyExists(
+        StrFormat("solver '%s' already registered",
+                  std::string(solver->name()).c_str()));
+  }
+  solvers_.push_back(std::move(solver));
+  return Status::OK();
+}
+
+Result<const Solver*> SolverRegistry::Find(std::string_view name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return solver.get();
+  }
+  std::string known;
+  for (const std::string& n : Names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound(StrFormat("no solver named '%s' (registered: %s)",
+                                    std::string(name).c_str(),
+                                    known.c_str()));
+}
+
+bool SolverRegistry::Contains(std::string_view name) const {
+  for (const auto& solver : solvers_) {
+    if (solver->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const auto& solver : solvers_) {
+    names.emplace_back(solver->name());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+namespace internal {
+
+SolverRegistrar::SolverRegistrar(std::unique_ptr<Solver> solver) {
+  Status status = SolverRegistry::Global().Register(std::move(solver));
+  CV_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace internal
+
+}  // namespace cloudview

@@ -1,0 +1,236 @@
+// The solver strategy seam: how the subset space is searched is a
+// pluggable, name-keyed strategy over one shared evaluation substrate.
+//
+//   Solver          — the strategy interface: Solve(spec, context).
+//   SolverContext   — everything a strategy needs: the evaluator, the
+//                     scenario's lexicographic scoring, the incremental
+//                     SubsetState probes, the shared evaluation memo,
+//                     and a best-improvement hill-climb helper.
+//   SolverRegistry  — name -> strategy; self-registration via
+//                     CLOUDVIEW_REGISTER_SOLVER keeps the set open
+//                     (built-ins and downstream solvers register the
+//                     same way).
+//
+// Built-in strategies: "knapsack-dp" (the paper's Section 5.2 DP plus
+// exact repair), "greedy", "exhaustive", "annealing", and
+// "local-search" (add/remove/swap iterated local search in the spirit
+// of arXiv 2606.03772). See DESIGN.md §5.11.
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/optimizer/evaluator.h"
+#include "core/optimizer/selector.h"
+
+namespace cloudview {
+
+/// \brief The scenario-and-evaluator bundle a solver runs against.
+///
+/// Scoring is uniform across the three scenarios: a subset is reduced to
+/// (time metric, total cost) and ranked by the lexicographic Score
+/// (constraint violation, primary objective, tie-breaker) — lower is
+/// better, violation 0 means feasible. Probes go through the memo cache
+/// and the incremental fast path by default; set_use_incremental(false)
+/// forces every probe through the exact Evaluate() ground truth (the
+/// ablation bench_solvers measures).
+class SolverContext {
+ public:
+  /// Lexicographic move score; lower is better.
+  using Score = std::array<int64_t, 3>;
+
+  /// \brief What one subset probe reduces to.
+  struct Probe {
+    /// The scenario's time metric (makespan or processing time).
+    Duration time;
+    Money cost;
+  };
+
+  /// \brief Per-run evaluation counters (reported by bench_solvers).
+  struct Counters {
+    /// Exact Evaluate() calls (ground-truth path).
+    uint64_t full_evaluations = 0;
+    /// Incremental fast-path probes (SubsetState + FastTotalCost).
+    uint64_t incremental_probes = 0;
+    /// Probes answered from the shared evaluation memo.
+    uint64_t cache_hits = 0;
+    uint64_t subsets_scored() const {
+      return full_evaluations + incremental_probes + cache_hits;
+    }
+  };
+
+  /// \brief Keeps references; `evaluator` and `spec` must outlive the
+  /// context. `cache` (optional) is the cross-run evaluation memo.
+  SolverContext(const SelectionEvaluator& evaluator,
+                const ObjectiveSpec& spec,
+                EvaluationCache* cache = nullptr);
+
+  const SelectionEvaluator& evaluator() const { return *evaluator_; }
+  const ObjectiveSpec& spec() const { return *spec_; }
+  size_t num_candidates() const { return evaluator_->num_candidates(); }
+
+  // --- Objective helpers -----------------------------------------------
+
+  /// \brief The scenario's time metric for a pair of time totals.
+  Duration TimeMetric(Duration processing, Duration makespan) const {
+    return spec_->time_includes_materialization ? makespan : processing;
+  }
+  Duration TimeMetric(const SubsetEvaluation& eval) const {
+    return TimeMetric(eval.processing_time, eval.makespan);
+  }
+
+  /// \brief MV3's baseline-normalized blend (Formula 15 on T/T0, C/C0).
+  double TradeoffObjective(Duration time, Money cost) const;
+  double TradeoffObjective(const SubsetEvaluation& eval) const {
+    return TradeoffObjective(TimeMetric(eval), eval.cost.total());
+  }
+
+  /// \brief Whether (time, cost) satisfies the scenario's constraint.
+  bool Feasible(Duration time, Money cost) const;
+
+  Score ScoreOf(Duration time, Money cost) const;
+  Score ScoreOf(const Probe& probe) const {
+    return ScoreOf(probe.time, probe.cost);
+  }
+  Score ScoreOf(const SubsetEvaluation& eval) const {
+    return ScoreOf(TimeMetric(eval), eval.cost.total());
+  }
+
+  // --- Evaluation paths ------------------------------------------------
+
+  /// \brief Scores the state via memo -> incremental fast path (or the
+  /// exact path when use_incremental() is off). Bumps the counters.
+  Result<Probe> ProbeState(const SubsetState& state);
+  Result<Score> ScoreState(const SubsetState& state) {
+    CV_ASSIGN_OR_RETURN(Probe probe, ProbeState(state));
+    return ScoreOf(probe);
+  }
+
+  /// \brief Scores the subset `state` would become after Toggle(c),
+  /// WITHOUT mutating it (SubsetState::PeekToggle) — the move-probing
+  /// primitive of every neighborhood loop: no commit, no revert.
+  Result<Probe> ProbeToggle(const SubsetState& state, size_t c);
+  Result<Score> ScoreToggle(const SubsetState& state, size_t c) {
+    CV_ASSIGN_OR_RETURN(Probe probe, ProbeToggle(state, c));
+    return ScoreOf(probe);
+  }
+
+  /// \brief Exact ground-truth evaluation (counted as a full eval).
+  Result<SubsetEvaluation> Evaluate(const std::vector<size_t>& selected);
+
+  // --- Shared search building blocks -----------------------------------
+
+  /// \brief Best-improvement hill climbing on `state` over single
+  /// add/remove moves (plus remove+add swap moves when `with_swaps`)
+  /// until no move improves the score. The exact repair pass every
+  /// heuristic runs after seeding.
+  Status HillClimb(SubsetState& state, bool with_swaps = false);
+
+  /// \brief Exact re-evaluation of the final pick, packaged with
+  /// feasibility, the time metric, and the normalized blend.
+  Result<SelectionResult> Finalize(const std::vector<size_t>& selected);
+  Result<SelectionResult> Finalize(const SubsetState& state) {
+    return Finalize(state.Selected());
+  }
+
+  // --- Knobs and telemetry ---------------------------------------------
+
+  /// \brief When off, every probe routes through exact Evaluate() — the
+  /// incremental-vs-full ablation switch.
+  void set_use_incremental(bool on) { use_incremental_ = on; }
+  bool use_incremental() const { return use_incremental_; }
+
+  /// \brief When off, probes skip the shared memo entirely. Solvers
+  /// that never revisit a subset (exhaustive enumeration) turn this off
+  /// so they don't flood the cache with single-use entries.
+  void set_use_cache(bool on) { use_cache_ = on; }
+  bool use_cache() const { return use_cache_; }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  /// Memo-or-compute for a peeked/committed totals bundle.
+  Result<Probe> ProbeTotals(const SubsetTotals& totals);
+
+  const SelectionEvaluator* evaluator_;
+  const ObjectiveSpec* spec_;
+  EvaluationCache* cache_;
+  /// MV3 normalization denominators (baseline or spec overrides).
+  double t0_millis_ = 0.0;
+  double c0_micros_ = 0.0;
+  bool use_incremental_ = true;
+  bool use_cache_ = true;
+  Counters counters_;
+};
+
+/// \brief One search strategy over the subset space.
+///
+/// Implementations must be stateless across Solve() calls (per-run state
+/// lives on the stack or in the context); the registry hands out one
+/// shared instance per name.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// \brief Registry key, e.g. "knapsack-dp".
+  virtual std::string_view name() const = 0;
+  /// \brief One-line description for listings.
+  virtual std::string_view description() const = 0;
+
+  /// \brief Searches the subset space for `spec`'s objective. The
+  /// returned result must come from SolverContext::Finalize (exact
+  /// re-evaluation of the pick).
+  virtual Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                        SolverContext& context) const = 0;
+};
+
+/// \brief Name-keyed strategy registry. Open for extension: link a
+/// translation unit with CLOUDVIEW_REGISTER_SOLVER (or call Register at
+/// startup) and the solver is selectable everywhere by name.
+class SolverRegistry {
+ public:
+  /// \brief The process-wide registry the built-ins register into.
+  static SolverRegistry& Global();
+
+  /// \brief Registers `solver` under solver->name(). AlreadyExists when
+  /// the name is taken.
+  Status Register(std::unique_ptr<Solver> solver);
+
+  /// \brief Looks a strategy up by name; NotFound lists what exists.
+  Result<const Solver*> Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// \brief Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::unique_ptr<Solver>> solvers_;
+};
+
+namespace internal {
+/// \brief Static registrar behind CLOUDVIEW_REGISTER_SOLVER.
+struct SolverRegistrar {
+  explicit SolverRegistrar(std::unique_ptr<Solver> solver);
+};
+}  // namespace internal
+
+/// \brief Registers `SolverClass` (default-constructed) into the global
+/// registry at static-initialization time. Place one per solver
+/// translation unit; the build links the library as objects, so
+/// registrars are never dead-stripped.
+#define CLOUDVIEW_REGISTER_SOLVER(SolverClass)                      \
+  static const ::cloudview::internal::SolverRegistrar               \
+      cv_solver_registrar_##SolverClass{                            \
+          std::make_unique<SolverClass>()};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_

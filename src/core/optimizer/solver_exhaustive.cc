@@ -1,0 +1,58 @@
+// "exhaustive": full subset enumeration — the ground truth the other
+// strategies are measured against (tests and bench_solvers gap tables).
+//
+// Enumerates in Gray-code order so consecutive subsets differ by one
+// toggle: each probe is an O(queries) incremental SubsetState move
+// instead of a from-scratch rebuild, which is what makes 2^20 subsets
+// tractable. The winner is re-evaluated exactly by Finalize().
+
+#include <vector>
+
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+namespace {
+
+class ExhaustiveSolver : public Solver {
+ public:
+  std::string_view name() const override { return "exhaustive"; }
+  std::string_view description() const override {
+    return "full enumeration (<= 20 candidates); ground truth";
+  }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                SolverContext& context) const override {
+    (void)spec;
+    size_t n = context.num_candidates();
+    if (n > 20) {
+      return Status::InvalidArgument(
+          "exhaustive search supports at most 20 candidates");
+    }
+    // The walk visits each subset exactly once; memoizing 2^n
+    // single-use entries would only bloat the shared cache.
+    context.set_use_cache(false);
+
+    SubsetState state(context.evaluator());
+    CV_ASSIGN_OR_RETURN(SolverContext::Score best_score,
+                        context.ScoreState(state));
+    std::vector<size_t> best = state.Selected();
+
+    // Gray-code walk: subset i is mask i ^ (i >> 1); stepping from i-1
+    // to i toggles exactly bit ctz(i).
+    for (uint64_t i = 1; i < (uint64_t{1} << n); ++i) {
+      state.Toggle(static_cast<size_t>(__builtin_ctzll(i)));
+      CV_ASSIGN_OR_RETURN(SolverContext::Score score,
+                          context.ScoreState(state));
+      if (score < best_score) {
+        best_score = score;
+        best = state.Selected();
+      }
+    }
+    return context.Finalize(best);
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(ExhaustiveSolver)
+
+}  // namespace
+}  // namespace cloudview

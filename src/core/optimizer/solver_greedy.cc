@@ -1,0 +1,30 @@
+// "greedy": best-improvement hill climbing from the empty set — the
+// baseline the paper's knapsack seeding is measured against. Each round
+// applies the single add/remove move that improves the lexicographic
+// score the most, until no move does.
+
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+namespace {
+
+class GreedySolver : public Solver {
+ public:
+  std::string_view name() const override { return "greedy"; }
+  std::string_view description() const override {
+    return "best-improvement hill climbing from the empty set (baseline)";
+  }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                SolverContext& context) const override {
+    (void)spec;
+    SubsetState state(context.evaluator());
+    CV_RETURN_IF_ERROR(context.HillClimb(state));
+    return context.Finalize(state);
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(GreedySolver)
+
+}  // namespace
+}  // namespace cloudview

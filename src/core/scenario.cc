@@ -83,7 +83,7 @@ Result<DeploymentSpec> CloudScenario::MakeDeployment(
 
 Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
                                        const ObjectiveSpec& spec,
-                                       SolverKind solver,
+                                       std::string_view solver,
                                        const ClusterSpec* cluster_override)
     const {
   if (workload.empty()) {

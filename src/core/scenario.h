@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "catalog/lattice.h"
@@ -79,13 +80,14 @@ class CloudScenario {
   /// \brief The paper's 10-query workload on this scenario's lattice.
   Result<Workload> PaperWorkload() const;
 
-  /// \brief Selects views for `workload` under `spec` with `solver`,
-  /// returning the selection plus the no-view baseline. `cluster_override`
-  /// (when non-null) replaces the configured cluster — used by sweeps over
+  /// \brief Selects views for `workload` under `spec` with the named
+  /// registered solver (see SolverRegistry::Names()), returning the
+  /// selection plus the no-view baseline. `cluster_override` (when
+  /// non-null) replaces the configured cluster — used by sweeps over
   /// instance tiers (the paper's scalability-vs-views tradeoff).
   Result<ScenarioRun> Run(const Workload& workload,
                           const ObjectiveSpec& spec,
-                          SolverKind solver = SolverKind::kKnapsackDP,
+                          std::string_view solver = kDefaultSolverName,
                           const ClusterSpec* cluster_override = nullptr) const;
 
   /// \brief Deployment parameters for `workload` (storage timeline,

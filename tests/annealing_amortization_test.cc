@@ -65,8 +65,7 @@ TEST_F(AnnealingTest, MatchesExhaustiveOnMV3) {
   spec.scenario = Scenario::kMV3Tradeoff;
   spec.alpha = 0.5;
   ViewSelector selector(*evaluator_);
-  SelectionResult exact =
-      selector.Solve(spec, SolverKind::kExhaustive).MoveValue();
+  SelectionResult exact = selector.Solve(spec, "exhaustive").MoveValue();
   SelectionResult annealed =
       AnnealSelection(*evaluator_, spec).MoveValue();
   EXPECT_LE(annealed.objective_value, exact.objective_value * 1.05);

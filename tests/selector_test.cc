@@ -79,13 +79,11 @@ TEST_F(SelectorTest, MV1RespectsBudget) {
   ObjectiveSpec spec;
   spec.scenario = Scenario::kMV1BudgetLimit;
   spec.budget_limit = Money::FromCents(120);
-  for (SolverKind solver :
-       {SolverKind::kKnapsackDP, SolverKind::kGreedy,
-        SolverKind::kExhaustive}) {
+  for (const char* solver : {"knapsack-dp", "greedy", "exhaustive"}) {
     SelectionResult result = selector.Solve(spec, solver).MoveValue();
-    EXPECT_TRUE(result.feasible) << ToString(solver);
+    EXPECT_TRUE(result.feasible) << solver;
     EXPECT_LE(result.evaluation.cost.total(), spec.budget_limit)
-        << ToString(solver);
+        << solver;
     // Views must help: time at most the baseline's.
     EXPECT_LE(result.time, evaluator->baseline().makespan);
   }
@@ -98,7 +96,7 @@ TEST_F(SelectorTest, MV1InfeasibleBudgetReported) {
   spec.scenario = Scenario::kMV1BudgetLimit;
   spec.budget_limit = Money::FromCents(1);  // Below even the baseline.
   SelectionResult result =
-      selector.Solve(spec, SolverKind::kKnapsackDP).MoveValue();
+      selector.Solve(spec, "knapsack-dp").MoveValue();
   EXPECT_FALSE(result.feasible);
   // Best effort: the returned plan never costs more than the no-view
   // baseline (views that pay for themselves may still be selected).
@@ -113,13 +111,11 @@ TEST_F(SelectorTest, MV2MeetsTimeLimit) {
   spec.scenario = Scenario::kMV2TimeLimit;
   spec.time_limit = Duration::FromHoursRounded(0.99);
   spec.time_includes_materialization = false;
-  for (SolverKind solver :
-       {SolverKind::kKnapsackDP, SolverKind::kGreedy,
-        SolverKind::kExhaustive}) {
+  for (const char* solver : {"knapsack-dp", "greedy", "exhaustive"}) {
     SelectionResult result = selector.Solve(spec, solver).MoveValue();
-    EXPECT_TRUE(result.feasible) << ToString(solver);
+    EXPECT_TRUE(result.feasible) << solver;
     EXPECT_LE(result.evaluation.processing_time, spec.time_limit)
-        << ToString(solver);
+        << solver;
   }
 }
 
@@ -130,7 +126,7 @@ TEST_F(SelectorTest, MV2ImpossibleLimitIsInfeasible) {
   spec.scenario = Scenario::kMV2TimeLimit;
   spec.time_limit = Duration::FromSeconds(1);  // Below any startup.
   SelectionResult result =
-      selector.Solve(spec, SolverKind::kKnapsackDP).MoveValue();
+      selector.Solve(spec, "knapsack-dp").MoveValue();
   EXPECT_FALSE(result.feasible);
 }
 
@@ -142,7 +138,7 @@ TEST_F(SelectorTest, MV3NeverWorseThanBaseline) {
     spec.scenario = Scenario::kMV3Tradeoff;
     spec.alpha = alpha;
     SelectionResult result =
-        selector.Solve(spec, SolverKind::kKnapsackDP).MoveValue();
+        selector.Solve(spec, "knapsack-dp").MoveValue();
     // Empty set scores exactly 1.0; the optimizer can always keep it.
     EXPECT_LE(result.objective_value, 1.0 + 1e-9) << "alpha " << alpha;
   }
@@ -154,7 +150,7 @@ TEST_F(SelectorTest, MV3RejectsBadAlpha) {
   ObjectiveSpec spec;
   spec.scenario = Scenario::kMV3Tradeoff;
   spec.alpha = 1.5;
-  EXPECT_TRUE(selector.Solve(spec, SolverKind::kKnapsackDP)
+  EXPECT_TRUE(selector.Solve(spec, "knapsack-dp")
                   .status()
                   .IsInvalidArgument());
 }
@@ -190,7 +186,7 @@ TEST_F(SelectorTest, ExhaustiveRefusesTooManyCandidates) {
   ViewSelector selector(*evaluator);
   ObjectiveSpec spec;
   spec.scenario = Scenario::kMV3Tradeoff;
-  EXPECT_TRUE(selector.Solve(spec, SolverKind::kExhaustive)
+  EXPECT_TRUE(selector.Solve(spec, "exhaustive")
                   .status()
                   .IsInvalidArgument());
 }
@@ -225,28 +221,27 @@ TEST_P(SolverGapTest, KnapsackAndGreedyNearExhaustive) {
     spec.time_includes_materialization = false;
   }
 
-  SelectionResult exact =
-      selector.Solve(spec, SolverKind::kExhaustive).MoveValue();
-  for (SolverKind solver : {SolverKind::kKnapsackDP, SolverKind::kGreedy}) {
+  SelectionResult exact = selector.Solve(spec, "exhaustive").MoveValue();
+  for (const char* solver : {"knapsack-dp", "greedy"}) {
     SelectionResult heuristic = selector.Solve(spec, solver).MoveValue();
-    ASSERT_EQ(heuristic.feasible, exact.feasible) << ToString(solver);
+    ASSERT_EQ(heuristic.feasible, exact.feasible) << solver;
     if (!exact.feasible) continue;
     switch (param.scenario) {
       case Scenario::kMV1BudgetLimit:
         // Within 10% of the optimal time.
         EXPECT_LE(heuristic.time.millis(),
                   exact.time.millis() * 11 / 10)
-            << ToString(solver);
+            << solver;
         break;
       case Scenario::kMV2TimeLimit:
         EXPECT_LE(heuristic.evaluation.cost.total().micros(),
                   exact.evaluation.cost.total().micros() * 11 / 10)
-            << ToString(solver);
+            << solver;
         break;
       case Scenario::kMV3Tradeoff:
         EXPECT_LE(heuristic.objective_value,
                   exact.objective_value * 1.1)
-            << ToString(solver);
+            << solver;
         break;
     }
   }
@@ -269,9 +264,16 @@ TEST(SelectorToString, Names) {
   EXPECT_STREQ(ToString(Scenario::kMV1BudgetLimit), "MV1 (budget limit)");
   EXPECT_STREQ(ToString(Scenario::kMV2TimeLimit), "MV2 (time limit)");
   EXPECT_STREQ(ToString(Scenario::kMV3Tradeoff), "MV3 (tradeoff)");
-  EXPECT_STREQ(ToString(SolverKind::kKnapsackDP), "knapsack-dp");
-  EXPECT_STREQ(ToString(SolverKind::kGreedy), "greedy");
-  EXPECT_STREQ(ToString(SolverKind::kExhaustive), "exhaustive");
+}
+
+TEST(SelectorSolverDispatch, UnknownSolverIsNotFound) {
+  SelectorFixture fixture;
+  auto evaluator = fixture.MakeEvaluator(fixture.PaperWorkload(3));
+  ViewSelector selector(*evaluator);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  EXPECT_TRUE(
+      selector.Solve(spec, "no-such-solver").status().IsNotFound());
 }
 
 }  // namespace

@@ -185,7 +185,7 @@ TEST(SsbSelection, EndToEndViewSelectionWorks) {
   spec.scenario = Scenario::kMV3Tradeoff;
   spec.alpha = 0.5;
   SelectionResult result =
-      selector.Solve(spec, SolverKind::kKnapsackDP).MoveValue();
+      selector.Solve(spec, "knapsack-dp").MoveValue();
   EXPECT_GT(result.evaluation.selected.size(), 0u);
   EXPECT_LT(result.objective_value, 1.0);
 }

@@ -1,0 +1,221 @@
+// Property tests for the incremental evaluation layer: on random
+// add/remove sequences, SubsetState's running totals, Zobrist hash and
+// FastTotalCost() must equal the from-scratch Evaluate() ground truth
+// *exactly* (everything is integer arithmetic), across every billing
+// variant the cost fast path mirrors (per-second vs hourly granularity,
+// single-session vs per-activity compute, maintenance on/off).
+
+#include "core/optimizer/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/solver.h"
+#include "engine/sales_generator.h"
+#include "pricing/providers.h"
+#include "workload/generator.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+namespace {
+
+struct BillingVariant {
+  const char* label;
+  BillingGranularity granularity;
+  bool single_compute_session;
+  int64_t maintenance_cycles;
+};
+
+class SubsetStatePropertyTest
+    : public ::testing::TestWithParam<BillingVariant> {
+ protected:
+  void SetUp() override {
+    const BillingVariant& variant = GetParam();
+    SalesConfig config;
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(config).value()).MoveValue());
+    MapReduceParams params;
+    params.job_startup = Duration::FromSeconds(45);
+    params.map_throughput_per_unit = DataSize::FromBytes(2'100 * 1024);
+    simulator_ = std::make_unique<MapReduceSimulator>(*lattice_, params);
+    pricing_ = std::make_unique<PricingModel>(
+        AwsPricing2012().WithComputeGranularity(variant.granularity));
+    cost_model_ = std::make_unique<CloudCostModel>(*pricing_);
+    cluster_ = ClusterSpec{pricing_->instances().Find("small").value(), 5};
+    workload_ = MakePaperWorkload(*lattice_).MoveValue();
+
+    deployment_.instance = cluster_.instance;
+    deployment_.nb_instances = cluster_.nodes;
+    deployment_.storage_period = Months::FromMilli(4);
+    deployment_.base_storage = StorageTimeline(lattice_->fact_scan_size());
+    deployment_.maintenance_cycles = variant.maintenance_cycles;
+    deployment_.single_compute_session = variant.single_compute_session;
+
+    CandidateGenOptions options;
+    options.max_candidates = 10;
+    options.max_rows_fraction = 0.05;
+    evaluator_ = std::make_unique<SelectionEvaluator>(
+        SelectionEvaluator::Create(
+            *lattice_, workload_, *simulator_, cluster_, *cost_model_,
+            deployment_,
+            GenerateCandidates(*lattice_, workload_, *simulator_,
+                               cluster_, options)
+                .MoveValue())
+            .MoveValue());
+  }
+
+  /// Asserts every incremental quantity equals the exact ground truth.
+  void ExpectMatchesFullEvaluation(const SubsetState& state) {
+    std::vector<size_t> selected = state.Selected();
+    SubsetEvaluation full = evaluator_->Evaluate(selected).MoveValue();
+    EXPECT_EQ(state.hash(), SubsetHash(selected));
+    EXPECT_EQ(state.size(), selected.size());
+    EXPECT_EQ(state.processing_time(), full.processing_time);
+    EXPECT_EQ(state.makespan(), full.makespan);
+    EXPECT_EQ(state.materialization_time(),
+              full.view_input.TotalMaterializationTime());
+    EXPECT_EQ(state.maintenance_time(),
+              full.view_input.TotalMaintenanceTime());
+    EXPECT_EQ(state.view_bytes(), full.view_input.TotalSize());
+    EXPECT_EQ(evaluator_->FastTotalCost(state).MoveValue(),
+              full.cost.total());
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  std::unique_ptr<MapReduceSimulator> simulator_;
+  std::unique_ptr<PricingModel> pricing_;
+  std::unique_ptr<CloudCostModel> cost_model_;
+  ClusterSpec cluster_;
+  Workload workload_;
+  DeploymentSpec deployment_;
+  std::unique_ptr<SelectionEvaluator> evaluator_;
+};
+
+TEST_P(SubsetStatePropertyTest, EmptyStateMatchesBaseline) {
+  SubsetState state(*evaluator_);
+  EXPECT_EQ(state.hash(), 0u);
+  EXPECT_EQ(state.processing_time(),
+            evaluator_->baseline().processing_time);
+  EXPECT_EQ(state.makespan(), evaluator_->baseline().makespan);
+  EXPECT_EQ(evaluator_->FastTotalCost(state).MoveValue(),
+            evaluator_->baseline().cost.total());
+}
+
+TEST_P(SubsetStatePropertyTest, RandomMoveSequencesMatchFullEvaluation) {
+  size_t n = evaluator_->num_candidates();
+  ASSERT_GT(n, 2u);
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    SubsetState state(*evaluator_);
+    for (int move = 0; move < 60; ++move) {
+      state.Toggle(static_cast<size_t>(rng.Uniform(n)));
+      ExpectMatchesFullEvaluation(state);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(SubsetStatePropertyTest, PeekToggleMatchesCommittedToggle) {
+  // The read-only probe must report exactly what committing the same
+  // move would produce — for every candidate, from random states.
+  size_t n = evaluator_->num_candidates();
+  Rng rng(13);
+  SubsetState state(*evaluator_);
+  for (int move = 0; move < 30; ++move) {
+    state.Toggle(static_cast<size_t>(rng.Uniform(n)));
+    for (size_t c = 0; c < n; ++c) {
+      SubsetTotals peeked = state.PeekToggle(c);
+      SubsetState committed = state;
+      committed.Toggle(c);
+      EXPECT_EQ(peeked.hash, committed.hash());
+      EXPECT_EQ(peeked.processing, committed.processing_time());
+      EXPECT_EQ(peeked.materialization,
+                committed.materialization_time());
+      EXPECT_EQ(peeked.maintenance, committed.maintenance_time());
+      EXPECT_EQ(peeked.view_bytes, committed.view_bytes());
+      EXPECT_EQ(evaluator_->FastTotalCost(peeked).MoveValue(),
+                evaluator_->FastTotalCost(committed).MoveValue());
+    }
+  }
+}
+
+TEST_P(SubsetStatePropertyTest, HashIsOrderIndependent) {
+  size_t n = evaluator_->num_candidates();
+  SubsetState forward(*evaluator_);
+  SubsetState backward(*evaluator_);
+  for (size_t c = 0; c < n; ++c) forward.Add(c);
+  for (size_t c = n; c-- > 0;) backward.Add(c);
+  EXPECT_EQ(forward.hash(), backward.hash());
+  EXPECT_EQ(forward.processing_time(), backward.processing_time());
+  // And adding then removing restores the empty hash.
+  for (size_t c = 0; c < n; ++c) forward.Remove(c);
+  EXPECT_EQ(forward.hash(), 0u);
+  EXPECT_EQ(forward.processing_time(),
+            evaluator_->baseline().processing_time);
+  EXPECT_EQ(forward.view_bytes(), DataSize::Zero());
+}
+
+TEST_P(SubsetStatePropertyTest, ContextProbeMatchesExactPath) {
+  // SolverContext::ProbeState — memo on and off, incremental on and
+  // off — always reduces a subset to the same (time, cost) pair.
+  size_t n = evaluator_->num_candidates();
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  EvaluationCache cache;
+  SolverContext cached(*evaluator_, spec, &cache);
+  SolverContext uncached(*evaluator_, spec);
+  SolverContext exact(*evaluator_, spec);
+  exact.set_use_incremental(false);
+
+  Rng rng(11);
+  SubsetState state(*evaluator_);
+  for (int move = 0; move < 40; ++move) {
+    size_t flip = static_cast<size_t>(rng.Uniform(n));
+    // The read-only toggle probe agrees with the exact path...
+    SolverContext::Probe peek = cached.ProbeToggle(state, flip).MoveValue();
+    SolverContext::Probe peek_exact =
+        exact.ProbeToggle(state, flip).MoveValue();
+    EXPECT_EQ(peek.time, peek_exact.time);
+    EXPECT_EQ(peek.cost, peek_exact.cost);
+    // ...and so does the committed-state probe.
+    state.Toggle(flip);
+    SolverContext::Probe a = cached.ProbeState(state).MoveValue();
+    SolverContext::Probe b = uncached.ProbeState(state).MoveValue();
+    SolverContext::Probe c = exact.ProbeState(state).MoveValue();
+    EXPECT_EQ(a.time, c.time);
+    EXPECT_EQ(a.cost, c.cost);
+    EXPECT_EQ(b.time, c.time);
+    EXPECT_EQ(b.cost, c.cost);
+    EXPECT_EQ(peek.time, c.time);
+    EXPECT_EQ(peek.cost, c.cost);
+  }
+  // The exact context went through Evaluate() every time (one toggle
+  // probe plus one state probe per move); the cached one answered
+  // repeats from the memo.
+  EXPECT_EQ(exact.counters().full_evaluations, 80u);
+  EXPECT_EQ(exact.counters().incremental_probes, 0u);
+  EXPECT_GT(cached.counters().cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BillingVariants, SubsetStatePropertyTest,
+    ::testing::Values(
+        BillingVariant{"second_per_activity", BillingGranularity::kSecond,
+                       false, 0},
+        BillingVariant{"second_session", BillingGranularity::kSecond,
+                       true, 0},
+        BillingVariant{"hour_per_activity", BillingGranularity::kHour,
+                       false, 3},
+        BillingVariant{"hour_session_maint", BillingGranularity::kHour,
+                       true, 2}),
+    [](const ::testing::TestParamInfo<BillingVariant>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace cloudview
