@@ -33,6 +33,15 @@ void RatesUnderCap(double rows_fraction, size_t max_candidates,
                    std::to_string(row.num_queries),
                    std::to_string(row.views_selected),
                    Pct(row.ip_rate), Pct(row.paper_rate)});
+    bench::JsonLine("ablation_candidates")
+        .Num("rows_cap", rows_fraction)
+        .Int("max_candidates", static_cast<int64_t>(max_candidates))
+        .Int("queries_only", queries_only ? 1 : 0)
+        .Int("queries", static_cast<int64_t>(row.num_queries))
+        .Int("views", static_cast<int64_t>(row.views_selected))
+        .Num("ip_rate", row.ip_rate)
+        .Num("paper_rate", row.paper_rate)
+        .Emit();
   }
 }
 

@@ -49,6 +49,18 @@ int main() {
            run.selection.evaluation.cost.total().ToString(),
            run.baseline.cost.total().ToString(),
            Pct(1.0 - run.selection.objective_value)});
+      bench::JsonLine("ablation_maintenance")
+          .Num("delta_gb", delta_gb)
+          .Int("cycles", cycles)
+          .Int("views", static_cast<int64_t>(
+                            run.selection.evaluation.selected.size()))
+          .Num("maintenance_usd",
+               run.selection.evaluation.cost.maintenance.dollars())
+          .Num("total_with_usd",
+               run.selection.evaluation.cost.total().dollars())
+          .Num("total_without_usd", run.baseline.cost.total().dollars())
+          .Num("mv3_rate", 1.0 - run.selection.objective_value)
+          .Emit();
     }
   }
   table.Print(std::cout);

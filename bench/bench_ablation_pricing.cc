@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "core/experiments.h"
+#include "pricing/provider_registry.h"
 
 using namespace cloudview;
 using bench::Pct;
@@ -21,8 +22,7 @@ namespace {
 
 ExperimentConfig WithGranularity(BillingGranularity g, bool session) {
   ExperimentConfig config;
-  config.scenario.pricing =
-      AwsPricing2012().WithComputeGranularity(g);
+  config.scenario.pricing_overrides.compute_granularity = g;
   config.scenario.single_compute_session = session;
   return config;
 }
@@ -44,6 +44,14 @@ void GranularityAblation() {
         table.AddRow({ToString(g), session ? "single" : "per-activity",
                       std::to_string(row.num_queries), Pct(row.ip_rate),
                       row.feasible ? "yes" : "NO"});
+        bench::JsonLine("ablation_pricing")
+            .Str("ablation", "granularity")
+            .Str("billing", ToString(g))
+            .Str("rounding", session ? "single" : "per-activity")
+            .Int("queries", static_cast<int64_t>(row.num_queries))
+            .Num("ip_rate", row.ip_rate)
+            .Int("feasible", row.feasible ? 1 : 0)
+            .Emit();
       }
     }
   }
@@ -56,7 +64,8 @@ void StorageSemanticsAblation() {
   table.SetTitle(
       "Ablation B: flat-bracket (paper Formula 5) vs marginal tiers "
       "(real AWS) storage billing");
-  PricingModel flat = AwsPricing2012();
+  PricingModel flat =
+      Unwrap(ProviderRegistry::Global().Model("aws-2012"), "aws-2012");
   PricingModel marginal =
       flat.WithStorageBilling(StorageBilling::kMarginalTiers);
   for (int64_t gb : {500, 1024, 2560, 10240, 102400}) {
@@ -65,6 +74,12 @@ void StorageSemanticsAblation() {
                   flat.MonthlyStorageCost(v).ToString()});
     table.AddRow({"marginal", v.ToString(),
                   marginal.MonthlyStorageCost(v).ToString()});
+    bench::JsonLine("ablation_pricing")
+        .Str("ablation", "storage_semantics")
+        .Int("volume_gb", gb)
+        .Num("flat_bracket_usd", flat.MonthlyStorageCost(v).dollars())
+        .Num("marginal_usd", marginal.MonthlyStorageCost(v).dollars())
+        .Emit();
   }
   table.Print(std::cout);
   std::cout << "\nNote: the two agree below the first tier bound (1 TB)\n"
@@ -90,6 +105,14 @@ void SessionRoundingOnMV2() {
                     std::to_string(row.num_queries),
                     row.cost_without.ToString(),
                     row.cost_with.ToString(), Pct(row.ic_rate)});
+      bench::JsonLine("ablation_pricing")
+          .Str("ablation", "session_rounding")
+          .Str("rounding", session ? "single" : "per-activity")
+          .Int("queries", static_cast<int64_t>(row.num_queries))
+          .Num("cost_without_usd", row.cost_without.dollars())
+          .Num("cost_with_usd", row.cost_with.dollars())
+          .Num("ic_rate", row.ic_rate)
+          .Emit();
     }
   }
   table.Print(std::cout);

@@ -41,6 +41,15 @@ int main() {
        std::to_string(with_views.selection.evaluation.selected.size()),
        Hours(with_views.selection.time),
        with_views.selection.evaluation.cost.total().ToString()});
+  bench::JsonLine("elasticity")
+      .Str("configuration", "views")
+      .Int("nodes", 5)
+      .Int("views", static_cast<int64_t>(
+                        with_views.selection.evaluation.selected.size()))
+      .Num("time_h", with_views.selection.time.hours())
+      .Num("cost_usd",
+           with_views.selection.evaluation.cost.total().dollars())
+      .Emit();
 
   for (int64_t nodes : {1, 2, 5, 10, 20, 40}) {
     ClusterSpec cluster{scenario.cluster().instance, nodes};
@@ -50,6 +59,13 @@ int main() {
     table.AddRow({"scale-out, no views", std::to_string(nodes), "0",
                   Hours(no_views.processing_time),
                   no_views.cost.total().ToString()});
+    bench::JsonLine("elasticity")
+        .Str("configuration", "scale-out")
+        .Int("nodes", nodes)
+        .Int("views", 0)
+        .Num("time_h", no_views.processing_time.hours())
+        .Num("cost_usd", no_views.cost.total().dollars())
+        .Emit();
   }
   table.Print(std::cout);
 

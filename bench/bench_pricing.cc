@@ -1,6 +1,7 @@
 // Regenerates the paper's pricing tables (Tables 2, 3, 4) from the
-// encoded AWS-2012 catalog, then microbenchmarks the pricing kernels
-// (tier evaluation, compute cost) with google-benchmark.
+// registered "aws-2012" sheet, then microbenchmarks the pricing kernels
+// (tier evaluation, compute cost) with google-benchmark. All catalogs
+// are resolved through the ProviderRegistry.
 
 #include <benchmark/benchmark.h>
 
@@ -9,14 +10,19 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "pricing/billing.h"
-#include "pricing/providers.h"
+#include "pricing/provider_registry.h"
 
 using namespace cloudview;
+using bench::Unwrap;
 
 namespace {
 
+PricingModel Aws() {
+  return Unwrap(ProviderRegistry::Global().Model("aws-2012"), "aws-2012");
+}
+
 void PrintTable2() {
-  PricingModel aws = AwsPricing2012();
+  PricingModel aws = Aws();
   TablePrinter table({"Instance configuration", "Price per hour",
                       "Compute units", "RAM", "Local storage"});
   table.SetTitle("Table 2: EC2 computing prices (encoded catalog)");
@@ -24,6 +30,28 @@ void PrintTable2() {
     table.AddRow({type.name, type.price_per_hour.ToString(),
                   StrFormat("%.1f", type.compute_units),
                   type.ram.ToString(), type.local_storage.ToString()});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+void PrintRegisteredProviders() {
+  TablePrinter table({"provider", "billing", "instances", "description"});
+  table.SetTitle("Registered provider sheets");
+  const ProviderRegistry& registry = ProviderRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const PriceSheetSpec* spec = Unwrap(registry.FindSpec(name), "spec");
+    PricingModel model = Unwrap(registry.Model(name), "model");
+    table.AddRow({name, ToString(model.compute_granularity()),
+                  std::to_string(model.instances().size()),
+                  spec->description});
+    bench::JsonLine("pricing")
+        .Str("provider", name)
+        .Str("billing", ToString(model.compute_granularity()))
+        .Int("instances", static_cast<int64_t>(model.instances().size()))
+        .Int("bills_requests", model.request_charge().is_billed() ? 1 : 0)
+        .Int("has_free_tier", model.free_tier().is_empty() ? 0 : 1)
+        .Emit();
   }
   table.Print(std::cout);
   std::cout << "\n";
@@ -44,29 +72,34 @@ void PrintRateTable(const char* title, const TieredRate& rate) {
 }
 
 void PrintWorkedExamples() {
-  PricingModel aws = AwsPricing2012();
+  PricingModel aws = Aws();
   InstanceType small = aws.instances().Find("small").value();
+  Money transfer = aws.TransferOutCost(DataSize::FromGB(10));
+  Money compute = aws.ComputeCost(small, Duration::FromHours(50), 2);
+  Money storage =
+      aws.StorageCost(DataSize::FromGB(550), Months::FromMonths(12));
   TablePrinter table({"Worked example", "Formula", "Value"});
   table.SetTitle("Paper worked examples, recomputed");
   table.AddRow({"Example 1 (transfer, 10 GB result)",
-                "(10-1) x $0.12", aws.TransferOutCost(DataSize::FromGB(10))
-                                      .ToString()});
+                "(10-1) x $0.12", transfer.ToString()});
   table.AddRow({"Example 2 (compute, 2 x small x 50 h)",
-                "RoundUp(50) x $0.12 x 2",
-                aws.ComputeCost(small, Duration::FromHours(50), 2)
-                    .ToString()});
-  table.AddRow(
-      {"Example 9 (storage, 550 GB x 12 mo)", "550 x 12 x $0.14",
-       aws.StorageCost(DataSize::FromGB(550), Months::FromMonths(12))
-           .ToString()});
+                "RoundUp(50) x $0.12 x 2", compute.ToString()});
+  table.AddRow({"Example 9 (storage, 550 GB x 12 mo)",
+                "550 x 12 x $0.14", storage.ToString()});
   table.Print(std::cout);
+  bench::JsonLine("pricing")
+      .Str("example", "worked_examples")
+      .Num("example1_transfer_usd", transfer.dollars())
+      .Num("example2_compute_usd", compute.dollars())
+      .Num("example9_storage_usd", storage.dollars())
+      .Emit();
   std::cout << "\n";
 }
 
 // --- Microbenchmarks ---------------------------------------------------------
 
 void BM_TieredMarginalCost(benchmark::State& state) {
-  TieredRate schedule = AwsPricing2012().storage_schedule();
+  TieredRate schedule = Aws().storage_schedule();
   DataSize volume = DataSize::FromGB(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule.MarginalCost(volume));
@@ -75,7 +108,7 @@ void BM_TieredMarginalCost(benchmark::State& state) {
 BENCHMARK(BM_TieredMarginalCost)->Arg(10)->Arg(2048)->Arg(1 << 20);
 
 void BM_ComputeCost(benchmark::State& state) {
-  PricingModel aws = AwsPricing2012();
+  PricingModel aws = Aws();
   InstanceType small = aws.instances().Find("small").value();
   Duration busy = Duration::FromMillis(37'512'345);
   for (auto _ : state) {
@@ -85,7 +118,7 @@ void BM_ComputeCost(benchmark::State& state) {
 BENCHMARK(BM_ComputeCost);
 
 void BM_InvoiceGeneration(benchmark::State& state) {
-  PricingModel aws = AwsPricing2012();
+  PricingModel aws = Aws();
   InstanceType small = aws.instances().Find("small").value();
   for (auto _ : state) {
     BillingMeter meter(aws);
@@ -102,11 +135,12 @@ BENCHMARK(BM_InvoiceGeneration)->Arg(16)->Arg(256);
 
 int main(int argc, char** argv) {
   std::cout << "=== Pricing substrate: the paper's Tables 2-4 ===\n\n";
+  PrintRegisteredProviders();
   PrintTable2();
   PrintRateTable("Table 3: Amazon bandwidth prices (output data)",
-                 AwsPricing2012().transfer_out_schedule());
+                 Aws().transfer_out_schedule());
   PrintRateTable("Table 4: Amazon storage prices",
-                 AwsPricing2012().storage_schedule());
+                 Aws().storage_schedule());
   PrintWorkedExamples();
 
   benchmark::Initialize(&argc, argv);

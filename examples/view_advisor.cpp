@@ -3,7 +3,10 @@
 // workload coverage, its standalone monetary delta, and how many
 // workload repetitions it takes to amortize (core/cost/amortization).
 //
-//   $ ./build/examples/example_view_advisor
+// The provider is picked by ProviderRegistry name, so the same report
+// runs under any registered price sheet:
+//
+//   $ ./build/examples/example_view_advisor [provider]
 
 #include <iostream>
 
@@ -14,6 +17,7 @@
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/evaluator.h"
 #include "core/optimizer/solver.h"
+#include "pricing/provider_registry.h"
 
 using namespace cloudview;
 
@@ -30,12 +34,34 @@ T Check(Result<T> result, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   ExperimentConfig config;
+  if (argc > 1) {
+    config.scenario.provider = argv[1];
+    if (!ProviderRegistry::Global().Contains(config.scenario.provider)) {
+      std::cerr << "unknown provider '" << config.scenario.provider
+                << "'; registered:";
+      for (const std::string& name : ProviderRegistry::Global().Names()) {
+        std::cerr << " " << name;
+      }
+      std::cerr << "\n";
+      return 1;
+    }
+    // Some catalogs lack the default "small" tier; rent the cheapest
+    // >= 1-unit instance of the chosen provider instead.
+    PricingModel model = Check(
+        ProviderRegistry::Global().Model(config.scenario.provider),
+        "provider");
+    config.scenario.instance_name =
+        Check(model.instances().CheapestWithUnits(1.0), "instance").name;
+  }
   CloudScenario scenario =
       Check(CloudScenario::Create(config.scenario), "scenario");
   const CubeLattice& lattice = scenario.lattice();
   Workload workload = Check(scenario.PaperWorkload(), "workload");
+  std::cout << "Provider: " << scenario.pricing().name() << " ("
+            << ToString(scenario.pricing().compute_granularity())
+            << "-billed compute)\n";
 
   DeploymentSpec deployment = Check(
       scenario.MakeDeployment(workload, scenario.cluster()), "deploy");

@@ -19,6 +19,7 @@ Result<CostBreakdown> CloudCostModel::CostWithoutViews(
   }
   breakdown.transfer =
       transfer_.GeneralTransferCost(workload, spec.ingress);
+  breakdown.requests = transfer_.RequestCost(workload);
   CV_ASSIGN_OR_RETURN(
       breakdown.storage,
       storage_.Cost(spec.base_storage, spec.storage_period));
@@ -62,9 +63,11 @@ Result<CostBreakdown> CloudCostModel::CostWithViews(
                                  spec.maintenance_cycles);
   }
   // Transfer is unchanged by views (Section 4.1): views never leave the
-  // cloud.
+  // cloud. Request charges likewise: the workload issues the same API
+  // calls whichever view serves them.
   breakdown.transfer =
       transfer_.GeneralTransferCost(workload, spec.ingress);
+  breakdown.requests = transfer_.RequestCost(workload);
   // Storage: base timeline plus the views' duplicated bytes, stored for
   // the whole period (Section 4.3).
   StorageTimeline with_views = spec.base_storage;

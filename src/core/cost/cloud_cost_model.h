@@ -44,7 +44,9 @@ struct DeploymentSpec {
   /// as ONE rental session: the busy-time total is rounded up to the
   /// billing granularity once, not per activity. The paper's worked
   /// examples round per activity (default false); its Section 6 runs are
-  /// single sessions (see EXPERIMENTS.md). The rounding surcharge is
+  /// single sessions (see EXPERIMENTS.md). The gap to the exact
+  /// on-demand per-activity split — a rounding surcharge, or a reserved-
+  /// plan discount (negative) on sheets with reserved rates — is
   /// reported separately in CostBreakdown::session_rounding.
   bool single_compute_session = false;
 };

@@ -8,7 +8,11 @@ void CostBreakdown::Print(std::ostream& os) const {
   if (!session_rounding.is_zero()) {
     os << " round " << session_rounding;
   }
-  os << " stor " << storage << " xfer " << transfer << ")";
+  os << " stor " << storage << " xfer " << transfer;
+  if (!requests.is_zero()) {
+    os << " req " << requests;
+  }
+  os << ")";
 }
 
 }  // namespace cloudview

@@ -18,9 +18,18 @@ struct CostBreakdown {
   Money maintenance;     // C_maintenanceV (Formula 12); zero sans views.
   Money storage;         // Cs (Formula 5).
   Money transfer;        // Ct (Formulas 2-3).
-  /// Round-up surcharge when compute is billed as one rental session
-  /// (DeploymentSpec::single_compute_session): the gap between the
-  /// session's rounded bill and the exact per-activity charges above.
+  /// Per-request I/O charges (Cr) for CSPs that bill API requests —
+  /// beyond the paper's Formula 1; zero under the paper's sheets.
+  Money requests;
+  /// Session reconciliation when compute is billed as one rental
+  /// session (DeploymentSpec::single_compute_session): the gap between
+  /// the session's actual bill and the exact on-demand per-activity
+  /// charges above. Non-negative under pure on-demand pricing (a
+  /// round-up surcharge); *negative* when the instance's reserved-rate
+  /// plan undercuts the on-demand split for the whole session — the
+  /// per-activity components then overstate what was billed and this
+  /// term carries the reserved discount. compute() is the billed truth
+  /// either way.
   Money session_rounding;
 
   /// \brief Cc: all compute charges (Formula 6).
@@ -28,8 +37,8 @@ struct CostBreakdown {
     return processing + materialization + maintenance + session_rounding;
   }
 
-  /// \brief C = Cc + Cs + Ct (Formula 1).
-  Money total() const { return compute() + storage + transfer; }
+  /// \brief C = Cc + Cs + Ct (Formula 1), plus the request extension Cr.
+  Money total() const { return compute() + storage + transfer + requests; }
 
   CostBreakdown& operator+=(const CostBreakdown& other) {
     processing += other.processing;
@@ -37,6 +46,7 @@ struct CostBreakdown {
     maintenance += other.maintenance;
     storage += other.storage;
     transfer += other.transfer;
+    requests += other.requests;
     return *this;
   }
 

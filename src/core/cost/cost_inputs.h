@@ -58,6 +58,16 @@ struct WorkloadCostInput {
     }
     return total;
   }
+
+  /// \brief Total query executions (frequency sum) — the unit count
+  /// per-request billing multiplies (RequestCharge::requests_per_query).
+  int64_t TotalExecutions() const {
+    int64_t total = 0;
+    for (const QueryCostInput& q : queries) {
+      total += static_cast<int64_t>(q.frequency);
+    }
+    return total;
+  }
 };
 
 /// \brief The view side of Section 4: per-view materialization and

@@ -16,4 +16,12 @@ Money TransferCostModel::GeneralTransferCost(
   return out + in;
 }
 
+Money TransferCostModel::RequestCost(
+    const WorkloadCostInput& workload) const {
+  const RequestCharge& charge = pricing_->request_charge();
+  if (!charge.is_billed()) return Money::Zero();
+  return pricing_->RequestCost(workload.TotalExecutions() *
+                               charge.requests_per_query);
+}
+
 }  // namespace cloudview

@@ -41,6 +41,14 @@ class TransferCostModel {
   Money GeneralTransferCost(const WorkloadCostInput& workload,
                             const IngressVolumes& ingress) const;
 
+  /// \brief Per-request I/O charges for the workload's query executions
+  /// (each execution issues RequestCharge::requests_per_query billable
+  /// requests). Beyond the paper's Formula 2; zero unless the CSP bills
+  /// requests. Subset-independent, like the transfer terms: views are
+  /// read cloud-side, so materializing changes which bytes a request
+  /// touches, not how many API calls the workload makes.
+  Money RequestCost(const WorkloadCostInput& workload) const;
+
  private:
   const PricingModel* pricing_;
 };

@@ -184,9 +184,10 @@ Result<Money> SelectionEvaluator::FastTotalCost(
     }
   }
 
-  // Transfer (Section 4.1): views never leave the cloud, so the charge
-  // is the baseline's, whatever the subset.
-  return compute + storage + transfer_cost();
+  // Transfer (Section 4.1) and request charges: views never leave the
+  // cloud and the workload issues the same API calls, so both are the
+  // baseline's, whatever the subset.
+  return compute + storage + transfer_cost() + request_cost();
 }
 
 Result<Money> SelectionEvaluator::FastTotalCost(

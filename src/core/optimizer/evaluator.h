@@ -146,6 +146,11 @@ class SelectionEvaluator {
   /// \brief Transfer cost, constant across subsets (cached).
   Money transfer_cost() const { return baseline_.cost.transfer; }
 
+  /// \brief Per-request I/O charges, constant across subsets (cached):
+  /// views change which bytes a query touches, not how many API calls
+  /// the workload makes.
+  Money request_cost() const { return baseline_.cost.requests; }
+
   /// \brief Processing time saved by materializing candidate `c` alone
   /// (additive knapsack approximation).
   Duration StandaloneProcessingSaving(size_t c) const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "pricing/provider_registry.h"
 
 namespace cloudview {
 
@@ -34,8 +35,17 @@ Result<CloudScenario> CloudScenario::Create(ScenarioConfig config) {
   scenario.lattice_ = std::make_unique<CubeLattice>(std::move(lattice));
   scenario.simulator_ = std::make_unique<MapReduceSimulator>(
       *scenario.lattice_, scenario.config_.mapreduce);
-  scenario.pricing_ =
-      std::make_unique<PricingModel>(scenario.config_.pricing);
+  if (scenario.config_.pricing.has_value()) {
+    // Deprecated shim: an explicit model bypasses the registry.
+    scenario.pricing_ =
+        std::make_unique<PricingModel>(*scenario.config_.pricing);
+  } else {
+    CV_ASSIGN_OR_RETURN(
+        PricingModel model,
+        ProviderRegistry::Global().Model(scenario.config_.provider));
+    scenario.pricing_ = std::make_unique<PricingModel>(
+        model.WithOverrides(scenario.config_.pricing_overrides));
+  }
   scenario.cost_model_ =
       std::make_unique<CloudCostModel>(*scenario.pricing_);
   CV_ASSIGN_OR_RETURN(
@@ -109,6 +119,45 @@ Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
   run.selection = std::move(selection);
   run.baseline = evaluator.baseline();
   return run;
+}
+
+Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
+    const Workload& workload, const ObjectiveSpec& spec,
+    std::string_view solver) const {
+  std::vector<ProviderComparisonRow> rows;
+  for (const std::string& name : ProviderRegistry::Global().Names()) {
+    CV_ASSIGN_OR_RETURN(PricingModel model,
+                        ProviderRegistry::Global().Model(name));
+
+    // Catalogs name their tiers differently: keep the configured
+    // instance when this provider offers it, otherwise rent the
+    // cheapest type matching the configured compute power.
+    Result<InstanceType> instance =
+        model.instances().Find(config_.instance_name);
+    if (!instance.ok()) {
+      instance =
+          model.instances().CheapestWithUnits(cluster_.instance.compute_units);
+    }
+    CV_RETURN_IF_ERROR(instance.status());
+
+    ScenarioConfig config = config_;
+    config.pricing.reset();
+    config.provider = name;
+    // Native billing semantics: the comparison is between the sheets as
+    // published, not between override combinations.
+    config.pricing_overrides = PricingOverrides{};
+    config.instance_name = instance->name;
+    CV_ASSIGN_OR_RETURN(CloudScenario scenario,
+                        CloudScenario::Create(std::move(config)));
+
+    ProviderComparisonRow row;
+    row.provider = name;
+    row.instance = instance->name;
+    row.granularity = model.compute_granularity();
+    CV_ASSIGN_OR_RETURN(row.run, scenario.Run(workload, spec, solver));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 Result<SubsetEvaluation> CloudScenario::EvaluateWithoutViews(

@@ -6,6 +6,7 @@
 #define CLOUDVIEW_CORE_SCENARIO_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,7 +20,6 @@
 #include "engine/cluster.h"
 #include "engine/sales_generator.h"
 #include "pricing/pricing_model.h"
-#include "pricing/providers.h"
 #include "workload/workload.h"
 
 namespace cloudview {
@@ -30,12 +30,20 @@ struct ScenarioConfig {
   SalesConfig sales;
   /// Simulated-cluster timing constants.
   MapReduceParams mapreduce;
-  /// CSP price sheet. Default: the paper's AWS sheet with per-second
-  /// compute billing (the Section 6 budgets are sub-dollar; see
-  /// DESIGN.md §5.4). Examples reproducing the worked examples override
-  /// this with plain AwsPricing2012().
-  PricingModel pricing =
-      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond);
+  /// CSP selection by ProviderRegistry name (see
+  /// ProviderRegistry::Global().Names()).
+  std::string provider = "aws-2012";
+  /// Billing-semantic overrides applied to the registered sheet.
+  /// Default: per-second compute billing (the Section 6 budgets are
+  /// sub-dollar; see DESIGN.md §5.4). Examples reproducing the worked
+  /// examples clear the granularity override to get the sheet's native
+  /// started-hour billing.
+  PricingOverrides pricing_overrides{
+      .compute_granularity = BillingGranularity::kSecond};
+  /// Deprecated shim for the pre-registry API: when set, this exact
+  /// model is used and `provider`/`pricing_overrides` are ignored.
+  /// Prefer selecting by name.
+  std::optional<PricingModel> pricing;
   /// Rented configuration (paper Section 6: five identical VMs).
   std::string instance_name = "small";
   int64_t nb_instances = 5;
@@ -65,6 +73,17 @@ struct ScenarioRun {
   double CostImprovement() const;
 };
 
+/// \brief One provider's row in a CompareProviders sweep.
+struct ProviderComparisonRow {
+  /// Registry name of the provider.
+  std::string provider;
+  /// Instance type actually rented under this provider's catalog.
+  std::string instance;
+  /// The sheet's native compute billing granularity.
+  BillingGranularity granularity = BillingGranularity::kHour;
+  ScenarioRun run;
+};
+
 /// \brief A wired-up deployment; build once, run many workloads.
 class CloudScenario {
  public:
@@ -89,6 +108,19 @@ class CloudScenario {
                           const ObjectiveSpec& spec,
                           std::string_view solver = kDefaultSolverName,
                           const ClusterSpec* cluster_override = nullptr) const;
+
+  /// \brief Re-costs one selection problem under every registered
+  /// provider (the paper's Section 8 multi-CSP extension): for each
+  /// ProviderRegistry name, this scenario's deployment is rebuilt on
+  /// that sheet — with its *native* billing semantics, not this
+  /// scenario's pricing_overrides — and Run() re-solves the selection.
+  /// The configured instance name is kept when the provider's catalog
+  /// has it; otherwise the cheapest type matching the configured
+  /// instance's compute units is rented. Rows come back in sorted
+  /// provider-name order.
+  Result<std::vector<ProviderComparisonRow>> CompareProviders(
+      const Workload& workload, const ObjectiveSpec& spec,
+      std::string_view solver = kDefaultSolverName) const;
 
   /// \brief Deployment parameters for `workload` (storage timeline,
   /// period, cluster) — exposed for custom evaluations.

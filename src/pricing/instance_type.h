@@ -17,7 +17,7 @@ namespace cloudview {
 struct InstanceType {
   /// CSP-facing name, e.g. "small".
   std::string name;
-  /// Rental price per (started) hour.
+  /// On-demand rental price per (started) hour.
   Money price_per_hour;
   /// Relative compute power; 1.0 = one EC2 Compute Unit. The cluster
   /// simulator scales per-node throughput linearly with this.
@@ -26,6 +26,19 @@ struct InstanceType {
   DataSize ram = DataSize::Zero();
   /// Ephemeral local storage bundled with the instance.
   DataSize local_storage = DataSize::Zero();
+  /// Reserved-rate pair (both zero = no reserved offer): a one-time
+  /// upfront per instance per rental session buys the discounted hourly
+  /// rate. PricingModel::ComputeCost bills whichever plan is cheaper for
+  /// the session, as CSP savings plans auto-apply. Beyond the paper's
+  /// Table 2, which is on-demand only.
+  Money reserved_upfront;
+  Money reserved_price_per_hour;
+
+  /// \brief Whether this type carries a reserved-rate offer.
+  bool has_reserved_rate() const {
+    return !reserved_upfront.is_zero() ||
+           !reserved_price_per_hour.is_zero();
+  }
 };
 
 /// \brief An ordered list of instance types with name lookup.

@@ -1,0 +1,92 @@
+#include "pricing/price_sheet_spec.h"
+
+#include <utility>
+
+#include "common/str_format.h"
+
+namespace cloudview {
+
+namespace {
+
+/// Lowers a spec schedule into a validated TieredRate. An empty
+/// schedule means "free" (a flat zero rate).
+Result<TieredRate> LowerSchedule(const std::string& sheet,
+                                 const char* what,
+                                 std::vector<RateTier> tiers) {
+  if (tiers.empty()) return TieredRate::Flat(Money::Zero());
+  Result<TieredRate> rate = TieredRate::Create(std::move(tiers));
+  if (!rate.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("sheet '%s', %s schedule: %s", sheet.c_str(), what,
+                  rate.status().message().c_str()));
+  }
+  return rate;
+}
+
+}  // namespace
+
+Status PriceSheetSpec::Validate() const {
+  return Lower().status();
+}
+
+Result<PricingModel> PriceSheetSpec::Lower() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("price sheet needs a name");
+  }
+  if (instances.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "sheet '%s' needs at least one instance entry", name.c_str()));
+  }
+
+  PricingModelOptions opts;
+  opts.name = name;
+  for (const InstanceSpec& entry : instances) {
+    InstanceType type;
+    type.name = entry.name;
+    type.price_per_hour = entry.price_per_hour;
+    type.compute_units = entry.compute_units;
+    type.ram = entry.ram;
+    type.local_storage = entry.local_storage;
+    if (entry.reserved.has_value()) {
+      if (entry.reserved->upfront.is_zero() &&
+          entry.reserved->price_per_hour.is_zero()) {
+        return Status::InvalidArgument(StrFormat(
+            "sheet '%s', instance '%s': reserved rate pair is all zero",
+            name.c_str(), entry.name.c_str()));
+      }
+      if (entry.reserved->price_per_hour >= entry.price_per_hour) {
+        return Status::InvalidArgument(StrFormat(
+            "sheet '%s', instance '%s': reserved hourly rate must "
+            "undercut the on-demand rate",
+            name.c_str(), entry.name.c_str()));
+      }
+      type.reserved_upfront = entry.reserved->upfront;
+      type.reserved_price_per_hour = entry.reserved->price_per_hour;
+    }
+    opts.instances.Add(std::move(type));
+  }
+
+  CV_ASSIGN_OR_RETURN(
+      opts.storage_per_gb_month,
+      LowerSchedule(name, "storage", storage_per_gb_month));
+  CV_ASSIGN_OR_RETURN(
+      opts.transfer_out_per_gb,
+      LowerSchedule(name, "transfer-out", transfer_out_per_gb));
+  CV_ASSIGN_OR_RETURN(
+      opts.transfer_in_per_gb,
+      LowerSchedule(name, "transfer-in", transfer_in_per_gb));
+  opts.compute_granularity = compute_granularity;
+  opts.storage_billing = storage_billing;
+  opts.requests = requests;
+  opts.free_tier = free_tier;
+
+  Result<PricingModel> model = PricingModel::Create(std::move(opts));
+  if (!model.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("sheet '%s': %s", name.c_str(),
+                  model.status().message().c_str()));
+  }
+  return model;
+}
+
+}  // namespace cloudview

@@ -1,0 +1,77 @@
+// PriceSheetSpec: a declarative, plain-data description of one CSP's
+// price sheet — the open half of the provider seam.
+//
+// A spec is an aggregate a downstream user can brace-initialize: instance
+// catalog entries (with optional reserved-rate pairs), tiered storage and
+// transfer schedules, billing semantics, per-request charges, and a
+// free tier. Validate() checks it; Lower() validates and builds
+// the immutable PricingModel every cost path consumes. Specs registered
+// with CLOUDVIEW_REGISTER_PROVIDER become selectable by name everywhere
+// (see pricing/provider_registry.h and DESIGN.md §7).
+
+#ifndef CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_
+#define CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/data_size.h"
+#include "common/money.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "pricing/pricing_model.h"
+
+namespace cloudview {
+
+/// \brief A reserved-rate offer: `upfront` paid once per instance per
+/// rental session buys the discounted `price_per_hour`.
+struct ReservedRateSpec {
+  Money upfront;
+  Money price_per_hour;
+};
+
+/// \brief One instance catalog entry.
+struct InstanceSpec {
+  std::string name;
+  /// On-demand hourly rate.
+  Money price_per_hour;
+  double compute_units = 1.0;
+  DataSize ram = DataSize::Zero();
+  DataSize local_storage = DataSize::Zero();
+  /// Optional reserved-rate pair (beyond the paper's Table 2).
+  std::optional<ReservedRateSpec> reserved;
+};
+
+/// \brief Everything that defines a provider. Plain data: build one in
+/// an initializer list, validate, lower, register.
+struct PriceSheetSpec {
+  /// Registry key, e.g. "aws-2012".
+  std::string name;
+  /// One-line description for listings.
+  std::string description;
+  std::vector<InstanceSpec> instances;
+  /// Tier schedules (cumulative upper bounds; empty = free). The last
+  /// tier of a non-empty schedule is extended to unbounded volume.
+  std::vector<RateTier> storage_per_gb_month;
+  std::vector<RateTier> transfer_out_per_gb;
+  std::vector<RateTier> transfer_in_per_gb;
+  BillingGranularity compute_granularity = BillingGranularity::kHour;
+  StorageBilling storage_billing = StorageBilling::kFlatBracket;
+  /// Per-request I/O charges (default: not billed).
+  RequestCharge requests;
+  /// Free allowances (default: none); see FreeTier for what is waived
+  /// per month vs per billed evaluation.
+  FreeTier free_tier;
+
+  /// \brief Structural validation without building a model; errors name
+  /// the sheet and the offending entry.
+  Status Validate() const;
+
+  /// \brief Validates and lowers into the immutable PricingModel.
+  Result<PricingModel> Lower() const;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_

@@ -1,8 +1,33 @@
 #include "pricing/pricing_model.h"
 
 #include "common/logging.h"
+#include "common/str_format.h"
 
 namespace cloudview {
+
+namespace {
+
+/// Re-validates a schedule held in the options. TieredRate::Create
+/// already enforces this at construction; checking again here means a
+/// PricingModel can never be built around a schedule that bypassed it.
+Status ValidateSchedule(const char* what, const TieredRate& schedule) {
+  DataSize prev = DataSize::Zero();
+  const auto& tiers = schedule.tiers();
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].rate_per_gb.is_negative()) {
+      return Status::InvalidArgument(
+          StrFormat("%s schedule: tier %zu has negative rate", what, i));
+    }
+    if (i > 0 && tiers[i].upper_bound <= prev) {
+      return Status::InvalidArgument(StrFormat(
+          "%s schedule: tier %zu bound not increasing", what, i));
+    }
+    prev = tiers[i].upper_bound;
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Duration RoundUpToGranularity(Duration busy, BillingGranularity g) {
   CV_CHECK(!busy.is_negative()) << "negative busy time";
@@ -52,6 +77,44 @@ Result<PricingModel> PricingModel::Create(PricingModelOptions options) {
     return Status::InvalidArgument(
         "pricing model needs at least one instance type");
   }
+  for (const InstanceType& type : options.instances.types()) {
+    if (type.name.empty()) {
+      return Status::InvalidArgument("instance type needs a name");
+    }
+    if (type.price_per_hour.is_negative()) {
+      return Status::InvalidArgument(StrFormat(
+          "instance '%s' has a negative hourly rate", type.name.c_str()));
+    }
+    if (type.compute_units <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("instance '%s' needs positive compute units",
+                    type.name.c_str()));
+    }
+    if (type.reserved_upfront.is_negative() ||
+        type.reserved_price_per_hour.is_negative()) {
+      return Status::InvalidArgument(
+          StrFormat("instance '%s' has a negative reserved rate",
+                    type.name.c_str()));
+    }
+  }
+  CV_RETURN_IF_ERROR(
+      ValidateSchedule("storage", options.storage_per_gb_month));
+  CV_RETURN_IF_ERROR(
+      ValidateSchedule("transfer-out", options.transfer_out_per_gb));
+  CV_RETURN_IF_ERROR(
+      ValidateSchedule("transfer-in", options.transfer_in_per_gb));
+  if (options.requests.price_per_10k.is_negative()) {
+    return Status::InvalidArgument("negative per-request price");
+  }
+  if (options.requests.requests_per_query <= 0) {
+    return Status::InvalidArgument(
+        "requests_per_query must be positive");
+  }
+  if (options.free_tier.transfer_out.is_negative() ||
+      options.free_tier.storage.is_negative() ||
+      options.free_tier.requests < 0) {
+    return Status::InvalidArgument("negative free-tier allowance");
+  }
   return PricingModel(std::move(options));
 }
 
@@ -64,6 +127,14 @@ Money PricingModel::ComputeCost(const InstanceType& type, Duration busy,
   Money per_instance =
       type.price_per_hour.ScaleBy(billed.millis(),
                                   Duration::kMillisPerHour);
+  if (type.has_reserved_rate()) {
+    // The cheaper plan auto-applies: upfront buys the discounted rate.
+    Money reserved =
+        type.reserved_upfront +
+        type.reserved_price_per_hour.ScaleBy(billed.millis(),
+                                             Duration::kMillisPerHour);
+    if (reserved < per_instance) per_instance = reserved;
+  }
   return per_instance * count;
 }
 
@@ -77,11 +148,24 @@ Money PricingModel::ComputeCostExact(const InstanceType& type,
 }
 
 Money PricingModel::MonthlyStorageCost(DataSize volume) const {
+  const TieredRate& schedule = options_.storage_per_gb_month;
+  DataSize free = options_.free_tier.storage;
   switch (options_.storage_billing) {
-    case StorageBilling::kMarginalTiers:
-      return options_.storage_per_gb_month.MarginalCost(volume);
-    case StorageBilling::kFlatBracket:
-      return options_.storage_per_gb_month.FlatBracketCost(volume);
+    case StorageBilling::kMarginalTiers: {
+      if (free.is_zero()) return schedule.MarginalCost(volume);
+      // The allowance consumes the bottom of the schedule: the first
+      // `free` bytes are the ones the lowest bracket would have billed.
+      DataSize waived = volume < free ? volume : free;
+      return schedule.MarginalCost(volume) - schedule.MarginalCost(waived);
+    }
+    case StorageBilling::kFlatBracket: {
+      if (free.is_zero()) return schedule.FlatBracketCost(volume);
+      if (volume <= free) return Money::Zero();
+      // Bracket position is set by the full volume; only the excess
+      // beyond the allowance is billed at that bracket's rate.
+      return schedule.RateFor(volume).ScaleBy((volume - free).bytes(),
+                                              DataSize::kBytesPerGB);
+    }
   }
   return Money::Zero();
 }
@@ -93,11 +177,23 @@ Money PricingModel::StorageCost(DataSize volume, Months span) const {
 }
 
 Money PricingModel::TransferOutCost(DataSize volume) const {
-  return options_.transfer_out_per_gb.MarginalCost(volume);
+  const TieredRate& schedule = options_.transfer_out_per_gb;
+  DataSize free = options_.free_tier.transfer_out;
+  if (free.is_zero()) return schedule.MarginalCost(volume);
+  DataSize waived = volume < free ? volume : free;
+  return schedule.MarginalCost(volume) - schedule.MarginalCost(waived);
 }
 
 Money PricingModel::TransferInCost(DataSize volume) const {
   return options_.transfer_in_per_gb.MarginalCost(volume);
+}
+
+Money PricingModel::RequestCost(int64_t num_requests) const {
+  CV_CHECK(num_requests >= 0) << "negative request count";
+  if (!options_.requests.is_billed()) return Money::Zero();
+  int64_t billable = num_requests - options_.free_tier.requests;
+  if (billable <= 0) return Money::Zero();
+  return options_.requests.price_per_10k.ScaleBy(billable, 10'000);
 }
 
 PricingModel PricingModel::WithComputeGranularity(
@@ -110,6 +206,18 @@ PricingModel PricingModel::WithComputeGranularity(
 PricingModel PricingModel::WithStorageBilling(StorageBilling b) const {
   PricingModelOptions copy = options_;
   copy.storage_billing = b;
+  return PricingModel(std::move(copy));
+}
+
+PricingModel PricingModel::WithOverrides(
+    const PricingOverrides& overrides) const {
+  PricingModelOptions copy = options_;
+  if (overrides.compute_granularity.has_value()) {
+    copy.compute_granularity = *overrides.compute_granularity;
+  }
+  if (overrides.storage_billing.has_value()) {
+    copy.storage_billing = *overrides.storage_billing;
+  }
   return PricingModel(std::move(copy));
 }
 

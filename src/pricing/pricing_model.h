@@ -7,6 +7,8 @@
 #ifndef CLOUDVIEW_PRICING_PRICING_MODEL_H_
 #define CLOUDVIEW_PRICING_PRICING_MODEL_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -40,6 +42,39 @@ enum class StorageBilling {
   kFlatBracket,
 };
 
+/// \brief Per-request I/O charges (S3/object-store style "per 10,000
+/// requests" billing). Zero price = the CSP does not bill requests.
+/// Beyond the paper's Tables 2-4; see DESIGN.md §7.
+struct RequestCharge {
+  /// Price per 10,000 billable requests.
+  Money price_per_10k;
+  /// Billable I/O requests one query execution issues.
+  int64_t requests_per_query = 1;
+
+  bool is_billed() const { return !price_per_10k.is_zero(); }
+};
+
+/// \brief Free allowances, consumed from the *bottom* of each tier
+/// schedule (the first free bytes are the ones the lowest bracket would
+/// have billed). The storage allowance is monthly — it rides the
+/// GB-month schedule, so a 12-month period waives 12x the bytes. The
+/// transfer and request allowances apply once per billed workload
+/// evaluation: the cost models bill workload sessions, not calendar
+/// months, so there is no per-month transfer volume to meter them
+/// against. Beyond the paper's Tables 2-4; see DESIGN.md §7.
+struct FreeTier {
+  /// Out-bound transfer volume waived per billed evaluation.
+  DataSize transfer_out = DataSize::Zero();
+  /// Stored volume waived per month.
+  DataSize storage = DataSize::Zero();
+  /// Billable requests waived per billed evaluation.
+  int64_t requests = 0;
+
+  bool is_empty() const {
+    return transfer_out.is_zero() && storage.is_zero() && requests == 0;
+  }
+};
+
 /// \brief Everything needed to build a PricingModel.
 struct PricingModelOptions {
   std::string name;
@@ -49,13 +84,28 @@ struct PricingModelOptions {
   TieredRate transfer_in_per_gb = TieredRate::Flat(Money::Zero());
   BillingGranularity compute_granularity = BillingGranularity::kHour;
   StorageBilling storage_billing = StorageBilling::kFlatBracket;
+  /// Per-request I/O charges (default: not billed).
+  RequestCharge requests;
+  /// Free allowances (default: none).
+  FreeTier free_tier;
+};
+
+/// \brief Optional semantic overrides applied on top of a provider's
+/// registered sheet (ScenarioConfig::pricing_overrides). Only billing
+/// *semantics* are overridable — rates stay the provider's.
+struct PricingOverrides {
+  std::optional<BillingGranularity> compute_granularity;
+  std::optional<StorageBilling> storage_billing;
 };
 
 /// \brief A CSP price sheet: evaluates compute, storage and transfer
 /// charges. Immutable once built.
 class PricingModel {
  public:
-  /// \brief Validates and builds. The instance catalog must be non-empty.
+  /// \brief Validates and builds. The instance catalog must be non-empty
+  /// with non-negative rates and positive compute units; tier schedules
+  /// must be monotonic with non-negative rates; request charges and free
+  /// allowances must be non-negative.
   static Result<PricingModel> Create(PricingModelOptions options);
 
   const std::string& name() const { return options_.name; }
@@ -70,10 +120,14 @@ class PricingModel {
     return options_.compute_granularity;
   }
   StorageBilling storage_billing() const { return options_.storage_billing; }
+  const RequestCharge& request_charge() const { return options_.requests; }
+  const FreeTier& free_tier() const { return options_.free_tier; }
 
   /// \brief Charge for running `count` instances of `type` for `busy` time
   /// each. Rounds `busy` up to the billing granularity per instance
-  /// (paper Formula 4 with RoundUp, Example 2).
+  /// (paper Formula 4 with RoundUp, Example 2). When `type` carries a
+  /// reserved-rate pair, the cheaper of on-demand and
+  /// upfront-plus-discounted-rate is billed per instance.
   Money ComputeCost(const InstanceType& type, Duration busy,
                     int64_t count = 1) const;
 
@@ -97,12 +151,19 @@ class PricingModel {
   /// \brief In-bound transfer charge (zero for AWS-like models).
   Money TransferInCost(DataSize volume) const;
 
+  /// \brief Charge for `num_requests` billable I/O requests, after the
+  /// free-request allowance. Zero when requests are not billed.
+  Money RequestCost(int64_t num_requests) const;
+
   /// \brief Copy of this model with a different compute granularity
   /// (used by the billing-granularity ablation).
   PricingModel WithComputeGranularity(BillingGranularity g) const;
 
   /// \brief Copy of this model with different storage semantics.
   PricingModel WithStorageBilling(StorageBilling b) const;
+
+  /// \brief Copy of this model with `overrides` applied.
+  PricingModel WithOverrides(const PricingOverrides& overrides) const;
 
  private:
   explicit PricingModel(PricingModelOptions options)

@@ -1,0 +1,81 @@
+#include "pricing/provider_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_format.h"
+
+namespace cloudview {
+
+ProviderRegistry& ProviderRegistry::Global() {
+  static ProviderRegistry* registry = new ProviderRegistry();
+  return *registry;
+}
+
+Status ProviderRegistry::Register(PriceSheetSpec spec) {
+  if (Contains(spec.name)) {
+    return Status::AlreadyExists(StrFormat(
+        "provider '%s' already registered", spec.name.c_str()));
+  }
+  CV_ASSIGN_OR_RETURN(PricingModel model, spec.Lower());
+  entries_.push_back(Entry{std::move(spec), std::move(model)});
+  return Status::OK();
+}
+
+Result<const PriceSheetSpec*> ProviderRegistry::FindSpec(
+    std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.spec.name == name) return &entry.spec;
+  }
+  std::string known;
+  for (const std::string& n : Names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound(
+      StrFormat("no provider named '%s' (registered: %s)",
+                std::string(name).c_str(), known.c_str()));
+}
+
+Result<PricingModel> ProviderRegistry::Model(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.spec.name == name) return entry.model;
+  }
+  return FindSpec(name).status();
+}
+
+bool ProviderRegistry::Contains(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.spec.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ProviderRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.spec.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<PricingModel> ProviderRegistry::AllModels() const {
+  std::vector<PricingModel> models;
+  models.reserve(entries_.size());
+  for (const std::string& name : Names()) {
+    models.push_back(Model(name).MoveValue());
+  }
+  return models;
+}
+
+namespace internal {
+
+ProviderRegistrar::ProviderRegistrar(PriceSheetSpec spec) {
+  Status status = ProviderRegistry::Global().Register(std::move(spec));
+  CV_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace internal
+
+}  // namespace cloudview

@@ -1,10 +1,24 @@
-// Ready-made PricingModels.
+// Ready-made provider sheets, served through the ProviderRegistry.
 //
-// AwsPricing2012() encodes the paper's Tables 2-4 verbatim. The other
-// catalogs are *fictional* CSPs used for the paper's "include pricing
-// models from several CSPs" future-work item (Section 8): they stress
-// different corners of the model space (flat rates, per-minute billing,
-// non-free ingress) without claiming to reproduce any real price sheet.
+// The built-in catalogs are declared as PriceSheetSpecs in providers.cc
+// and self-register under these names:
+//
+//   "aws-2012"      — the paper's Tables 2-4, verbatim.
+//   "intro-example" — the fictitious CSP of the paper's introduction.
+//   "gigacloud"     — fictional per-minute-billing CSP.
+//   "bluecloud"     — fictional CSP with non-free ingress.
+//   "nimbus"        — fictional metered CSP exercising the extensions
+//                     the old factory API could not express: per-request
+//                     I/O charges, reserved/on-demand rate pairs with an
+//                     upfront component, and a free tier.
+//
+// All but "aws-2012" are *fictional*, used for the paper's "include
+// pricing models from several CSPs" future-work item (Section 8): they
+// stress different corners of the model space without claiming to
+// reproduce any real price sheet.
+//
+// The free functions below predate the registry and forward to it;
+// prefer ProviderRegistry::Global().Model(name) in new code.
 
 #ifndef CLOUDVIEW_PRICING_PROVIDERS_H_
 #define CLOUDVIEW_PRICING_PROVIDERS_H_
@@ -12,6 +26,7 @@
 #include <vector>
 
 #include "pricing/pricing_model.h"
+#include "pricing/provider_registry.h"
 
 namespace cloudview {
 
@@ -24,22 +39,27 @@ namespace cloudview {
 ///    $0.11 for the next 450 TB (then $0.095, extrapolated);
 ///  - ingress free; hour-granularity compute billing; flat-bracket storage
 ///    (the paper's Formula 5 reading — switchable via WithStorageBilling).
+/// Deprecated: forwards to the registry ("aws-2012").
 PricingModel AwsPricing2012();
 
 /// \brief The fictitious CSP of the paper's introduction: storage
 /// $0.10/GB-month, a single "standard" instance at $0.24/h, free transfer.
 /// Reproduces the intro's $62 vs $64.6 example.
+/// Deprecated: forwards to the registry ("intro-example").
 PricingModel IntroExamplePricing();
 
 /// \brief Fictional per-minute-billing CSP ("GigaCloud"): cheaper small
 /// instances, flat $0.12/GB-month storage, slightly cheaper egress.
+/// Deprecated: forwards to the registry ("gigacloud").
 PricingModel GigaCloudPricing();
 
 /// \brief Fictional hour-billed CSP with non-free ingress ("BlueCloud"):
 /// exercises the Formula-2 ingress terms that AWS zeroes out.
+/// Deprecated: forwards to the registry ("bluecloud").
 PricingModel BlueCloudPricing();
 
-/// \brief All bundled catalogs (for sweeps over CSPs).
+/// \brief All registered catalogs, in sorted-name order (sweeps over
+/// CSPs). Includes providers registered by downstream code.
 std::vector<PricingModel> AllProviders();
 
 }  // namespace cloudview

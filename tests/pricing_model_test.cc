@@ -23,6 +23,56 @@ TEST(PricingModel, CreateRequiresNameAndInstances) {
       PricingModel::Create(no_instances).status().IsInvalidArgument());
 }
 
+PricingModelOptions MinimalOptions() {
+  PricingModelOptions opts;
+  opts.name = "minimal";
+  opts.instances.Add({.name = "x", .price_per_hour = Money::FromCents(1)});
+  return opts;
+}
+
+TEST(PricingModel, CreateRejectsNegativeInstanceRate) {
+  PricingModelOptions opts = MinimalOptions();
+  opts.instances.Add(
+      {.name = "broken", .price_per_hour = Money::FromCents(-5)});
+  Status status = PricingModel::Create(opts).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("broken"), std::string::npos);
+}
+
+TEST(PricingModel, CreateRejectsNonPositiveComputeUnits) {
+  PricingModelOptions opts = MinimalOptions();
+  opts.instances.Add({.name = "inert",
+                      .price_per_hour = Money::FromCents(1),
+                      .compute_units = 0.0});
+  EXPECT_TRUE(PricingModel::Create(opts).status().IsInvalidArgument());
+}
+
+TEST(PricingModel, CreateRejectsNegativeReservedRates) {
+  PricingModelOptions opts = MinimalOptions();
+  InstanceType type{.name = "r", .price_per_hour = Money::FromCents(10)};
+  type.reserved_upfront = Money::FromCents(-1);
+  type.reserved_price_per_hour = Money::FromCents(2);
+  opts.instances.Add(type);
+  EXPECT_TRUE(PricingModel::Create(opts).status().IsInvalidArgument());
+}
+
+TEST(PricingModel, CreateRejectsNegativeRequestAndFreeTier) {
+  PricingModelOptions negative_requests = MinimalOptions();
+  negative_requests.requests.price_per_10k = Money::FromCents(-1);
+  EXPECT_TRUE(
+      PricingModel::Create(negative_requests).status().IsInvalidArgument());
+
+  PricingModelOptions zero_per_query = MinimalOptions();
+  zero_per_query.requests.requests_per_query = 0;
+  EXPECT_TRUE(
+      PricingModel::Create(zero_per_query).status().IsInvalidArgument());
+
+  PricingModelOptions negative_free = MinimalOptions();
+  negative_free.free_tier.requests = -5;
+  EXPECT_TRUE(
+      PricingModel::Create(negative_free).status().IsInvalidArgument());
+}
+
 TEST(PricingModel, PaperTable2Instances) {
   PricingModel aws = AwsPricing2012();
   EXPECT_EQ(aws.instances().Find("micro")->price_per_hour,
@@ -149,6 +199,88 @@ TEST(Providers, AllProvidersWellFormed) {
     // Monthly storage for 1 GB must be priced (sanity: >= 0).
     EXPECT_GE(p.MonthlyStorageCost(DataSize::FromGB(1)), Money::Zero());
   }
+}
+
+// --- The registry-era billing dimensions -------------------------------------
+
+PricingModel MeteredModel() {
+  PricingModelOptions opts;
+  opts.name = "metered";
+  InstanceType plan{.name = "m1",
+                    .price_per_hour = Money::FromCents(10),
+                    .compute_units = 1.0};
+  // Upfront $0.09, reserved $0.02/h vs on-demand $0.10/h:
+  // 0.09 + 0.02 t < 0.10 t iff t > 1.125 h.
+  plan.reserved_upfront = Money::FromCents(9);
+  plan.reserved_price_per_hour = Money::FromCents(2);
+  opts.instances.Add(plan);
+  opts.storage_per_gb_month = TieredRate::Flat(Money::FromCents(10));
+  opts.transfer_out_per_gb = TieredRate::Flat(Money::FromCents(10));
+  opts.requests = RequestCharge{.price_per_10k = Money::FromDollars(1),
+                                .requests_per_query = 1};
+  opts.free_tier = FreeTier{.transfer_out = DataSize::FromGB(2),
+                                   .storage = DataSize::FromGB(4),
+                                   .requests = 5000};
+  return PricingModel::Create(std::move(opts)).MoveValue();
+}
+
+TEST(PricingModel, ReservedRatePicksCheaperPlan) {
+  PricingModel metered = MeteredModel();
+  InstanceType m1 = metered.instances().Find("m1").value();
+  // Short session: on-demand wins (1 h: $0.10 < $0.09 + $0.02).
+  EXPECT_EQ(metered.ComputeCost(m1, Duration::FromHours(1)),
+            Money::FromCents(10));
+  // Long session: reserved wins (10 h: $0.09 + $0.20 < $1.00).
+  EXPECT_EQ(metered.ComputeCost(m1, Duration::FromHours(10)),
+            Money::FromCents(29));
+  // Per instance: upfront paid once each.
+  EXPECT_EQ(metered.ComputeCost(m1, Duration::FromHours(10), 3),
+            Money::FromCents(87));
+}
+
+TEST(PricingModel, RequestCostAfterFreeAllowance) {
+  PricingModel metered = MeteredModel();
+  EXPECT_EQ(metered.RequestCost(0), Money::Zero());
+  EXPECT_EQ(metered.RequestCost(5000), Money::Zero());  // All free.
+  // 15k requests: 10k billable at $1/10k.
+  EXPECT_EQ(metered.RequestCost(15'000), Money::FromDollars(1));
+  // Unbilled CSPs charge nothing regardless.
+  EXPECT_EQ(AwsPricing2012().RequestCost(1'000'000), Money::Zero());
+}
+
+TEST(PricingModel, FreeTierWaivesBottomOfTransferSchedule) {
+  PricingModel metered = MeteredModel();
+  EXPECT_EQ(metered.TransferOutCost(DataSize::FromGB(1)), Money::Zero());
+  EXPECT_EQ(metered.TransferOutCost(DataSize::FromGB(2)), Money::Zero());
+  // 5 GB: 2 free, 3 billed at $0.10.
+  EXPECT_EQ(metered.TransferOutCost(DataSize::FromGB(5)),
+            Money::FromCents(30));
+}
+
+TEST(PricingModel, FreeTierWaivesStorageUnderBothSemantics) {
+  PricingModel flat = MeteredModel();  // kFlatBracket default.
+  EXPECT_EQ(flat.MonthlyStorageCost(DataSize::FromGB(3)), Money::Zero());
+  EXPECT_EQ(flat.MonthlyStorageCost(DataSize::FromGB(10)),
+            Money::FromCents(60));  // (10-4) x $0.10 at the flat rate.
+  PricingModel marginal =
+      flat.WithStorageBilling(StorageBilling::kMarginalTiers);
+  EXPECT_EQ(marginal.MonthlyStorageCost(DataSize::FromGB(10)),
+            Money::FromCents(60));  // Flat schedule: same arithmetic.
+}
+
+TEST(Providers, NimbusExercisesNewDimensions) {
+  Result<PricingModel> nimbus =
+      ProviderRegistry::Global().Model("nimbus");
+  ASSERT_TRUE(nimbus.ok());
+  EXPECT_TRUE(nimbus->request_charge().is_billed());
+  EXPECT_FALSE(nimbus->free_tier().is_empty());
+  InstanceType n1 = nimbus->instances().Find("n1").value();
+  EXPECT_TRUE(n1.has_reserved_rate());
+  // The old API could not express any of these: PricingModelOptions had
+  // no request, reserved, or free-tier fields before the spec redesign.
+  Duration session = Duration::FromHours(3);
+  EXPECT_LT(nimbus->ComputeCost(n1, session),
+            n1.price_per_hour * 3);  // Reserved plan kicked in.
 }
 
 // --- BillingMeter ------------------------------------------------------------

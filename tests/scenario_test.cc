@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "pricing/provider_registry.h"
+#include "pricing/providers.h"
+
 namespace cloudview {
 namespace {
 
@@ -25,6 +28,90 @@ TEST(CloudScenario, CreateWiresEverything) {
   EXPECT_EQ(scenario.cluster().nodes, 5);
   EXPECT_EQ(scenario.cluster().instance.name, "small");
   EXPECT_EQ(scenario.pricing().name(), "aws-2012");
+}
+
+TEST(CloudScenario, SelectsProviderByRegistryName) {
+  ScenarioConfig config = SmallScenario();
+  config.provider = "gigacloud";
+  config.instance_name = "g-small";
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  EXPECT_EQ(scenario.pricing().name(), "gigacloud");
+  // The default per-second override is applied on top of the sheet.
+  EXPECT_EQ(scenario.pricing().compute_granularity(),
+            BillingGranularity::kSecond);
+}
+
+TEST(CloudScenario, EmptyOverridesKeepNativeSemantics) {
+  ScenarioConfig config = SmallScenario();
+  config.provider = "gigacloud";
+  config.pricing_overrides = PricingOverrides{};
+  config.instance_name = "g-small";
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  EXPECT_EQ(scenario.pricing().compute_granularity(),
+            BillingGranularity::kMinute);  // GigaCloud bills by minute.
+}
+
+TEST(CloudScenario, CreateRejectsUnknownProvider) {
+  ScenarioConfig config = SmallScenario();
+  config.provider = "initech-cloud";
+  Status status = CloudScenario::Create(config).status();
+  EXPECT_TRUE(status.IsNotFound());
+  // Discoverability: the error lists registered providers.
+  EXPECT_NE(status.message().find("aws-2012"), std::string::npos);
+}
+
+TEST(CloudScenario, DeprecatedPricingShimWinsOverProvider) {
+  ScenarioConfig config = SmallScenario();
+  config.provider = "aws-2012";
+  config.pricing = GigaCloudPricing();  // Legacy explicit model.
+  config.instance_name = "g-small";
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  EXPECT_EQ(scenario.pricing().name(), "gigacloud");
+  // The shim model is used verbatim: no overrides applied.
+  EXPECT_EQ(scenario.pricing().compute_granularity(),
+            BillingGranularity::kMinute);
+}
+
+TEST(CloudScenario, CompareProvidersCoversRegistryInOrder) {
+  ScenarioConfig config = SmallScenario();
+  config.candidates.max_candidates = 8;
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  Workload workload = scenario.PaperWorkload().MoveValue().Prefix(3);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+
+  std::vector<ProviderComparisonRow> rows =
+      scenario.CompareProviders(workload, spec).MoveValue();
+  std::vector<std::string> names = ProviderRegistry::Global().Names();
+  ASSERT_EQ(rows.size(), names.size());
+  EXPECT_GE(rows.size(), 5u);  // The five builtin sheets.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SCOPED_TRACE(rows[i].provider);
+    EXPECT_EQ(rows[i].provider, names[i]);
+    EXPECT_GT(rows[i].run.baseline.cost.total(), Money::Zero());
+    // MV3 never lands above the baseline blend.
+    EXPECT_LE(rows[i].run.selection.objective_value, 1.0 + 1e-9);
+  }
+
+  // The configured instance survives where the catalog has it and is
+  // re-picked by compute power where it does not.
+  auto row_of = [&](const std::string& name) {
+    for (const ProviderComparisonRow& row : rows) {
+      if (row.provider == name) return row;
+    }
+    ADD_FAILURE() << "missing provider " << name;
+    return rows.front();
+  };
+  EXPECT_EQ(row_of("aws-2012").instance, "small");
+  EXPECT_EQ(row_of("gigacloud").instance, "g-small");
+  EXPECT_EQ(row_of("nimbus").instance, "n1");
+
+  // CompareProviders runs each sheet natively: the aws row bills by the
+  // started hour even though this scenario runs per-second.
+  EXPECT_EQ(row_of("aws-2012").granularity, BillingGranularity::kHour);
+  // The nimbus sheet's per-request charges reach its row's breakdown.
+  EXPECT_GT(row_of("nimbus").run.baseline.cost.requests, Money::Zero());
 }
 
 TEST(CloudScenario, CreateRejectsUnknownInstance) {

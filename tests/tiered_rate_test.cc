@@ -98,6 +98,81 @@ TEST(TieredRate, ZeroVolumeCostsNothing) {
             Money::Zero());
   EXPECT_EQ(PaperStorageTiers().FlatBracketCost(DataSize::Zero()),
             Money::Zero());
+  EXPECT_EQ(PaperStorageTiers().RateFor(DataSize::Zero()),
+            Money::FromMicros(140'000));
+}
+
+// --- Bracket-boundary edge cases ---------------------------------------------
+
+TEST(TieredRate, MarginalExactlyOnTierEdge) {
+  TieredRate t = PaperStorageTiers();
+  // Exactly 1 TB: every byte still bills in the first bracket.
+  EXPECT_EQ(t.MarginalCost(DataSize::FromTB(1)),
+            Money::FromMicros(140'000).ScaleBy(1024, 1));
+  // One byte past the edge adds (1/GB) of the *second* bracket's rate.
+  Money edge = t.MarginalCost(DataSize::FromTB(1));
+  Money past = t.MarginalCost(DataSize::FromTB(1) + DataSize::FromBytes(1));
+  EXPECT_EQ(past - edge, Money::FromMicros(125'000)
+                             .ScaleBy(1, DataSize::kBytesPerGB));
+}
+
+TEST(TieredRate, FlatBracketExactlyOnTierEdge) {
+  TieredRate t = PaperStorageTiers();
+  // A volume exactly on a bound belongs to the lower bracket: the whole
+  // 1 TB bills at $0.14/GB...
+  EXPECT_EQ(t.FlatBracketCost(DataSize::FromTB(1)),
+            Money::FromMicros(140'000).ScaleBy(1024, 1));
+  // ...and one byte more re-rates the *entire* volume at $0.125/GB —
+  // flat-bracket billing is discontinuous at the edge, stepping *down*
+  // here because the next bracket is cheaper.
+  DataSize just_past = DataSize::FromTB(1) + DataSize::FromBytes(1);
+  EXPECT_EQ(t.FlatBracketCost(just_past),
+            Money::FromMicros(125'000)
+                .ScaleBy(just_past.bytes(), DataSize::kBytesPerGB));
+  EXPECT_LT(t.FlatBracketCost(just_past),
+            t.FlatBracketCost(DataSize::FromTB(1)));
+}
+
+TEST(TieredRate, TransferEdgeOfFreeTier) {
+  TieredRate t = PaperTransferTiers();
+  // Exactly 1 GB: still entirely inside the free bracket, under both
+  // semantics.
+  EXPECT_EQ(t.MarginalCost(DataSize::FromGB(1)), Money::Zero());
+  EXPECT_EQ(t.FlatBracketCost(DataSize::FromGB(1)), Money::Zero());
+  // One byte past: marginal bills exactly that byte at $0.12/GB.
+  EXPECT_EQ(t.MarginalCost(DataSize::FromGB(1) + DataSize::FromBytes(1)),
+            Money::FromMicros(120'000).ScaleBy(1, DataSize::kBytesPerGB));
+}
+
+TEST(TieredRate, ExtrapolatedTopBracketOfAwsStorage) {
+  TieredRate t = PaperStorageTiers();
+  // Above 500 TB the schedule runs on the extrapolated $0.095 rate.
+  EXPECT_EQ(t.RateFor(DataSize::FromTB(600)), Money::FromMicros(95'000));
+  EXPECT_EQ(t.MarginalRateAfter(DataSize::FromTB(500)),
+            Money::FromMicros(95'000));
+  // 600 TB marginal = 1 TB @ .14 + 49 TB @ .125 + 450 TB @ .11
+  //                 + 100 TB @ .095, in GB.
+  Money expected = Money::FromMicros(140'000).ScaleBy(1024, 1) +
+                   Money::FromMicros(125'000).ScaleBy(49 * 1024, 1) +
+                   Money::FromMicros(110'000).ScaleBy(450 * 1024, 1) +
+                   Money::FromMicros(95'000).ScaleBy(100 * 1024, 1);
+  EXPECT_EQ(t.MarginalCost(DataSize::FromTB(600)), expected);
+  // Flat-bracket: the whole 600 TB at the top rate.
+  EXPECT_EQ(t.FlatBracketCost(DataSize::FromTB(600)),
+            Money::FromMicros(95'000).ScaleBy(600 * 1024, 1));
+}
+
+TEST(TieredRate, ExtrapolatedTopBracketOfAwsTransfer) {
+  TieredRate t = PaperTransferTiers();
+  // Above 150 TB egress runs on the extrapolated $0.05 rate.
+  EXPECT_EQ(t.RateFor(DataSize::FromTB(200)), Money::FromMicros(50'000));
+  // 151 TB: free GB + (10 TB - 1 GB) @ .12 + 40 TB @ .09 + 100 TB @ .07
+  //       + 1 TB @ .05.
+  Money expected = Money::FromMicros(120'000).ScaleBy(10 * 1024 - 1, 1) +
+                   Money::FromMicros(90'000).ScaleBy(40 * 1024, 1) +
+                   Money::FromMicros(70'000).ScaleBy(100 * 1024, 1) +
+                   Money::FromMicros(50'000).ScaleBy(1024, 1);
+  EXPECT_EQ(t.MarginalCost(DataSize::FromTB(151)), expected);
 }
 
 // --- Properties --------------------------------------------------------------
