@@ -47,7 +47,8 @@ void RatesUnderCap(double rows_fraction, size_t max_candidates,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== Ablation: candidate-generation knobs vs MV1 rates "
                "===\n\n";
   TablePrinter table({"rows cap", "max cands", "queries-only", "queries",

@@ -17,7 +17,8 @@ using namespace cloudview;
 using bench::Pct;
 using bench::Unwrap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== Ablation: maintenance cost vs update rate ===\n\n";
 
   TablePrinter table({"delta per cycle", "cycles", "views", "maint cost",

@@ -120,7 +120,8 @@ void SessionRoundingOnMV2() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== Ablations: billing semantics (DESIGN.md section 5) "
                "===\n\n";
   GranularityAblation();

@@ -17,7 +17,8 @@ using namespace cloudview;
 using bench::Hours;
 using bench::Unwrap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== Elasticity: scale-out vs materialized views "
                "(10-query workload) ===\n\n";
 

@@ -143,8 +143,8 @@ BENCHMARK(BM_ExecutorPlanning);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   PrintSpeedupTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

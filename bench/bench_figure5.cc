@@ -28,7 +28,8 @@ void EmitRow(const char* figure, size_t queries, const char* arm,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   ExperimentRunner runner =
       Unwrap(ExperimentRunner::Create(ExperimentConfig{}), "runner");
 

@@ -138,8 +138,8 @@ void PrintSolverQualityTable() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   PrintSolverQualityTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -17,7 +17,8 @@ using bench::Hours;
 using bench::Pct;
 using bench::Unwrap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   ExperimentConfig config;
   ExperimentRunner runner =
       Unwrap(ExperimentRunner::Create(config), "create runner");

@@ -39,7 +39,8 @@ void RunAlpha(const ExperimentRunner& runner, double alpha,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   ExperimentConfig config;
   ExperimentRunner runner =
       Unwrap(ExperimentRunner::Create(config), "create runner");

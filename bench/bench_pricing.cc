@@ -134,6 +134,7 @@ BENCHMARK(BM_InvoiceGeneration)->Arg(16)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== Pricing substrate: the paper's Tables 2-4 ===\n\n";
   PrintRegisteredProviders();
   PrintTable2();
@@ -143,7 +144,6 @@ int main(int argc, char** argv) {
                  Aws().storage_schedule());
   PrintWorkedExamples();
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -166,7 +166,8 @@ Measured MeasureSolver(const Solver& solver, const Instance& inst,
     out.result = Unwrap(solver.Solve(spec, context), "solve");
     scored += context.counters().subsets_scored();
     ++reps;
-  } while (MillisSince(start) < 100.0 && reps < 50);
+  } while (MillisSince(start) < bench::MeasureBudgetMs(100.0) &&
+           reps < 50);
   double total_ms = MillisSince(start);
   out.wall_ms_per_solve = total_ms / reps;
   out.subsets_per_sec = 1000.0 * static_cast<double>(scored) / total_ms;
@@ -338,9 +339,9 @@ BENCHMARK(BM_IncrementalToggleAndCost);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   PrintSolverComparison();
   PrintIncrementalAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -21,7 +21,8 @@ using bench::Hours;
 using bench::Pct;
 using bench::Unwrap;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
   std::cout << "=== SSB-like warehouse (4 dimensions, 256 cuboids, "
                "13 queries) ===\n\n";
 

@@ -10,12 +10,16 @@
 #ifndef CLOUDVIEW_BENCH_BENCH_UTIL_H_
 #define CLOUDVIEW_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/duration.h"
 #include "common/money.h"
@@ -24,6 +28,48 @@
 
 namespace cloudview {
 namespace bench {
+
+/// \brief True when the harness runs under `--smoke`: every bench
+/// collapses to tiny iteration counts so CI can execute the full binary
+/// set per push and catch bench bit-rot, without measuring anything.
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// \brief Strips `--smoke` from argv (updating argc) and latches
+/// SmokeMode(). Call first in every bench main; remaining args can go
+/// to benchmark::Initialize untouched.
+inline void ParseSmoke(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      SmokeMode() = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+}
+
+/// \brief Wall-clock budget for repeat-until-stable measurement loops:
+/// zero under --smoke (one iteration and out).
+inline double MeasureBudgetMs(double full_ms) {
+  return SmokeMode() ? 0.0 : full_ms;
+}
+
+/// \brief benchmark::Initialize + RunSpecifiedBenchmarks, honouring
+/// SmokeMode(): under --smoke every registered microbenchmark runs a
+/// minimal measurement (min_time 1 ms) — enough to catch bit-rot,
+/// cheap enough to run on every CI push.
+inline void RunMicrobenchmarks(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (SmokeMode()) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+}
 
 /// \brief "25.4%" or "n/a" for NaN.
 inline std::string Pct(double ratio) {

@@ -1,0 +1,160 @@
+// Temporal policy comparison — what the paper's cost models look like
+// when the workload is allowed to drift for a year.
+//
+// A 12-month timeline over the SSB warehouse (the 4-dimensional lattice
+// where no single view can cover every branch): query popularity
+// decays, analysts churn to new questions, quarter-end load spikes, and
+// the lineorder table grows. Three re-selection policies walk the same
+// timeline on the same provider sheet:
+//
+//   static      — the paper's regime: select views once, hold them;
+//   every-3     — re-run the solver on a fixed quarterly cadence;
+//   drift-0.25  — re-run only when the mix has drifted 25% (total
+//                 variation) since the last solve.
+//
+// Re-selection is not free — added views are built (compute) and their
+// bytes carried month-by-month on the storage timeline — yet adapting
+// beats the static selection on total spend: a stale view set costs
+// every month, replacing it costs once.
+//
+//   $ ./build/example_workload_drift
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/str_format.h"
+#include "common/table_printer.h"
+#include "core/optimizer/temporal_planner.h"
+#include "pricing/provider_registry.h"
+#include "workload/ssb.h"
+#include "workload/timeline.h"
+
+using namespace cloudview;
+
+namespace {
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status() << "\n";
+    std::exit(1);
+  }
+  return result.MoveValue();
+}
+
+}  // namespace
+
+int main() {
+  // The SSB warehouse on five small instances of the paper's AWS sheet,
+  // billed per second (the granularity override every modern sheet
+  // offers; started-hour rounding would just add noise to sub-hour
+  // charges).
+  SsbConfig ssb;
+  auto lattice = std::make_unique<CubeLattice>(Check(
+      CubeLattice::Build(Check(MakeSsbSchema(ssb), "schema")), "lattice"));
+  MapReduceSimulator simulator(*lattice, MapReduceParams{});
+  PricingModel pricing =
+      Check(ProviderRegistry::Global().Model("aws-2012"), "provider")
+          .WithComputeGranularity(BillingGranularity::kSecond);
+  CloudCostModel cost_model(pricing);
+  ClusterSpec cluster{Check(pricing.instances().Find("small"), "type"), 5};
+
+  // Dashboard base mix: the 13 SSB queries, each run daily.
+  Workload ssb_queries = Check(MakeSsbWorkload(*lattice), "workload");
+  std::vector<QuerySpec> mix = ssb_queries.queries();
+  for (QuerySpec& q : mix) q.frequency = 30;
+  Workload base(std::move(mix));
+
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<FrequencyDecayDrift>(0.95));
+  drift.push_back(std::make_unique<QueryChurnDrift>(0.35));
+  drift.push_back(std::make_unique<SeasonalSpikeDrift>(6, 5, 1.0));
+  drift.push_back(std::make_unique<DatasetGrowthDrift>(0.03));
+  TimelineOptions options;
+  options.num_periods = 12;
+  options.period_length = Months::FromMonths(1);
+  options.seed = 17;
+  WorkloadTimeline timeline = Check(
+      WorkloadTimeline::Generate(*lattice, base, std::move(drift),
+                                 options),
+      "timeline");
+
+  CandidateGenOptions candidates;
+  candidates.max_candidates = 20;
+  candidates.max_rows_fraction = 0.10;
+  TemporalPlanner planner = Check(
+      TemporalPlanner::Create(*lattice, simulator, cluster, cost_model,
+                              timeline, candidates,
+                              /*maintenance_cycles=*/4),
+      "planner");
+
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+
+  std::vector<ReselectPolicy> policies = {
+      ReselectPolicy::Static(), ReselectPolicy::EveryK(3),
+      ReselectPolicy::OnDrift(0.25)};
+  std::vector<TemporalRunResult> runs =
+      Check(planner.ComparePolicies(spec, policies), "compare");
+
+  // Month-by-month ledger for the adaptive policy.
+  const TemporalRunResult& adaptive = runs.back();
+  TablePrinter ledger({"month", "drift", "resolved", "views", "+/-",
+                       "processing", "transition", "storage", "total"});
+  ledger.SetTitle(StrFormat(
+      "Ledger under %s (provider %s, MV3 alpha = 0.5)",
+      adaptive.policy.Name().c_str(), pricing.name().c_str()));
+  for (const TemporalPeriodRow& row : adaptive.ledger) {
+    ledger.AddRow(
+        {std::to_string(row.period + 1),
+         StrFormat("%.2f", row.drift), row.reselected ? "yes" : "",
+         std::to_string(row.selected.size()),
+         StrFormat("+%zu/-%zu", row.views_added, row.views_dropped),
+         row.cost.processing.ToString(),
+         row.cost.materialization.ToString(),
+         row.cost.storage.ToString(), row.cost.total().ToString()});
+  }
+  ledger.Print(std::cout);
+  std::cout << "\n";
+
+  TablePrinter table({"policy", "solver runs", "total processing",
+                      "transition", "storage", "total cost",
+                      "vs static"});
+  table.SetTitle("12-month totals per re-selection policy");
+  Money static_total = runs.front().total.total();
+  for (const TemporalRunResult& run : runs) {
+    double saving =
+        1.0 - static_cast<double>(run.total.total().micros()) /
+                  static_cast<double>(static_total.micros());
+    table.AddRow({run.policy.Name(),
+                  std::to_string(run.solver_runs),
+                  StrFormat("%.1f h", run.TotalProcessingTime().hours()),
+                  run.total.materialization.ToString(),
+                  run.total.storage.ToString(),
+                  run.total.total().ToString(),
+                  FormatPercent(saving, 1)});
+  }
+  table.Print(std::cout);
+
+  const TemporalRunResult& on_drift = runs.back();
+  std::cout << "\nRe-selecting on drift ran the solver "
+            << on_drift.solver_runs << "x (vs "
+            << runs[1].solver_runs
+            << "x for the quarterly cadence) and cut the 12-month bill "
+               "by "
+            << FormatPercent(
+                   1.0 - static_cast<double>(
+                             on_drift.total.total().micros()) /
+                             static_cast<double>(static_total.micros()),
+                   1)
+            << " against the static selection: a stale view set costs "
+               "every month, replacing it costs once.\n";
+
+  if (on_drift.total.total() >= static_total) {
+    std::cerr << "REGRESSION: drift policy no longer beats static.\n";
+    return 1;
+  }
+  return 0;
+}

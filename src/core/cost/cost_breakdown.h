@@ -47,6 +47,7 @@ struct CostBreakdown {
     storage += other.storage;
     transfer += other.transfer;
     requests += other.requests;
+    session_rounding += other.session_rounding;
     return *this;
   }
 

@@ -49,14 +49,10 @@ Result<ExperimentRunner> ExperimentRunner::Create(ExperimentConfig config) {
 
   // MV2 bills by the started hour (paper Example 2); MV1/MV3 run on the
   // per-second default. Respect the deprecated explicit-model shim.
+  // (The override reaches the deprecated explicit-model shim too.)
   ScenarioConfig hourly_config = config.scenario;
-  if (hourly_config.pricing.has_value()) {
-    hourly_config.pricing = hourly_config.pricing->WithComputeGranularity(
-        BillingGranularity::kHour);
-  } else {
-    hourly_config.pricing_overrides.compute_granularity =
-        BillingGranularity::kHour;
-  }
+  hourly_config.pricing_overrides.compute_granularity =
+      BillingGranularity::kHour;
   CV_ASSIGN_OR_RETURN(CloudScenario hourly,
                       CloudScenario::Create(hourly_config));
   auto hourly_holder = std::make_unique<CloudScenario>(std::move(hourly));

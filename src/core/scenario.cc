@@ -36,9 +36,12 @@ Result<CloudScenario> CloudScenario::Create(ScenarioConfig config) {
   scenario.simulator_ = std::make_unique<MapReduceSimulator>(
       *scenario.lattice_, scenario.config_.mapreduce);
   if (scenario.config_.pricing.has_value()) {
-    // Deprecated shim: an explicit model bypasses the registry.
-    scenario.pricing_ =
-        std::make_unique<PricingModel>(*scenario.config_.pricing);
+    // Deprecated shim: an explicit model bypasses the registry lookup,
+    // but the configured overrides still apply — the shim must behave
+    // exactly like selecting the same sheet by name.
+    scenario.pricing_ = std::make_unique<PricingModel>(
+        scenario.config_.pricing->WithOverrides(
+            scenario.config_.pricing_overrides));
   } else {
     CV_ASSIGN_OR_RETURN(
         PricingModel model,
@@ -158,6 +161,32 @@ Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+Result<TemporalRunResult> CloudScenario::RunTimeline(
+    const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
+    const ReselectPolicy& policy, std::string_view solver) const {
+  CV_ASSIGN_OR_RETURN(
+      TemporalPlanner planner,
+      TemporalPlanner::Create(*lattice_, *simulator_, cluster_,
+                              *cost_model_, timeline,
+                              config_.candidates,
+                              config_.maintenance_cycles));
+  return planner.Run(spec, policy, solver);
+}
+
+Result<std::vector<TemporalRunResult>>
+CloudScenario::CompareReselectPolicies(
+    const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
+    const std::vector<ReselectPolicy>& policies,
+    std::string_view solver) const {
+  CV_ASSIGN_OR_RETURN(
+      TemporalPlanner planner,
+      TemporalPlanner::Create(*lattice_, *simulator_, cluster_,
+                              *cost_model_, timeline,
+                              config_.candidates,
+                              config_.maintenance_cycles));
+  return planner.ComparePolicies(spec, policies, solver);
 }
 
 Result<SubsetEvaluation> CloudScenario::EvaluateWithoutViews(

@@ -17,6 +17,7 @@
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/evaluator.h"
 #include "core/optimizer/selector.h"
+#include "core/optimizer/temporal_planner.h"
 #include "engine/cluster.h"
 #include "engine/sales_generator.h"
 #include "pricing/pricing_model.h"
@@ -40,9 +41,11 @@ struct ScenarioConfig {
   /// started-hour billing.
   PricingOverrides pricing_overrides{
       .compute_granularity = BillingGranularity::kSecond};
-  /// Deprecated shim for the pre-registry API: when set, this exact
-  /// model is used and `provider`/`pricing_overrides` are ignored.
-  /// Prefer selecting by name.
+  /// Deprecated shim for the pre-registry API: when set, this model is
+  /// used instead of looking `provider` up. `pricing_overrides` still
+  /// apply on top — exactly as they do to a registry sheet — so passing
+  /// the registered model through the shim produces a deployment
+  /// identical to selecting it by name. Prefer selecting by name.
   std::optional<PricingModel> pricing;
   /// Rented configuration (paper Section 6: five identical VMs).
   std::string instance_name = "small";
@@ -120,6 +123,24 @@ class CloudScenario {
   /// provider-name order.
   Result<std::vector<ProviderComparisonRow>> CompareProviders(
       const Workload& workload, const ObjectiveSpec& spec,
+      std::string_view solver = kDefaultSolverName) const;
+
+  /// \brief Walks `timeline` with a TemporalPlanner under `policy`,
+  /// re-running the named registered solver on re-selection periods and
+  /// charging transition costs plus horizon-long storage (DESIGN.md §8).
+  /// `spec` is interpreted per period. Storage is billed on the
+  /// timeline's own period clock (prorate_storage does not apply);
+  /// maintenance_cycles is charged per period.
+  Result<TemporalRunResult> RunTimeline(
+      const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
+      const ReselectPolicy& policy,
+      std::string_view solver = kDefaultSolverName) const;
+
+  /// \brief RunTimeline for each policy on one shared planner — the
+  /// static vs every-k vs on-drift comparison, in policy order.
+  Result<std::vector<TemporalRunResult>> CompareReselectPolicies(
+      const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
+      const std::vector<ReselectPolicy>& policies,
       std::string_view solver = kDefaultSolverName) const;
 
   /// \brief Deployment parameters for `workload` (storage timeline,

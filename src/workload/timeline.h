@@ -1,0 +1,203 @@
+// WorkloadTimeline: the temporal dimension of the cost models.
+//
+// The paper's billing quantities — storage amortization, monthly
+// GB-month rates, pay-as-you-go vs reserved compute — only matter
+// because workloads run for months, yet a single Workload freezes one
+// period's query mix. A WorkloadTimeline unrolls that mix over a
+// horizon of billing periods, mutating it period-by-period through
+// composable DriftModels:
+//
+//   FrequencyDecayDrift — query popularity decays geometrically
+//                         (yesterday's dashboard loses viewers);
+//   SeasonalSpikeDrift  — a periodic traffic multiplier (quarter-end
+//                         reporting, holiday load);
+//   QueryChurnDrift     — queries are retired and replaced by fresh
+//                         cuboids drawn from the lattice (analysts move
+//                         on to new questions);
+//   DatasetGrowthDrift  — the base data grows each period (ingest),
+//                         inflating the storage timeline.
+//
+// Generation is eager and deterministic (seeded Rng), so a timeline is
+// a reproducible experiment input. The TemporalPlanner
+// (core/optimizer/temporal_planner.h) walks it and re-decides the view
+// selection as the mix drifts.
+
+#ifndef CLOUDVIEW_WORKLOAD_TIMELINE_H_
+#define CLOUDVIEW_WORKLOAD_TIMELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "catalog/lattice.h"
+#include "common/data_size.h"
+#include "common/months.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief One billing period's slice of the timeline.
+struct TimelinePeriod {
+  /// Zero-based period index.
+  size_t index = 0;
+  /// The query mix that runs during this period.
+  Workload workload;
+  /// Base-data bytes ingested during this period (dataset growth);
+  /// lands on the storage timeline at the period boundary.
+  DataSize base_growth;
+};
+
+/// \brief One composable mutation of the query mix between periods.
+///
+/// Models are applied in registration order each period: period p's mix
+/// starts as a copy of period p-1's (period 0 starts from the base
+/// workload) and every model transforms it in place. Implementations
+/// must be deterministic given the passed Rng.
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+
+  /// \brief Short label for ledgers and logs, e.g. "churn".
+  virtual std::string_view name() const = 0;
+
+  /// \brief Transient models affect only the period they fire in; their
+  /// effect is not carried into later periods' starting mixes (seasonal
+  /// spikes). Persistent models (decay, churn, growth) compound.
+  virtual bool transient() const { return false; }
+
+  /// \brief Transforms `period` in place. `lattice` is the cube the
+  /// workload queries; `rng` is the timeline's deterministic stream.
+  virtual Status Apply(const CubeLattice& lattice, Rng& rng,
+                       TimelinePeriod& period) const = 0;
+};
+
+/// \brief Geometric popularity decay: every frequency is scaled by
+/// `factor` per period (rounded), never below `floor`.
+class FrequencyDecayDrift : public DriftModel {
+ public:
+  explicit FrequencyDecayDrift(double factor, uint64_t floor = 1)
+      : factor_(factor), floor_(floor) {}
+
+  std::string_view name() const override { return "frequency-decay"; }
+  Status Apply(const CubeLattice& lattice, Rng& rng,
+               TimelinePeriod& period) const override;
+
+ private:
+  double factor_;
+  uint64_t floor_;
+};
+
+/// \brief Periodic load spike: in periods where
+/// `index % season_length == phase`, frequencies are scaled by
+/// (1 + amplitude). The spike is transient — it does not compound into
+/// later periods' mixes.
+class SeasonalSpikeDrift : public DriftModel {
+ public:
+  SeasonalSpikeDrift(size_t season_length, size_t phase, double amplitude)
+      : season_length_(season_length), phase_(phase),
+        amplitude_(amplitude) {}
+
+  std::string_view name() const override { return "seasonal-spike"; }
+  bool transient() const override { return true; }
+  Status Apply(const CubeLattice& lattice, Rng& rng,
+               TimelinePeriod& period) const override;
+
+ private:
+  size_t season_length_;
+  size_t phase_;
+  double amplitude_;
+};
+
+/// \brief Query churn: each query is independently retired with
+/// probability `rate` per period and replaced by a query on a cuboid
+/// drawn Zipf-skewed from the lattice (coarse roll-ups favoured, like
+/// workload/generator.h). The replacement inherits the retired query's
+/// frequency, so churn moves *where* the load sits, not how much there
+/// is.
+class QueryChurnDrift : public DriftModel {
+ public:
+  explicit QueryChurnDrift(double rate, double cuboid_skew = 0.5)
+      : rate_(rate), cuboid_skew_(cuboid_skew) {}
+
+  std::string_view name() const override { return "churn"; }
+  Status Apply(const CubeLattice& lattice, Rng& rng,
+               TimelinePeriod& period) const override;
+
+ private:
+  double rate_;
+  double cuboid_skew_;
+};
+
+/// \brief Dataset growth: every period ingests
+/// `growth_per_period` x (the lattice's base fact size) bytes. Purely a
+/// storage/ingress effect — the simulated engine keeps its calibrated
+/// scan times (see DESIGN.md §8).
+class DatasetGrowthDrift : public DriftModel {
+ public:
+  explicit DatasetGrowthDrift(double growth_per_period)
+      : growth_per_period_(growth_per_period) {}
+
+  std::string_view name() const override { return "dataset-growth"; }
+  Status Apply(const CubeLattice& lattice, Rng& rng,
+               TimelinePeriod& period) const override;
+
+ private:
+  double growth_per_period_;
+};
+
+/// \brief Horizon shape and determinism knobs.
+struct TimelineOptions {
+  /// Number of billing periods to unroll.
+  size_t num_periods = 12;
+  /// Length of one period on the storage/billing clock.
+  Months period_length = Months::FromMonths(1);
+  /// Seed of the timeline's Rng (forked per period, so inserting a
+  /// drift model does not reshuffle later periods' draws).
+  uint64_t seed = 7;
+};
+
+/// \brief An immutable sequence of per-period query mixes.
+class WorkloadTimeline {
+ public:
+  /// \brief Unrolls `base` over `options.num_periods` periods, applying
+  /// every model in `drift` (in order) at each period boundary. The
+  /// lattice must outlive nothing — periods copy their workloads.
+  static Result<WorkloadTimeline> Generate(
+      const CubeLattice& lattice, const Workload& base,
+      std::vector<std::unique_ptr<DriftModel>> drift,
+      const TimelineOptions& options);
+
+  size_t num_periods() const { return periods_.size(); }
+  Months period_length() const { return period_length_; }
+  /// \brief Total horizon on the billing clock.
+  Months horizon() const { return PeriodStart(periods_.size()); }
+  /// \brief Month at which period `p` begins (p == num_periods() gives
+  /// the horizon end).
+  Months PeriodStart(size_t p) const {
+    return Months::FromMilli(static_cast<int64_t>(p) *
+                             period_length_.milli());
+  }
+  const TimelinePeriod& period(size_t p) const;
+  const std::vector<TimelinePeriod>& periods() const { return periods_; }
+
+  /// \brief Workload-mix distance in [0, 1]: total-variation distance
+  /// between the per-cuboid frequency shares of `a` and `b` — the
+  /// signal re-select-on-drift policies watch. 0 means identical mixes
+  /// (up to query naming); 1 means disjoint cuboid sets.
+  static double Drift(const Workload& a, const Workload& b);
+
+ private:
+  WorkloadTimeline(std::vector<TimelinePeriod> periods,
+                   Months period_length)
+      : periods_(std::move(periods)), period_length_(period_length) {}
+
+  std::vector<TimelinePeriod> periods_;
+  Months period_length_;
+};
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_WORKLOAD_TIMELINE_H_

@@ -1,0 +1,235 @@
+// WorkloadTimeline and the composable drift models.
+
+#include "workload/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "engine/sales_generator.h"
+
+namespace cloudview {
+namespace {
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lattice_ = std::make_unique<CubeLattice>(
+        CubeLattice::Build(MakeSalesSchema(SalesConfig{}).value())
+            .MoveValue());
+    base_ = MakePaperWorkload(*lattice_).MoveValue();
+  }
+
+  WorkloadTimeline Generate(
+      std::vector<std::unique_ptr<DriftModel>> drift,
+      const TimelineOptions& options) {
+    return WorkloadTimeline::Generate(*lattice_, base_, std::move(drift),
+                                      options)
+        .MoveValue();
+  }
+
+  static uint64_t TotalFrequency(const Workload& w) {
+    return w.TotalFrequency();
+  }
+
+  std::unique_ptr<CubeLattice> lattice_;
+  Workload base_;
+};
+
+TEST_F(TimelineTest, NoDriftRepeatsTheBaseMix) {
+  TimelineOptions options;
+  options.num_periods = 4;
+  WorkloadTimeline timeline = Generate({}, options);
+  ASSERT_EQ(timeline.num_periods(), 4u);
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(timeline.period(p).index, p);
+    EXPECT_EQ(timeline.period(p).base_growth, DataSize::Zero());
+    EXPECT_DOUBLE_EQ(
+        WorkloadTimeline::Drift(timeline.period(p).workload, base_), 0.0);
+  }
+}
+
+TEST_F(TimelineTest, PeriodClockAndHorizon) {
+  TimelineOptions options;
+  options.num_periods = 5;
+  options.period_length = Months::FromMilli(1500);  // 1.5 months.
+  WorkloadTimeline timeline = Generate({}, options);
+  EXPECT_EQ(timeline.period_length(), Months::FromMilli(1500));
+  EXPECT_EQ(timeline.PeriodStart(0), Months::Zero());
+  EXPECT_EQ(timeline.PeriodStart(2), Months::FromMonths(3));
+  EXPECT_EQ(timeline.horizon(), Months::FromMilli(7500));
+}
+
+TEST_F(TimelineTest, FrequencyDecayCompoundsWithFloor) {
+  std::vector<QuerySpec> queries = base_.queries();
+  for (QuerySpec& q : queries) q.frequency = 100;
+  base_ = Workload(std::move(queries));
+
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<FrequencyDecayDrift>(0.5, 2));
+  TimelineOptions options;
+  options.num_periods = 9;
+  WorkloadTimeline timeline = Generate(std::move(drift), options);
+  // 100 -> 50 -> 25 -> 13 -> 7 -> 4 -> 2 -> floor 2 thereafter.
+  EXPECT_EQ(timeline.period(0).workload.query(0).frequency, 50u);
+  EXPECT_EQ(timeline.period(1).workload.query(0).frequency, 25u);
+  EXPECT_EQ(timeline.period(2).workload.query(0).frequency, 13u);
+  EXPECT_EQ(timeline.period(6).workload.query(0).frequency, 2u);
+  EXPECT_EQ(timeline.period(8).workload.query(0).frequency, 2u);
+}
+
+TEST_F(TimelineTest, SeasonalSpikeIsTransient) {
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<SeasonalSpikeDrift>(
+      /*season_length=*/3, /*phase=*/2, /*amplitude=*/1.0));
+  TimelineOptions options;
+  options.num_periods = 7;
+  WorkloadTimeline timeline = Generate(std::move(drift), options);
+  uint64_t base_total = TotalFrequency(base_);
+  for (size_t p = 0; p < 7; ++p) {
+    uint64_t total = TotalFrequency(timeline.period(p).workload);
+    if (p % 3 == 2) {
+      EXPECT_EQ(total, 2 * base_total) << "period " << p;
+    } else {
+      // The spike never compounds into later periods.
+      EXPECT_EQ(total, base_total) << "period " << p;
+    }
+  }
+}
+
+TEST_F(TimelineTest, ChurnMovesLoadWithoutAddingAny) {
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<QueryChurnDrift>(1.0));
+  TimelineOptions options;
+  options.num_periods = 3;
+  WorkloadTimeline timeline = Generate(std::move(drift), options);
+  for (size_t p = 0; p < 3; ++p) {
+    const Workload& mix = timeline.period(p).workload;
+    EXPECT_EQ(mix.size(), base_.size());
+    EXPECT_EQ(TotalFrequency(mix), TotalFrequency(base_));
+    for (const QuerySpec& q : mix.queries()) {
+      EXPECT_NE(q.target, lattice_->base_id());
+    }
+  }
+  // Full churn virtually never reproduces the base mix.
+  EXPECT_GT(WorkloadTimeline::Drift(timeline.period(0).workload, base_),
+            0.0);
+}
+
+TEST_F(TimelineTest, ZeroChurnIsIdentity) {
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<QueryChurnDrift>(0.0));
+  TimelineOptions options;
+  options.num_periods = 2;
+  WorkloadTimeline timeline = Generate(std::move(drift), options);
+  EXPECT_DOUBLE_EQ(
+      WorkloadTimeline::Drift(timeline.period(1).workload, base_), 0.0);
+}
+
+TEST_F(TimelineTest, GenerationIsDeterministicInTheSeed) {
+  auto make = [&](uint64_t seed) {
+    std::vector<std::unique_ptr<DriftModel>> drift;
+    drift.push_back(std::make_unique<QueryChurnDrift>(0.5));
+    TimelineOptions options;
+    options.num_periods = 6;
+    options.seed = seed;
+    return Generate(std::move(drift), options);
+  };
+  WorkloadTimeline a = make(11);
+  WorkloadTimeline b = make(11);
+  WorkloadTimeline c = make(12);
+  bool differs_from_c = false;
+  for (size_t p = 0; p < 6; ++p) {
+    for (size_t q = 0; q < base_.size(); ++q) {
+      EXPECT_EQ(a.period(p).workload.query(q).target,
+                b.period(p).workload.query(q).target);
+      differs_from_c |= a.period(p).workload.query(q).target !=
+                        c.period(p).workload.query(q).target;
+    }
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST_F(TimelineTest, DatasetGrowthAccruesPerPeriod) {
+  std::vector<std::unique_ptr<DriftModel>> drift;
+  drift.push_back(std::make_unique<DatasetGrowthDrift>(0.10));
+  TimelineOptions options;
+  options.num_periods = 3;
+  WorkloadTimeline timeline = Generate(std::move(drift), options);
+  DataSize tenth = DataSize::FromBytes(
+      static_cast<int64_t>(0.10 * static_cast<double>(
+                                      lattice_->fact_scan_size().bytes())));
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(timeline.period(p).base_growth, tenth);
+  }
+}
+
+TEST_F(TimelineTest, DriftMetricProperties) {
+  // Identity and symmetry.
+  EXPECT_DOUBLE_EQ(WorkloadTimeline::Drift(base_, base_), 0.0);
+  Workload disjoint(
+      {QuerySpec{"q", lattice_->apex_id(), 5}});
+  bool base_hits_apex = false;
+  for (const QuerySpec& q : base_.queries()) {
+    base_hits_apex |= q.target == lattice_->apex_id();
+  }
+  if (!base_hits_apex) {
+    EXPECT_DOUBLE_EQ(WorkloadTimeline::Drift(base_, disjoint), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(WorkloadTimeline::Drift(base_, disjoint),
+                   WorkloadTimeline::Drift(disjoint, base_));
+  // Scale invariance: doubling every frequency changes no share.
+  std::vector<QuerySpec> doubled = base_.queries();
+  for (QuerySpec& q : doubled) q.frequency *= 2;
+  EXPECT_DOUBLE_EQ(
+      WorkloadTimeline::Drift(base_, Workload(std::move(doubled))), 0.0);
+}
+
+TEST_F(TimelineTest, RejectsBadInputs) {
+  TimelineOptions options;
+  options.num_periods = 0;
+  EXPECT_TRUE(WorkloadTimeline::Generate(*lattice_, base_, {}, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.num_periods = 2;
+  EXPECT_TRUE(
+      WorkloadTimeline::Generate(*lattice_, Workload{}, {}, options)
+          .status()
+          .IsInvalidArgument());
+  options.period_length = Months::Zero();
+  EXPECT_TRUE(WorkloadTimeline::Generate(*lattice_, base_, {}, options)
+                  .status()
+                  .IsInvalidArgument());
+  options.period_length = Months::FromMonths(1);
+  std::vector<std::unique_ptr<DriftModel>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_TRUE(WorkloadTimeline::Generate(*lattice_, base_,
+                                         std::move(with_null), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TimelineTest, DriftModelsValidateTheirKnobs) {
+  TimelineOptions options;
+  options.num_periods = 1;
+  auto expect_invalid = [&](std::unique_ptr<DriftModel> model) {
+    std::vector<std::unique_ptr<DriftModel>> drift;
+    drift.push_back(std::move(model));
+    EXPECT_TRUE(WorkloadTimeline::Generate(*lattice_, base_,
+                                           std::move(drift), options)
+                    .status()
+                    .IsInvalidArgument());
+  };
+  expect_invalid(std::make_unique<FrequencyDecayDrift>(0.0));
+  expect_invalid(std::make_unique<FrequencyDecayDrift>(1.5));
+  expect_invalid(std::make_unique<QueryChurnDrift>(-0.1));
+  expect_invalid(std::make_unique<QueryChurnDrift>(1.1));
+  expect_invalid(std::make_unique<SeasonalSpikeDrift>(0, 0, 1.0));
+  expect_invalid(std::make_unique<SeasonalSpikeDrift>(3, 0, -0.5));
+  expect_invalid(std::make_unique<DatasetGrowthDrift>(-0.01));
+}
+
+}  // namespace
+}  // namespace cloudview
