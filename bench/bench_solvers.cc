@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/experiments.h"
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/solver.h"
@@ -301,6 +302,70 @@ void PrintIncrementalAblation() {
       .Emit();
 }
 
+// --- Part 3: portfolio thread sweep -----------------------------------------
+
+// The parallel execution engine's headline number: the "portfolio"
+// multi-start solver on the 20-candidate SSB scenario at 1/2/4/8
+// threads. Selections must be identical at every thread count (the
+// determinism pin); wall time should drop roughly linearly until the
+// start roster or the core count runs out (>= 3x at 8 threads on an
+// 8-core box is the acceptance bar; see DESIGN.md §9).
+void PrintPortfolioThreadSweep() {
+  Instance inst = MakeSsbInstance(/*max_candidates=*/20,
+                                  /*workload_repeats=*/3);
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+  const Solver& portfolio = *Unwrap(
+      SolverRegistry::Global().Find("portfolio"), "portfolio");
+
+  TablePrinter table({"threads", "wall/solve", "speedup vs 1",
+                      "subsets/sec", "views"});
+  table.SetTitle(
+      "Portfolio solver thread sweep (20-candidate SSB scenario)");
+
+  size_t original = ThreadPool::Global().concurrency();
+  double serial_ms = 0.0;
+  std::vector<size_t> reference_selection;
+  bool identical = true;
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    Measured m = MeasureSolver(portfolio, inst, spec,
+                               /*incremental=*/true);
+    if (threads == 1) {
+      serial_ms = m.wall_ms_per_solve;
+      reference_selection = m.result.evaluation.selected;
+    } else if (m.result.evaluation.selected != reference_selection) {
+      identical = false;
+    }
+    double speedup =
+        m.wall_ms_per_solve > 0 ? serial_ms / m.wall_ms_per_solve : 0.0;
+    table.AddRow({std::to_string(threads),
+                  StrFormat("%.2f ms", m.wall_ms_per_solve),
+                  StrFormat("%.2fx", speedup),
+                  StrFormat("%.0f", m.subsets_per_sec),
+                  std::to_string(m.result.evaluation.selected.size())});
+    JsonLine("solvers")
+        .Str("sweep", "portfolio_threads")
+        // A string so it lands in the row's identity key (string
+        // fields key rows in check_regression.py; numbers are data).
+        .Str("threads", std::to_string(threads))
+        .Num("wall_ms_per_solve", m.wall_ms_per_solve)
+        .Num("speedup_vs_1thread", speedup)
+        .Num("subsets_per_sec", m.subsets_per_sec)
+        .Emit();
+  }
+  ThreadPool::SetGlobalConcurrency(original);
+  table.Print(std::cout);
+  std::cout << "Identical selection at every thread count: "
+            << (identical ? "yes" : "NO") << "\n\n";
+  if (!identical) {
+    std::fprintf(stderr,
+                 "portfolio selections diverged across thread counts\n");
+    std::exit(1);
+  }
+}
+
 // --- Microbenchmarks: the two evaluation paths head to head -----------------
 
 Instance& SharedSsbInstance() {
@@ -342,6 +407,7 @@ int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
   PrintSolverComparison();
   PrintIncrementalAblation();
+  PrintPortfolioThreadSweep();
   bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/optimizer/temporal_planner.h"
 #include "pricing/provider_registry.h"
 #include "workload/ssb.h"
@@ -185,6 +186,75 @@ void PrintHorizonScaling() {
   std::cout << "\n";
 }
 
+// --- Part 3: thread sweep over the parallel planner seams --------------------
+
+// The two parallel seams the temporal layer gained: Create()'s
+// per-period evaluator pre-materialization and ComparePolicies()'s
+// walk-per-policy fan-out. Total costs must be identical at every
+// thread count; wall time falls with threads.
+void PrintThreadSweep() {
+  Instance inst = MakeInstance();
+  WorkloadTimeline timeline = MakeTimeline(inst, 12);
+  ObjectiveSpec spec = Mv3Spec();
+  const std::vector<ReselectPolicy> policies = {
+      ReselectPolicy::Static(), ReselectPolicy::EveryK(1),
+      ReselectPolicy::EveryK(3), ReselectPolicy::OnDrift(0.1),
+      ReselectPolicy::OnDrift(0.25), ReselectPolicy::OnDrift(0.5)};
+
+  TablePrinter table({"threads", "wall/compare", "speedup vs 1"});
+  table.SetTitle(
+      "Planner create + 6-policy comparison thread sweep (12 periods)");
+
+  size_t original = ThreadPool::Global().concurrency();
+  double serial_ms = 0.0;
+  Money reference_total;
+  bool identical = true;
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    int reps = 0;
+    Money grand_total;
+    auto start = std::chrono::steady_clock::now();
+    do {
+      TemporalPlanner planner = MakePlanner(inst, timeline);
+      auto runs = Unwrap(planner.ComparePolicies(spec, policies),
+                         "compare");
+      grand_total = Money::Zero();
+      for (const TemporalRunResult& run : runs) {
+        grand_total += run.total.total();
+      }
+      ++reps;
+    } while (MillisSince(start) < bench::MeasureBudgetMs(200.0) &&
+             reps < 10);
+    double wall_ms = MillisSince(start) / reps;
+    if (threads == 1) {
+      serial_ms = wall_ms;
+      reference_total = grand_total;
+    } else if (grand_total != reference_total) {
+      identical = false;
+    }
+    double speedup = wall_ms > 0 ? serial_ms / wall_ms : 0.0;
+    table.AddRow({std::to_string(threads),
+                  StrFormat("%.2f ms", wall_ms),
+                  StrFormat("%.2fx", speedup)});
+    JsonLine("temporal")
+        .Str("sweep", "threads")
+        // String: part of the row identity key in check_regression.py.
+        .Str("threads", std::to_string(threads))
+        .Num("wall_ms_per_compare", wall_ms)
+        .Num("speedup_vs_1thread", speedup)
+        .Emit();
+  }
+  ThreadPool::SetGlobalConcurrency(original);
+  table.Print(std::cout);
+  std::cout << "Identical totals at every thread count: "
+            << (identical ? "yes" : "NO") << "\n\n";
+  if (!identical) {
+    std::fprintf(stderr,
+                 "policy-comparison totals diverged across threads\n");
+    std::exit(1);
+  }
+}
+
 // --- Microbenchmark: warm start vs cold Evaluate per carried period ----------
 
 void BM_WarmStartPeriodPricing(benchmark::State& state) {
@@ -210,6 +280,7 @@ int main(int argc, char** argv) {
   bench::ParseSmoke(argc, argv);
   PrintPolicyComparison();
   PrintHorizonScaling();
+  PrintThreadSweep();
   bench::RunMicrobenchmarks(argc, argv);
   return 0;
 }

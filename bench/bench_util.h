@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -52,10 +53,15 @@ inline void ParseSmoke(int& argc, char** argv) {
   argc = kept;
 }
 
-/// \brief Wall-clock budget for repeat-until-stable measurement loops:
-/// zero under --smoke (one iteration and out).
+/// \brief Wall-clock budget for repeat-until-stable measurement loops.
+/// Under --smoke the budget is capped at a few milliseconds rather than
+/// zeroed: a single cold iteration swings severalfold run-to-run, and
+/// the BENCH_JSON throughput rows feed the CI regression gate
+/// (bench/check_regression.py), which needs smoke numbers that are
+/// merely rough, not random.
 inline double MeasureBudgetMs(double full_ms) {
-  return SmokeMode() ? 0.0 : full_ms;
+  constexpr double kSmokeBudgetMs = 25.0;
+  return SmokeMode() ? std::min(full_ms, kSmokeBudgetMs) : full_ms;
 }
 
 /// \brief benchmark::Initialize + RunSpecifiedBenchmarks, honouring

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_JSON output.
+
+The bench harnesses print one machine-readable row per result line,
+prefixed "BENCH_JSON " (see bench_util.h). CI's full job smoke-runs
+every bench binary a few times, collects all the output, and runs this
+script against the checked-in bench/baseline.json (repeated rows gate
+on the best observation; the baseline itself is a floor — see
+collect()):
+
+    for i in 1 2 3; do
+      for b in build/bench_*; do "$b" --smoke; done
+    done > bench_out.txt
+    python3 bench/check_regression.py bench_out.txt
+
+The gate fails (exit 1) when any row's throughput metric
+(`subsets_per_sec` by default) regresses by more than --threshold
+(default 25%) against the same row in the baseline, or when a baseline
+row disappears entirely (renaming a solver without regenerating the
+baseline is a silent way to lose coverage). New rows that the baseline
+does not know are reported but never fail the gate.
+
+Rows are keyed by their string fields (bench/scenario/solver/sweep...),
+which are stable across runs; numeric fields are the measurements.
+
+Regenerate the baseline (required whenever solvers/benches change, and
+best done on a CI-sized machine so the floor is realistic). Feed it a
+few runs — repeated keys keep the minimum, making the baseline a floor
+rather than one lucky sample:
+
+    for i in 1 2 3; do
+      for b in build/bench_*; do "$b" --smoke; done
+    done | python3 bench/check_regression.py --update -
+
+Absolute throughput varies across machines AND across time windows on
+one machine (noisy neighbors and frequency scaling swing smoke numbers
+2-3x). The gate is therefore built as floor-vs-best: the baseline
+stores min-observed x --derate (default 0.35), CI gates the best of
+three rounds, and the threshold stays generous. The combination is
+deliberate — this gate exists to catch order-of-magnitude bit-rot (the
+incremental layer losing its edge, a solver going accidentally
+quadratic in probes), not 5% noise; wall-clock trend lines live in the
+BENCH_JSON archive, not here.
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+
+def parse_rows(stream):
+    """Yields dicts for every BENCH_JSON line in `stream`."""
+    for line in stream:
+        line = line.strip()
+        if not line.startswith(PREFIX):
+            continue
+        try:
+            yield json.loads(line[len(PREFIX):])
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"unparseable BENCH_JSON line: {line!r}: {error}")
+
+
+def row_key(row):
+    """Stable identity of a result row: its string fields, sorted."""
+    parts = [f"{k}={v}" for k, v in sorted(row.items())
+             if isinstance(v, str)]
+    return " ".join(parts)
+
+
+def collect(stream, metric, into, merge):
+    """Folds row key -> metric value into `into` for rows that carry the
+    metric; repeated keys (several runs of the same bench) are combined
+    with `merge`. Baselines merge with min (a floor over the observed
+    runs, not one lucky sample); the gate merges with max (did any run
+    reach the floor?) — smoke throughput is noisy even with a small
+    measuring budget, and the asymmetry is what keeps a generous
+    threshold meaningful."""
+    for row in parse_rows(stream):
+        value = row.get(metric)
+        if isinstance(value, (int, float)) and value > 0:
+            key = row_key(row)
+            value = float(value)
+            into[key] = merge(into[key], value) if key in into else value
+    return into
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_JSON output against bench/baseline.json")
+    parser.add_argument("inputs", nargs="+",
+                        help="files with BENCH_JSON lines ('-' = stdin)")
+    parser.add_argument("--baseline", default="bench/baseline.json",
+                        help="checked-in baseline path")
+    parser.add_argument("--metric", default="subsets_per_sec",
+                        help="throughput metric to gate on")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional regression (0.25 = "
+                             "fail below 75%% of baseline)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the input instead "
+                             "of gating")
+    parser.add_argument("--derate", type=float, default=0.35,
+                        help="with --update: store min-observed x this "
+                             "factor, so the baseline is a deliberate "
+                             "floor with headroom for cross-machine and "
+                             "noisy-neighbor variance (observed smoke "
+                             "swings reach 2-3x between time windows)")
+    args = parser.parse_args()
+
+    merge = min if args.update else max
+    current = {}
+    for path in args.inputs:
+        if path == "-":
+            collect(sys.stdin, args.metric, current, merge)
+        else:
+            with open(path, encoding="utf-8") as handle:
+                collect(handle, args.metric, current, merge)
+    if not current:
+        raise SystemExit(
+            f"no BENCH_JSON rows with metric '{args.metric}' in input")
+
+    if args.update:
+        if not 0.0 < args.derate <= 1.0:
+            raise SystemExit("--derate must be in (0, 1]")
+        derated = {key: value * args.derate
+                   for key, value in current.items()}
+        baseline = {"metric": args.metric,
+                    "derate": args.derate,
+                    "rows": dict(sorted(derated.items()))}
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(current)} rows to {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("metric") != args.metric:
+        raise SystemExit(
+            f"baseline gates '{baseline.get('metric')}', not "
+            f"'{args.metric}'; regenerate with --update")
+    rows = baseline["rows"]
+
+    failures, missing = [], []
+    floor = 1.0 - args.threshold
+    for key, base_value in sorted(rows.items()):
+        if key not in current:
+            missing.append(key)
+            continue
+        value = current[key]
+        if value < base_value * floor:
+            failures.append(
+                f"  {key}\n    {args.metric}: {value:,.0f} < "
+                f"{floor:.0%} of baseline {base_value:,.0f} "
+                f"({value / base_value:.0%})")
+    for key in sorted(set(current) - set(rows)):
+        print(f"note: new row not in baseline (run --update): {key}")
+
+    if missing:
+        print(f"FAIL: {len(missing)} baseline row(s) missing from output "
+              "(regenerate bench/baseline.json if intentional):")
+        for key in missing:
+            print(f"  {key}")
+    if failures:
+        print(f"FAIL: {len(failures)} row(s) regressed more than "
+              f"{args.threshold:.0%} on {args.metric}:")
+        for failure in failures:
+            print(failure)
+    if missing or failures:
+        return 1
+    print(f"OK: {len(rows)} baseline rows within {args.threshold:.0%} "
+          f"of {args.metric} baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+#include "common/thread_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace cloudview {
+
+namespace {
+
+/// Index of the worker running on this thread, or kNotAWorker. Lets
+/// Submit keep a worker's follow-up tasks on its own deque and lets
+/// TakeTask start stealing from a stable home.
+constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+thread_local size_t tls_worker_index = kNotAWorker;
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(
+      DefaultConcurrency() > 0 ? DefaultConcurrency() - 1 : 0);
+  return pool;
+}
+
+}  // namespace
+
+namespace internal {
+
+size_t ParseThreadCount(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace internal
+
+size_t DefaultConcurrency() {
+  size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  return internal::ParseThreadCount(std::getenv("CLOUDVIEW_THREADS"),
+                                    hardware);
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  // Drain anything submitted after the workers left (callers that
+  // Submit during teardown still get their tasks run, serially).
+  while (TryRunOne()) {
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    // No workers: run inline. Submit still "completes" the task, so
+    // zero-worker pools behave like a serial executor.
+    task();
+    return;
+  }
+  size_t home = tls_worker_index;
+  if (home == kNotAWorker || home >= queues_.size()) {
+    home = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+           queues_.size();
+  }
+  // Increment BEFORE enqueuing: a stealer may pop (and fetch_sub) the
+  // instant the queue mutex is released, and pending_ must never
+  // underflow (idle workers would busy-spin on a SIZE_MAX count). The
+  // reverse window — pending_ briefly positive with the task not yet
+  // pushed — only costs a worker one empty TakeTask scan.
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queues_[home]->mu);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  // Notify under wake_mu_: a worker that read pending_ == 0 holds the
+  // mutex until it is inside wait(), so taking it here orders this
+  // submit after that read — the notify cannot land in the window
+  // between a worker's predicate check and its block (lost wakeup).
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_.notify_one();
+  }
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t home) {
+  size_t n = queues_.size();
+  if (n == 0) return nullptr;
+  if (home >= n) home = 0;
+  // Own deque first, newest-first: the task most likely still warm in
+  // this core's cache.
+  {
+    WorkerQueue& own = *queues_[home];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // Steal oldest-first from the siblings: the opposite end, so thieves
+  // and owners rarely contend on the same task.
+  for (size_t step = 1; step < n; ++step) {
+    WorkerQueue& victim = *queues_[(home + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+bool ThreadPool::TryRunOne() {
+  size_t home = tls_worker_index;
+  std::function<void()> task =
+      TakeTask(home == kNotAWorker ? 0 : home);
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_worker_index = self;
+  for (;;) {
+    if (std::function<void()> task = TakeTask(self)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stopping_) return;
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    wake_.wait(lock, [this] {
+      return stopping_ ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_) return;
+  }
+}
+
+ThreadPool& ThreadPool::Global() { return *GlobalSlot(); }
+
+void ThreadPool::SetGlobalConcurrency(size_t concurrency) {
+  GlobalSlot() =
+      std::make_unique<ThreadPool>(concurrency > 0 ? concurrency - 1 : 0);
+}
+
+namespace internal {
+
+void ParallelForImpl(ThreadPool& pool, size_t n,
+                     const std::function<void(size_t)>& body) {
+  struct Join {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::exception_ptr error;  // Guarded by mu.
+    size_t total = 0;
+    const std::function<void(size_t)>* body = nullptr;
+  };
+  // Shared, so helper tasks that start after the loop already finished
+  // (every index claimed) can still touch the join state safely.
+  auto join = std::make_shared<Join>();
+  join->total = n;
+  join->body = &body;
+
+  auto drain = [join] {
+    for (;;) {
+      size_t i = join->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= join->total) return;
+      // After a failure the remaining iterations are skipped but still
+      // counted, so the join below terminates promptly.
+      if (!join->failed.load(std::memory_order_relaxed)) {
+        try {
+          (*join->body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(join->mu);
+          if (!join->failed.exchange(true)) {
+            join->error = std::current_exception();
+          }
+        }
+      }
+      if (join->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          join->total) {
+        std::lock_guard<std::mutex> lock(join->mu);
+        join->all_done.notify_all();
+      }
+    }
+  };
+
+  // One helper per worker (capped by the iteration count): each is a
+  // claim-loop over the same shared index, so helpers that never get
+  // scheduled cost nothing and the caller can finish the loop alone.
+  size_t helpers = std::min(pool.workers(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) pool.Submit(drain);
+  drain();  // The caller participates; never parks while work remains.
+
+  std::unique_lock<std::mutex> lock(join->mu);
+  while (join->done.load(std::memory_order_acquire) != join->total) {
+    // In-flight helpers are running on pool threads; lend a hand with
+    // unrelated queued work (e.g. a sibling region's tasks) instead of
+    // sleeping the whole wait away.
+    lock.unlock();
+    if (!pool.TryRunOne()) {
+      lock.lock();
+      join->all_done.wait_for(
+          lock, std::chrono::milliseconds(1), [&] {
+            return join->done.load(std::memory_order_acquire) ==
+                   join->total;
+          });
+    } else {
+      lock.lock();
+    }
+  }
+  lock.unlock();
+  if (join->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(join->error);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace cloudview

@@ -1,0 +1,197 @@
+// Work-stealing thread pool and the ParallelFor/ParallelMap primitives
+// every parallel seam in cloudview runs on (DESIGN.md §9).
+//
+// Tasks are plain std::function thunks on per-worker deques: a worker
+// pops its own deque LIFO and steals FIFO from its siblings when empty,
+// so related work stays cache-warm and idle threads drain the longest
+// queue ends. The pool is a fixed set of std::threads over
+// std::mutex/std::condition_variable — no dependencies beyond the
+// standard library.
+//
+// Concurrency convention: a "concurrency of N" means N threads make
+// progress on a parallel region — the N-1 pool workers plus the caller,
+// which always participates (ParallelFor never parks the calling
+// thread while work remains). Concurrency 1 therefore degenerates to a
+// plain serial loop with no pool traffic at all, which is what makes
+// `CLOUDVIEW_THREADS=1` a bit-exact single-threaded reference run.
+//
+// Determinism: ParallelFor guarantees every index is executed exactly
+// once and the caller observes all writes made by iteration bodies
+// (completion is an acquire/release barrier). It does NOT order
+// iterations; parallel callers must keep iteration bodies independent
+// and reduce by index afterwards (see ParallelMap), never by arrival.
+//
+// Nesting is safe: a worker that hits a nested ParallelFor claims that
+// loop's iterations itself and helps drain them, so inner loops never
+// deadlock waiting for the pool, even at concurrency 1.
+//
+// Exception contract: the first exception thrown by an iteration is
+// captured, remaining not-yet-started iterations are skipped, and the
+// exception is rethrown on the calling thread once in-flight
+// iterations finish.
+
+#ifndef CLOUDVIEW_COMMON_THREAD_POOL_H_
+#define CLOUDVIEW_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudview {
+
+namespace internal {
+/// \brief Parses a CLOUDVIEW_THREADS-style value: a positive integer is
+/// taken as-is; null, empty, zero, or garbage yields `fallback`.
+size_t ParseThreadCount(const char* value, size_t fallback);
+}  // namespace internal
+
+/// \brief The process-wide parallelism the global pool is sized to:
+/// CLOUDVIEW_THREADS when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (at least 1).
+size_t DefaultConcurrency();
+
+/// \brief Fixed-size work-stealing pool of worker threads.
+///
+/// Thread-safe: Submit may be called from any thread, including from
+/// inside a running task. Destruction joins the workers after draining
+/// already-submitted tasks.
+class ThreadPool {
+ public:
+  /// \brief Spawns `workers` threads. Zero workers is valid: Submit
+  /// still queues (tasks run only via TryRunOne or destruction drain),
+  /// and ParallelFor degenerates to a serial loop.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of pool worker threads.
+  size_t workers() const { return threads_.size(); }
+  /// \brief Threads a parallel region can occupy: the workers plus the
+  /// calling thread (which always participates).
+  size_t concurrency() const { return threads_.size() + 1; }
+
+  /// \brief Enqueues `task`. When called from a pool worker the task
+  /// goes on that worker's own deque (LIFO, cache-warm); otherwise
+  /// deques are fed round-robin.
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs one queued task on the calling thread if any is
+  /// available (own deque first, then stealing). Returns false when
+  /// every deque is empty. Lets blocked joiners help drain the pool.
+  bool TryRunOne();
+
+  /// \brief The shared process pool, lazily sized to
+  /// DefaultConcurrency() - 1 workers (the caller is the extra thread).
+  static ThreadPool& Global();
+
+  /// \brief Resizes the global pool to `concurrency` total threads
+  /// (n - 1 workers; 0 and 1 both mean no workers). Joins the old
+  /// pool's workers first. NOT safe to call concurrently with running
+  /// parallel regions — call it from the main thread between regions
+  /// (tests and bench sweeps do).
+  static void SetGlobalConcurrency(size_t concurrency);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from `home`'s deque back, else steals from the next
+  /// non-empty sibling's front. Returns an empty function when all
+  /// deques are empty.
+  std::function<void()> TakeTask(size_t home);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+  bool stopping_ = false;  // Guarded by wake_mu_.
+};
+
+namespace internal {
+/// Type-erased core of ParallelFor (keeps the template thin).
+void ParallelForImpl(ThreadPool& pool, size_t n,
+                     const std::function<void(size_t)>& body);
+}  // namespace internal
+
+/// \brief Runs body(0) ... body(n-1) on up to pool.concurrency()
+/// threads (caller included) and returns when all have finished.
+/// Iterations must be independent; see the header comment for the
+/// determinism and exception contracts.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, size_t n, Fn&& body) {
+  if (n == 0) return;
+  if (pool.workers() == 0 || n == 1) {
+    // Degenerate serially with zero overhead (and zero scheduling
+    // nondeterminism) — the CLOUDVIEW_THREADS=1 reference path.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::function<void(size_t)> erased = std::ref(body);
+  internal::ParallelForImpl(pool, n, erased);
+}
+
+/// \brief ParallelFor on the global pool.
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& body) {
+  ParallelFor(ThreadPool::Global(), n, std::forward<Fn>(body));
+}
+
+/// \brief Maps i -> fn(i) into a vector ordered by index, for
+/// infallible bodies. T must be default-constructible and movable.
+/// (Fallible fan-outs — the comparison sweeps — use ParallelForStatus
+/// and write into index-addressed slots instead.)
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(ThreadPool& pool, size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  ParallelFor(pool, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// \brief ParallelMap on the global pool.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(size_t n, Fn&& fn) {
+  return ParallelMap<T>(ThreadPool::Global(), n, std::forward<Fn>(fn));
+}
+
+/// \brief ParallelFor over Status-returning bodies — the fallible
+/// ordered fan-out every comparison sweep uses. Runs body(i) for every
+/// index (no early abort: tasks are shared-nothing and cheap relative
+/// to scheduling them); returns OK when all succeeded, otherwise the
+/// failing status with the SMALLEST index — deterministic, never
+/// first-to-fail.
+template <typename Fn>
+Status ParallelForStatus(ThreadPool& pool, size_t n, Fn&& body) {
+  std::vector<Status> statuses(n);
+  ParallelFor(pool, n, [&](size_t i) { statuses[i] = body(i); });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+/// \brief ParallelForStatus on the global pool.
+template <typename Fn>
+Status ParallelForStatus(size_t n, Fn&& body) {
+  return ParallelForStatus(ThreadPool::Global(), n,
+                           std::forward<Fn>(body));
+}
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_THREAD_POOL_H_

@@ -43,8 +43,7 @@ double Scalarize(const SolverContext& context, Duration time, Money cost) {
   return 0.0;
 }
 
-Result<SelectionResult> Anneal(const ObjectiveSpec& spec,
-                               SolverContext& context,
+Result<SelectionResult> Anneal(SolverContext& context,
                                const AnnealingOptions& options) {
   if (options.iterations <= 0 || options.cooling <= 0.0 ||
       options.cooling >= 1.0 || options.initial_temperature < 0.0) {
@@ -92,7 +91,8 @@ class AnnealingSolver : public Solver {
 
   Result<SelectionResult> Solve(const ObjectiveSpec& spec,
                                 SolverContext& context) const override {
-    return Anneal(spec, context, AnnealingOptions{});
+    (void)spec;  // The context carries the spec.
+    return Anneal(context, AnnealingOptions{});
   }
 };
 
@@ -105,7 +105,12 @@ Result<SelectionResult> AnnealSelection(
     const AnnealingOptions& options) {
   EvaluationCache cache;
   SolverContext context(evaluator, spec, &cache);
-  return Anneal(spec, context, options);
+  return Anneal(context, options);
+}
+
+Result<SelectionResult> AnnealWithContext(SolverContext& context,
+                                          const AnnealingOptions& options) {
+  return Anneal(context, options);
 }
 
 }  // namespace cloudview

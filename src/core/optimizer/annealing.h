@@ -43,6 +43,15 @@ Result<SelectionResult> AnnealSelection(const SelectionEvaluator& evaluator,
                                         const ObjectiveSpec& spec,
                                         const AnnealingOptions& options = {});
 
+class SolverContext;
+
+/// \brief The same walk on a caller-owned SolverContext, so probes hit
+/// the caller's cache and counters — the building block the parallel
+/// "portfolio" solver seeds with per-start schedules (each start runs
+/// on its own shared-nothing context; see solver_portfolio.cc).
+Result<SelectionResult> AnnealWithContext(SolverContext& context,
+                                          const AnnealingOptions& options);
+
 }  // namespace cloudview
 
 #endif  // CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_

@@ -24,45 +24,67 @@ SelectionEvaluator::SelectionEvaluator(
       cost_model_(&cost_model),
       deployment_(deployment),
       candidates_(std::move(candidates)) {
+  auto timing = std::make_shared<TimingTable>();
   size_t m = workload.size();
-  base_time_.resize(m);
-  frequency_.resize(m);
+  timing->base_time.resize(m);
+  timing->frequency.resize(m);
   for (size_t q = 0; q < m; ++q) {
-    frequency_[q] = static_cast<int64_t>(workload.query(q).frequency);
+    timing->frequency[q] =
+        static_cast<int64_t>(workload.query(q).frequency);
   }
-  result_bytes_.resize(m);
-  view_time_.assign(m, std::vector<Duration>(candidates_.size(),
-                                             kUnanswerable));
+  timing->result_bytes.resize(m);
+  timing->view_time.assign(
+      m, std::vector<Duration>(candidates_.size(), kUnanswerable));
   for (size_t q = 0; q < m; ++q) {
     CuboidId target = workload.query(q).target;
-    base_time_[q] = simulator.QueryTimeFromFact(target, cluster);
-    result_bytes_[q] = lattice.EstimateSize(target);
+    timing->base_time[q] = simulator.QueryTimeFromFact(target, cluster);
+    timing->result_bytes[q] = lattice.EstimateSize(target);
     for (size_t c = 0; c < candidates_.size(); ++c) {
       if (lattice.CanAnswer(candidates_[c].view, target)) {
-        view_time_[q][c] = simulator.QueryTimeFromView(
+        timing->view_time[q][c] = simulator.QueryTimeFromView(
             candidates_[c].view, target, cluster);
       }
     }
   }
-  view_time_by_candidate_.resize(m * candidates_.size(), kUnanswerable);
+  timing->view_time_by_candidate.resize(m * candidates_.size(),
+                                        kUnanswerable);
   for (size_t c = 0; c < candidates_.size(); ++c) {
     for (size_t q = 0; q < m; ++q) {
-      view_time_by_candidate_[c * m + q] = view_time_[q][c];
+      timing->view_time_by_candidate[c * m + q] = timing->view_time[q][c];
     }
   }
-  ranked_candidates_.resize(m);
+  timing->ranked_candidates.resize(m);
   for (size_t q = 0; q < m; ++q) {
     for (size_t c = 0; c < candidates_.size(); ++c) {
-      if (view_time_[q][c] < base_time_[q]) {
-        ranked_candidates_[q].push_back(static_cast<uint32_t>(c));
+      if (timing->view_time[q][c] < timing->base_time[q]) {
+        timing->ranked_candidates[q].push_back(static_cast<uint32_t>(c));
       }
     }
-    std::stable_sort(ranked_candidates_[q].begin(),
-                     ranked_candidates_[q].end(),
+    std::stable_sort(timing->ranked_candidates[q].begin(),
+                     timing->ranked_candidates[q].end(),
                      [&](uint32_t a, uint32_t b) {
-                       return view_time_[q][a] < view_time_[q][b];
+                       return timing->view_time[q][a] <
+                              timing->view_time[q][b];
                      });
   }
+  timing_ = std::move(timing);
+}
+
+SelectionEvaluator SelectionEvaluator::Clone() const {
+  // Shares timing_ by reference; skips the memo entirely (CloneTag).
+  return SelectionEvaluator(*this, CloneTag{});
+}
+
+Result<SelectionEvaluator> SelectionEvaluator::CloneWithSunkBuilds(
+    const std::vector<size_t>& sunk) const {
+  SelectionEvaluator clone = Clone();
+  for (size_t c : sunk) {
+    if (c >= clone.candidates_.size()) {
+      return Status::InvalidArgument("sunk candidate index out of range");
+    }
+    clone.candidates_[c].materialization_time = Duration::Zero();
+  }
+  return clone;
 }
 
 Result<SelectionEvaluator> SelectionEvaluator::Create(
@@ -97,12 +119,12 @@ Result<SubsetEvaluation> SelectionEvaluator::Evaluate(
   // Per-query best source among the subset (and base).
   for (size_t q = 0; q < workload_.size(); ++q) {
     const QuerySpec& spec = workload_.query(q);
-    Duration best = base_time_[q];
+    Duration best = timing_->base_time[q];
     for (size_t c : eval.selected) {
-      if (view_time_[q][c] < best) best = view_time_[q][c];
+      if (timing_->view_time[q][c] < best) best = timing_->view_time[q][c];
     }
     eval.workload_input.queries.push_back(QueryCostInput{
-        spec.name, best, result_bytes_[q], DataSize::Zero(),
+        spec.name, best, timing_->result_bytes[q], DataSize::Zero(),
         spec.frequency});
   }
 
@@ -200,8 +222,8 @@ Duration SelectionEvaluator::StandaloneProcessingSaving(size_t c) const {
   CV_CHECK(c < candidates_.size()) << "candidate index out of range";
   Duration saved = Duration::Zero();
   for (size_t q = 0; q < workload_.size(); ++q) {
-    if (view_time_[q][c] < base_time_[q]) {
-      saved += (base_time_[q] - view_time_[q][c]) *
+    if (timing_->view_time[q][c] < timing_->base_time[q]) {
+      saved += (timing_->base_time[q] - timing_->view_time[q][c]) *
                static_cast<int64_t>(workload_.query(q).frequency);
     }
   }

@@ -20,6 +20,7 @@
 #define CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -89,8 +90,15 @@ struct SubsetEvaluation {
 /// The workload and deployment are copied in (both are small); the
 /// lattice and cost model are borrowed and must outlive the evaluator.
 ///
-/// Not thread-safe, including const methods: FastTotalCost() memoizes
-/// storage costs internally. Use one evaluator per thread.
+/// Concurrency contract (DESIGN.md §9): one instance per task. The
+/// const methods are deterministic but *memoizing* — FastTotalCost()
+/// caches storage costs in a per-instance memo — so two threads must
+/// not share one instance. Clone() is the cheap per-thread handoff:
+/// the query-x-candidate timing tables are immutable and shared by
+/// reference across clones, while each clone gets its own (empty)
+/// storage memo, so cloning is O(queries + candidates), not
+/// O(queries x candidates). Memo contents only affect speed, never
+/// values: every clone computes bit-identical results.
 class SelectionEvaluator {
  public:
   /// \brief Builds the evaluator. `lattice` and `cost_model` must
@@ -110,23 +118,40 @@ class SelectionEvaluator {
   const DeploymentSpec& deployment() const { return deployment_; }
 
   /// \brief Query `q` answered from the base table (precomputed).
-  Duration base_time(size_t q) const { return base_time_[q]; }
+  Duration base_time(size_t q) const { return timing_->base_time[q]; }
   /// \brief Query `q` answered from candidate `c`; a huge sentinel when
   /// `c` cannot answer `q` (never wins a min against base_time).
-  Duration view_time(size_t q, size_t c) const { return view_time_[q][c]; }
+  Duration view_time(size_t q, size_t c) const {
+    return timing_->view_time[q][c];
+  }
   /// \brief Candidate `c`'s timing column, contiguous over queries — the
   /// cache-friendly layout SubsetState::Add walks on every probe.
   const Duration* view_time_of(size_t c) const {
-    return view_time_by_candidate_.data() + c * workload_.size();
+    return timing_->view_time_by_candidate.data() + c * workload_.size();
   }
   /// \brief Candidates that can beat the base table for query `q`,
   /// ascending by view_time — SubsetState::Remove's argmin repair walks
   /// this and stops at the first surviving member (expected O(1)).
   const std::vector<uint32_t>& ranked_candidates(size_t q) const {
-    return ranked_candidates_[q];
+    return timing_->ranked_candidates[q];
   }
   /// \brief Frequency weight of query `q` (Formula 9).
-  int64_t frequency(size_t q) const { return frequency_[q]; }
+  int64_t frequency(size_t q) const { return timing_->frequency[q]; }
+
+  /// \brief Cheap per-task copy: shares the immutable timing tables by
+  /// reference, starts with an empty storage memo. Build per-thread
+  /// SubsetStates and SolverContexts on the clone, never on a shared
+  /// instance (FastTotalCost checks the pairing).
+  SelectionEvaluator Clone() const;
+
+  /// \brief Clone() with `sunk` candidates' materialization time zeroed
+  /// — the temporal planner's transition-aware period problem (carried
+  /// views' builds are sunk costs; see temporal_planner.h). The timing
+  /// tables are unaffected (they never depend on build time), so this
+  /// too is O(queries + candidates). InvalidArgument on an out-of-range
+  /// index.
+  Result<SelectionEvaluator> CloneWithSunkBuilds(
+      const std::vector<size_t>& sunk) const;
 
   /// \brief Exact evaluation of a subset (indices into candidates()).
   Result<SubsetEvaluation> Evaluate(
@@ -161,6 +186,28 @@ class SelectionEvaluator {
   Result<Money> StandaloneCostDelta(size_t c) const;
 
  private:
+  /// The precomputed query-x-candidate tables — the expensive, immutable
+  /// part of an evaluator. Built once, shared read-only across every
+  /// Clone() via shared_ptr (parallel portfolio starts, temporal period
+  /// clones), so per-task copies never rebuild or duplicate the matrix.
+  struct TimingTable {
+    // base_time[q]: query q answered from the base table.
+    std::vector<Duration> base_time;
+    // frequency[q]: per-query frequency weight (hot-path copy).
+    std::vector<int64_t> frequency;
+    // view_time[q][c]: query q answered from candidate c; Duration max
+    // when c cannot answer q.
+    std::vector<std::vector<Duration>> view_time;
+    // The same matrix candidate-major ([c * num_queries + q]), so the
+    // incremental Add scan is a contiguous walk.
+    std::vector<Duration> view_time_by_candidate;
+    // ranked_candidates[q]: candidates beating base_time[q], ascending
+    // by view_time (ties by index, matching Evaluate()'s scan order).
+    std::vector<std::vector<uint32_t>> ranked_candidates;
+    // result_bytes[q]: logical result volume of query q.
+    std::vector<DataSize> result_bytes;
+  };
+
   SelectionEvaluator(const CubeLattice& lattice, const Workload& workload,
                      const MapReduceSimulator& simulator,
                      const ClusterSpec& cluster,
@@ -168,33 +215,36 @@ class SelectionEvaluator {
                      const DeploymentSpec& deployment,
                      std::vector<ViewCandidate> candidates);
 
+  /// Clone() backing: copies everything except the storage memo (the
+  /// clone starts cold), so cloning never pays for — or even reads — a
+  /// source memo that may have grown large. Safe to run concurrently
+  /// against one shared source.
+  struct CloneTag {};
+  SelectionEvaluator(const SelectionEvaluator& other, CloneTag)
+      : lattice_(other.lattice_),
+        workload_(other.workload_),
+        cost_model_(other.cost_model_),
+        deployment_(other.deployment_),
+        candidates_(other.candidates_),
+        timing_(other.timing_),
+        baseline_(other.baseline_) {}
+
   const CubeLattice* lattice_;
   Workload workload_;
   const CloudCostModel* cost_model_;
   DeploymentSpec deployment_;
   std::vector<ViewCandidate> candidates_;
 
-  // base_time_[q]: query q answered from the base table.
-  std::vector<Duration> base_time_;
-  // frequency_[q]: per-query frequency weight (hot-path copy).
-  std::vector<int64_t> frequency_;
-  // view_time_[q][c]: query q answered from candidate c; Duration max
-  // when c cannot answer q.
-  std::vector<std::vector<Duration>> view_time_;
-  // The same matrix candidate-major ([c * num_queries + q]), so the
-  // incremental Add scan is a contiguous walk.
-  std::vector<Duration> view_time_by_candidate_;
-  // ranked_candidates_[q]: candidates beating base_time_[q], ascending
-  // by view_time (ties by index, matching Evaluate()'s scan order).
-  std::vector<std::vector<uint32_t>> ranked_candidates_;
-  // result_bytes_[q]: logical result volume of query q.
-  std::vector<DataSize> result_bytes_;
+  // Immutable after construction; shared across Clone()s.
+  std::shared_ptr<const TimingTable> timing_;
 
   SubsetEvaluation baseline_;
 
   // Storage cost by duplicated-byte total: distinct subsets share few
   // distinct totals, and the tiered Formula 5 walk is the only
-  // non-trivial arithmetic left on the fast path.
+  // non-trivial arithmetic left on the fast path. Per-instance (never
+  // shared across Clone()s): this memo is why one instance must not be
+  // probed from two threads — and why a clone per task is enough.
   mutable std::unordered_map<int64_t, Money> storage_cost_memo_;
 };
 

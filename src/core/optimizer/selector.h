@@ -12,7 +12,8 @@
 // SolverRegistry (see solver.h) and runs it against a SolverContext that
 // carries the scenario scoring plus the shared evaluation memo. The
 // built-in strategies are "knapsack-dp" (the paper's DP + exact repair),
-// "greedy", "exhaustive", "annealing" and "local-search".
+// "greedy", "exhaustive", "annealing", "local-search" and "portfolio"
+// (parallel multi-start; DESIGN.md §9).
 //
 // MV3 mixes hours with dollars; we evaluate the blend on
 // baseline-normalized terms (T/T0, C/C0) so alpha is a unit-free
@@ -78,8 +79,14 @@ struct SelectionResult {
 /// \brief Solves the three scenarios against a SelectionEvaluator by
 /// dispatching to a registered solver strategy.
 ///
-/// Not thread-safe, including Solve() const: subset evaluations are
-/// memoized across calls. Use one selector per thread.
+/// Concurrency contract (DESIGN.md §9): one selector per task. Solve()
+/// is const but memoizing — subset evaluations accumulate in the
+/// per-selector EvaluationCache across calls — so two threads must not
+/// share one selector (or its evaluator). Parallel searches do not
+/// share selectors at all: the "portfolio" solver and the comparison
+/// sweeps give every task its own SolverContext + EvaluationCache over
+/// a SelectionEvaluator::Clone(), which shares only the immutable
+/// timing tables. Memoization never changes results, only speed.
 class ViewSelector {
  public:
   /// \brief Keeps a reference; `evaluator` must outlive the selector.

@@ -12,9 +12,10 @@
 //                     same way).
 //
 // Built-in strategies: "knapsack-dp" (the paper's Section 5.2 DP plus
-// exact repair), "greedy", "exhaustive", "annealing", and
-// "local-search" (add/remove/swap iterated local search in the spirit
-// of arXiv 2606.03772). See DESIGN.md §5.11.
+// exact repair), "greedy", "exhaustive", "annealing", "local-search"
+// (add/remove/swap iterated local search in the spirit of
+// arXiv 2606.03772), and "portfolio" (a parallel multi-start race over
+// the others' start procedures; DESIGN.md §9). See DESIGN.md §5.11.
 
 #ifndef CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
 #define CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
@@ -154,6 +155,15 @@ class SolverContext {
   bool use_cache() const { return use_cache_; }
 
   const Counters& counters() const { return counters_; }
+
+  /// \brief Folds another context's counters into this one — how a
+  /// fan-out solver (the "portfolio") reports the probes its per-thread
+  /// child contexts performed.
+  void MergeCounters(const Counters& other) {
+    counters_.full_evaluations += other.full_evaluations;
+    counters_.incremental_probes += other.incremental_probes;
+    counters_.cache_hits += other.cache_hits;
+  }
 
  private:
   /// Memo-or-compute for a peeked/committed totals bundle.

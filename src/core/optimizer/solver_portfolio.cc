@@ -1,0 +1,128 @@
+// "portfolio": a parallel multi-start portfolio over the existing
+// search strategies — the standard remedy for search cost dominating at
+// realistic lattice sizes (arXiv 1701.05099 notes selection search cost,
+// arXiv 2606.03772 multi-start local search): race N independently
+// seeded starts and keep the best.
+//
+// Start roster (fixed, independent of thread count):
+//   * 1 greedy climb from the empty set (swap moves on),
+//   * kAnnealingStarts annealing walks with per-start seeds,
+//   * kRandomStarts random-subset seeds hill-climbed with swaps.
+//
+// Each start is shared-nothing: it runs on its own SubsetState,
+// EvaluationCache and SolverContext over a SelectionEvaluator::Clone()
+// (which shares only the immutable timing tables), scheduled on the
+// global ThreadPool via ParallelFor — this is the embarrassingly
+// parallel hot path bench_solvers' thread sweep measures.
+//
+// Determinism: every start always runs, each start's result depends only
+// on its fixed seed (never on scheduling), and the winner is reduced by
+// (lexicographic score, start index) — so the selection and its
+// CostBreakdown are bit-identical for CLOUDVIEW_THREADS=1 and =N
+// (pinned by portfolio_solver_test).
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/optimizer/annealing.h"
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+namespace {
+
+/// What one shared-nothing start reports back to the reduction.
+struct StartOutcome {
+  Status status = Status::OK();
+  SolverContext::Score score{};
+  std::vector<size_t> selected;
+  SolverContext::Counters counters;
+};
+
+class PortfolioSolver : public Solver {
+ public:
+  static constexpr size_t kAnnealingStarts = 5;
+  static constexpr size_t kRandomStarts = 10;
+  static constexpr uint64_t kSeed = 1701'05099;  // The portfolio's paper.
+  /// Random seeds pick each candidate with this probability, so starts
+  /// scatter across subset sizes the greedy trajectory never visits.
+  static constexpr double kSeedDensity = 0.25;
+
+  std::string_view name() const override { return "portfolio"; }
+  std::string_view description() const override {
+    return "parallel multi-start portfolio (greedy + seeded annealing + "
+           "seeded climbs), best of all starts";
+  }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                SolverContext& context) const override {
+    const size_t starts = 1 + kAnnealingStarts + kRandomStarts;
+    std::vector<StartOutcome> outcomes(starts);
+    const SelectionEvaluator& shared = context.evaluator();
+
+    ParallelFor(starts, [&](size_t i) {
+      outcomes[i] = RunStart(shared, spec, i);
+    });
+
+    const StartOutcome* best = nullptr;
+    for (const StartOutcome& outcome : outcomes) {
+      CV_RETURN_IF_ERROR(outcome.status);
+      context.MergeCounters(outcome.counters);
+      // Strict < keeps the lowest start index on ties: the reduction
+      // order is fixed, so the winner never depends on scheduling.
+      if (best == nullptr || outcome.score < best->score) {
+        best = &outcome;
+      }
+    }
+    return context.Finalize(best->selected);
+  }
+
+ private:
+  /// One shared-nothing start: clone the evaluator, run start `i`'s
+  /// strategy on a private context, score the result locally.
+  /// Everything downstream of the fixed (start index -> seed) mapping
+  /// is deterministic.
+  static StartOutcome RunStart(const SelectionEvaluator& shared,
+                               const ObjectiveSpec& spec, size_t i) {
+    StartOutcome out;
+    SelectionEvaluator evaluator = shared.Clone();
+    EvaluationCache cache;
+    SolverContext local(evaluator, spec, &cache);
+
+    auto run = [&]() -> Status {
+      SubsetState state(evaluator);
+      if (i == 0) {
+        // Greedy climb from the empty set.
+        CV_RETURN_IF_ERROR(local.HillClimb(state, /*with_swaps=*/true));
+      } else if (i <= kAnnealingStarts) {
+        AnnealingOptions options;
+        options.seed = kSeed + i;
+        CV_ASSIGN_OR_RETURN(SelectionResult annealed,
+                            AnnealWithContext(local, options));
+        for (size_t c : annealed.evaluation.selected) state.Add(c);
+        // Polish the annealed selection; annealing already paid for the
+        // global exploration.
+        CV_RETURN_IF_ERROR(local.HillClimb(state, /*with_swaps=*/false));
+      } else {
+        // Random subset seed, then the full swap-neighborhood climb.
+        Rng rng(kSeed * 31 + i);
+        for (size_t c = 0; c < local.num_candidates(); ++c) {
+          if (rng.Bernoulli(kSeedDensity)) state.Add(c);
+        }
+        CV_RETURN_IF_ERROR(local.HillClimb(state, /*with_swaps=*/true));
+      }
+      CV_ASSIGN_OR_RETURN(out.score, local.ScoreState(state));
+      out.selected = state.Selected();
+      return Status::OK();
+    };
+    out.status = run();
+    out.counters = local.counters();
+    return out;
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(PortfolioSolver)
+
+}  // namespace
+}  // namespace cloudview

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/str_format.h"
+#include "common/thread_pool.h"
 #include "core/optimizer/solver.h"
 
 namespace cloudview {
@@ -82,6 +83,24 @@ Result<TemporalPlanner> TemporalPlanner::Create(
     base += period.base_growth;
     planner.base_at_period_.push_back(base);
   }
+
+  // Pre-materialize each period's evaluator (timing table + baseline) —
+  // the walk-independent, embarrassingly parallel bulk of a planner's
+  // cost. Built from the full candidate pool; the walk later snapshots
+  // them with the carried views' builds zeroed.
+  size_t periods = planner.timeline_.num_periods();
+  planner.period_evaluators_.resize(periods);
+  CV_RETURN_IF_ERROR(ParallelForStatus(periods, [&](size_t p) -> Status {
+    CV_ASSIGN_OR_RETURN(
+        SelectionEvaluator evaluator,
+        SelectionEvaluator::Create(
+            *planner.lattice_, planner.timeline_.period(p).workload,
+            *planner.simulator_, planner.cluster_, *planner.cost_model_,
+            planner.PeriodDeployment(p), planner.candidates_));
+    planner.period_evaluators_[p] =
+        std::make_unique<const SelectionEvaluator>(std::move(evaluator));
+    return Status::OK();
+  }));
   return planner;
 }
 
@@ -164,16 +183,11 @@ Result<TemporalRunResult> TemporalPlanner::Run(
     // builds only for views it newly adds (and a dropped-then-readded
     // view pays its build again). This is what makes holding a good
     // selection free and replacing a stale one a one-time charge.
-    std::vector<ViewCandidate> period_candidates = candidates_;
-    for (size_t c : prev_selected) {
-      period_candidates[c].materialization_time = Duration::Zero();
-    }
+    // The snapshot shares the pre-built timing table; only the
+    // candidate pool and memo are per-walk.
     CV_ASSIGN_OR_RETURN(
         SelectionEvaluator evaluator,
-        SelectionEvaluator::Create(*lattice_, period.workload,
-                                   *simulator_, cluster_, *cost_model_,
-                                   deployment,
-                                   std::move(period_candidates)));
+        period_evaluators_[p]->CloneWithSunkBuilds(prev_selected));
 
     // Warm start: the previous period's selection, rebuilt by
     // incremental adds — no cold Evaluate of the carried subset.
@@ -280,13 +294,16 @@ Result<std::vector<TemporalRunResult>> TemporalPlanner::ComparePolicies(
     const ObjectiveSpec& spec,
     const std::vector<ReselectPolicy>& policies,
     std::string_view solver) const {
-  std::vector<TemporalRunResult> runs;
-  runs.reserve(policies.size());
-  for (const ReselectPolicy& policy : policies) {
-    CV_ASSIGN_OR_RETURN(TemporalRunResult run,
-                        Run(spec, policy, solver));
-    runs.push_back(std::move(run));
-  }
+  // One walk per policy, in parallel: the walks are independent and the
+  // planner is immutable after Create (the pre-built evaluators are
+  // only cloned). Results land by policy index, so row order — and
+  // every number in the rows — is the same at any thread count.
+  std::vector<TemporalRunResult> runs(policies.size());
+  CV_RETURN_IF_ERROR(
+      ParallelForStatus(policies.size(), [&](size_t i) -> Status {
+        CV_ASSIGN_OR_RETURN(runs[i], Run(spec, policies[i], solver));
+        return Status::OK();
+      }));
   return runs;
 }
 

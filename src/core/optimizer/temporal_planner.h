@@ -28,6 +28,15 @@
 // the better of the fresh solve and a hill-climbed warm start (ties go
 // to the warm start: fewer transitions for free).
 //
+// The expensive per-period work — each period's query-x-candidate
+// timing table and baseline — depends only on the timeline, never on
+// the walk, so Create() pre-materializes one SelectionEvaluator per
+// period in parallel on the ThreadPool (DESIGN.md §9). The walk itself
+// is inherently sequential (each period's warm start and sunk-build
+// zeroing depend on the previous selection); it takes per-period
+// O(queries + candidates) CloneWithSunkBuilds snapshots of the
+// pre-built evaluators, which share the immutable timing tables.
+//
 // Re-selection is transition-aware: views carried from the previous
 // period have their materialization time zeroed in the period's
 // candidate set — their build is sunk — so the solver only charges
@@ -124,12 +133,22 @@ struct TemporalRunResult {
 /// \brief Re-selects views along a WorkloadTimeline and keeps the bill.
 ///
 /// Borrows the lattice, simulator and cost model (they must outlive the
-/// planner); the timeline is copied in. Not thread-safe.
+/// planner); the timeline is copied in.
+///
+/// Concurrency contract (DESIGN.md §9): after Create(), the planner is
+/// immutable — Run() and ComparePolicies() are const and genuinely
+/// safe to call from several threads at once (ComparePolicies does:
+/// one Run task per policy). Each Run keeps all mutable search state
+/// (SubsetStates, caches, evaluator clones) on its own stack; the
+/// shared pre-built per-period evaluators are only ever cloned, never
+/// probed directly.
 class TemporalPlanner {
  public:
   /// \brief Builds the planner: generates the shared candidate set from
-  /// the union of all period mixes and precomputes per-period storage
-  /// scaffolding. `maintenance_cycles` is charged per period.
+  /// the union of all period mixes, precomputes per-period storage
+  /// scaffolding, and pre-materializes each period's SelectionEvaluator
+  /// (timing table + baseline) in parallel on the global ThreadPool.
+  /// `maintenance_cycles` is charged per period.
   static Result<TemporalPlanner> Create(
       const CubeLattice& lattice, const MapReduceSimulator& simulator,
       const ClusterSpec& cluster, const CloudCostModel& cost_model,
@@ -149,7 +168,10 @@ class TemporalPlanner {
       std::string_view solver = kDefaultSolverName) const;
 
   /// \brief Run() for each policy, same spec/solver — the
-  /// static-vs-periodic-vs-drift comparison. Rows keep policy order.
+  /// static-vs-periodic-vs-drift comparison, one parallel task per
+  /// policy over the shared pre-built evaluators. Rows keep policy
+  /// order (never completion order), so results are independent of
+  /// thread count.
   Result<std::vector<TemporalRunResult>> ComparePolicies(
       const ObjectiveSpec& spec,
       const std::vector<ReselectPolicy>& policies,
@@ -183,6 +205,11 @@ class TemporalPlanner {
   /// Base-data volume at the start of each period (initial dataset plus
   /// accumulated growth); index num_periods() holds the end state.
   std::vector<DataSize> base_at_period_;
+  /// One pre-built evaluator per period (full, un-zeroed candidate
+  /// pool), built in parallel by Create(). Immutable afterwards: the
+  /// walk takes CloneWithSunkBuilds snapshots, so concurrent Runs can
+  /// share them.
+  std::vector<std::unique_ptr<const SelectionEvaluator>> period_evaluators_;
 };
 
 }  // namespace cloudview

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "pricing/provider_registry.h"
 
 namespace cloudview {
@@ -127,40 +128,52 @@ Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
 Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
     const Workload& workload, const ObjectiveSpec& spec,
     std::string_view solver) const {
-  std::vector<ProviderComparisonRow> rows;
-  for (const std::string& name : ProviderRegistry::Global().Names()) {
-    CV_ASSIGN_OR_RETURN(PricingModel model,
-                        ProviderRegistry::Global().Model(name));
-
-    // Catalogs name their tiers differently: keep the configured
-    // instance when this provider offers it, otherwise rent the
-    // cheapest type matching the configured compute power.
-    Result<InstanceType> instance =
-        model.instances().Find(config_.instance_name);
-    if (!instance.ok()) {
-      instance =
-          model.instances().CheapestWithUnits(cluster_.instance.compute_units);
-    }
-    CV_RETURN_IF_ERROR(instance.status());
-
-    ScenarioConfig config = config_;
-    config.pricing.reset();
-    config.provider = name;
-    // Native billing semantics: the comparison is between the sheets as
-    // published, not between override combinations.
-    config.pricing_overrides = PricingOverrides{};
-    config.instance_name = instance->name;
-    CV_ASSIGN_OR_RETURN(CloudScenario scenario,
-                        CloudScenario::Create(std::move(config)));
-
-    ProviderComparisonRow row;
-    row.provider = name;
-    row.instance = instance->name;
-    row.granularity = model.compute_granularity();
-    CV_ASSIGN_OR_RETURN(row.run, scenario.Run(workload, spec, solver));
-    rows.push_back(std::move(row));
-  }
+  // One task per registered sheet: each rebuilds its own deployment
+  // (scenario, evaluator, selector) from scratch, so the sweeps share
+  // nothing but the immutable registries. Rows land by name index,
+  // keeping the sorted provider order at any thread count.
+  std::vector<std::string> names = ProviderRegistry::Global().Names();
+  std::vector<ProviderComparisonRow> rows(names.size());
+  CV_RETURN_IF_ERROR(ParallelForStatus(names.size(), [&](size_t i) {
+    return CompareOneProvider(names[i], workload, spec, solver, rows[i]);
+  }));
   return rows;
+}
+
+Status CloudScenario::CompareOneProvider(const std::string& name,
+                                         const Workload& workload,
+                                         const ObjectiveSpec& spec,
+                                         std::string_view solver,
+                                         ProviderComparisonRow& row) const {
+  CV_ASSIGN_OR_RETURN(PricingModel model,
+                      ProviderRegistry::Global().Model(name));
+
+  // Catalogs name their tiers differently: keep the configured
+  // instance when this provider offers it, otherwise rent the
+  // cheapest type matching the configured compute power.
+  Result<InstanceType> instance =
+      model.instances().Find(config_.instance_name);
+  if (!instance.ok()) {
+    instance =
+        model.instances().CheapestWithUnits(cluster_.instance.compute_units);
+  }
+  CV_RETURN_IF_ERROR(instance.status());
+
+  ScenarioConfig config = config_;
+  config.pricing.reset();
+  config.provider = name;
+  // Native billing semantics: the comparison is between the sheets as
+  // published, not between override combinations.
+  config.pricing_overrides = PricingOverrides{};
+  config.instance_name = instance->name;
+  CV_ASSIGN_OR_RETURN(CloudScenario scenario,
+                      CloudScenario::Create(std::move(config)));
+
+  row.provider = name;
+  row.instance = instance->name;
+  row.granularity = model.compute_granularity();
+  CV_ASSIGN_OR_RETURN(row.run, scenario.Run(workload, spec, solver));
+  return Status::OK();
 }
 
 Result<TemporalRunResult> CloudScenario::RunTimeline(

@@ -39,8 +39,8 @@ struct ScenarioConfig {
   /// sub-dollar; see DESIGN.md §5.4). Examples reproducing the worked
   /// examples clear the granularity override to get the sheet's native
   /// started-hour billing.
-  PricingOverrides pricing_overrides{
-      .compute_granularity = BillingGranularity::kSecond};
+  PricingOverrides pricing_overrides =
+      PricingOverrides::ComputeGranularityOnly(BillingGranularity::kSecond);
   /// Deprecated shim for the pre-registry API: when set, this model is
   /// used instead of looking `provider` up. `pricing_overrides` still
   /// apply on top — exactly as they do to a registry sheet — so passing
@@ -119,8 +119,10 @@ class CloudScenario {
   /// scenario's pricing_overrides — and Run() re-solves the selection.
   /// The configured instance name is kept when the provider's catalog
   /// has it; otherwise the cheapest type matching the configured
-  /// instance's compute units is rented. Rows come back in sorted
-  /// provider-name order.
+  /// instance's compute units is rented. Each sheet is evaluated on its
+  /// own ThreadPool task (the rebuilt deployments share nothing but the
+  /// immutable registries); rows come back in sorted provider-name
+  /// order regardless of thread count.
   Result<std::vector<ProviderComparisonRow>> CompareProviders(
       const Workload& workload, const ObjectiveSpec& spec,
       std::string_view solver = kDefaultSolverName) const;
@@ -137,7 +139,8 @@ class CloudScenario {
       std::string_view solver = kDefaultSolverName) const;
 
   /// \brief RunTimeline for each policy on one shared planner — the
-  /// static vs every-k vs on-drift comparison, in policy order.
+  /// static vs every-k vs on-drift comparison, in policy order (one
+  /// parallel walk per policy; see TemporalPlanner::ComparePolicies).
   Result<std::vector<TemporalRunResult>> CompareReselectPolicies(
       const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
       const std::vector<ReselectPolicy>& policies,
@@ -161,6 +164,14 @@ class CloudScenario {
  private:
   explicit CloudScenario(ScenarioConfig config)
       : config_(std::move(config)) {}
+
+  /// One CompareProviders task: rebuild this deployment on `name`'s
+  /// sheet and re-solve into `row`.
+  Status CompareOneProvider(const std::string& name,
+                            const Workload& workload,
+                            const ObjectiveSpec& spec,
+                            std::string_view solver,
+                            ProviderComparisonRow& row) const;
 
   ScenarioConfig config_;
   // Heap-held so CloudScenario stays movable while internal references

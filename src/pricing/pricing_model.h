@@ -96,6 +96,14 @@ struct PricingModelOptions {
 struct PricingOverrides {
   std::optional<BillingGranularity> compute_granularity;
   std::optional<StorageBilling> storage_billing;
+
+  /// \brief An override set with only the compute granularity pinned —
+  /// ScenarioConfig's default (per-second billing; DESIGN.md §5.4).
+  static PricingOverrides ComputeGranularityOnly(BillingGranularity g) {
+    PricingOverrides overrides;
+    overrides.compute_granularity = g;
+    return overrides;
+  }
 };
 
 /// \brief A CSP price sheet: evaluates compute, storage and transfer

@@ -28,6 +28,8 @@ void ScaleFrequencies(Workload& workload, double factor, uint64_t floor) {
 
 Status FrequencyDecayDrift::Apply(const CubeLattice& lattice, Rng& rng,
                                   TimelinePeriod& period) const {
+  (void)lattice;
+  (void)rng;  // Deterministic model: decay needs no draws.
   if (factor_ <= 0.0 || factor_ > 1.0) {
     return Status::InvalidArgument(
         StrFormat("decay factor %.3f outside (0, 1]", factor_));
@@ -38,6 +40,8 @@ Status FrequencyDecayDrift::Apply(const CubeLattice& lattice, Rng& rng,
 
 Status SeasonalSpikeDrift::Apply(const CubeLattice& lattice, Rng& rng,
                                  TimelinePeriod& period) const {
+  (void)lattice;
+  (void)rng;  // Deterministic model: the spike schedule needs no draws.
   if (season_length_ == 0) {
     return Status::InvalidArgument("season length must be positive");
   }
@@ -90,6 +94,7 @@ Status QueryChurnDrift::Apply(const CubeLattice& lattice, Rng& rng,
 
 Status DatasetGrowthDrift::Apply(const CubeLattice& lattice, Rng& rng,
                                  TimelinePeriod& period) const {
+  (void)rng;  // Deterministic model: growth is a fixed fraction.
   if (growth_per_period_ < 0.0) {
     return Status::InvalidArgument("dataset growth must be >= 0");
   }

@@ -164,5 +164,62 @@ TEST_F(EvaluatorTest, EmptyWorkloadRejected) {
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
 
+TEST_F(EvaluatorTest, CloneMatchesOriginalBitForBit) {
+  // The per-task handoff: a clone shares the immutable timing tables
+  // and reproduces every evaluation exactly, with its own storage memo.
+  SelectionEvaluator clone = evaluator_->Clone();
+  ASSERT_EQ(clone.num_candidates(), evaluator_->num_candidates());
+  for (size_t q = 0; q < evaluator_->num_queries(); ++q) {
+    EXPECT_EQ(clone.base_time(q).millis(),
+              evaluator_->base_time(q).millis());
+  }
+
+  std::vector<size_t> subset;
+  for (size_t c = 0; c < candidates_.size(); c += 2) subset.push_back(c);
+  SubsetEvaluation original = evaluator_->Evaluate(subset).value();
+  SubsetEvaluation cloned = clone.Evaluate(subset).value();
+  EXPECT_EQ(original.cost.total().micros(), cloned.cost.total().micros());
+  EXPECT_EQ(original.processing_time.millis(),
+            cloned.processing_time.millis());
+  EXPECT_EQ(original.makespan.millis(), cloned.makespan.millis());
+
+  // FastTotalCost pairs a SubsetState with the instance it was built
+  // on; states built on the clone probe the clone's memo.
+  SubsetState state(clone);
+  for (size_t c : subset) state.Add(c);
+  EXPECT_EQ(clone.FastTotalCost(state).value().micros(),
+            original.cost.total().micros());
+}
+
+TEST_F(EvaluatorTest, CloneWithSunkBuildsZeroesMaterialization) {
+  ASSERT_GE(candidates_.size(), 2u);
+  std::vector<size_t> sunk = {0};
+  SelectionEvaluator clone =
+      evaluator_->CloneWithSunkBuilds(sunk).MoveValue();
+
+  // The sunk candidate's build is free in the clone...
+  EXPECT_TRUE(clone.candidates()[0].materialization_time.is_zero());
+  SubsetEvaluation with_sunk = clone.Evaluate({0}).value();
+  EXPECT_TRUE(
+      with_sunk.view_input.TotalMaterializationTime().is_zero());
+  EXPECT_TRUE(with_sunk.cost.materialization.is_zero());
+
+  // ...while other candidates and the original instance are untouched.
+  EXPECT_EQ(clone.candidates()[1].materialization_time.millis(),
+            evaluator_->candidates()[1].materialization_time.millis());
+  EXPECT_FALSE(evaluator_->candidates()[0]
+                   .materialization_time.is_zero());
+
+  // Query timing is build-independent, so it is byte-identical.
+  SubsetEvaluation original = evaluator_->Evaluate({0}).value();
+  EXPECT_EQ(with_sunk.processing_time.millis(),
+            original.processing_time.millis());
+
+  // Out-of-range sunk indices are rejected, not crashed on.
+  EXPECT_TRUE(evaluator_->CloneWithSunkBuilds({candidates_.size()})
+                  .status()
+                  .IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace cloudview
