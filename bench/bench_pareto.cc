@@ -1,0 +1,256 @@
+// Multi-objective strategy benchmark: the two frontier solvers
+// ("pareto-sweep", "pareto-genetic") on the paper's sales instance —
+// wall time per frontier solve, frontier size, probe throughput — plus
+// the determinism pin the sweep's parallel reduction promises: the
+// frontier must be bit-identical at every thread count. Rows are
+// emitted in the bench_util.h BENCH_JSON format for the perf
+// trajectory and the CI regression gate.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/pareto.h"
+#include "core/optimizer/solver.h"
+#include "engine/sales_generator.h"
+#include "pricing/providers.h"
+#include "workload/workload.h"
+
+using namespace cloudview;
+using bench::JsonLine;
+using bench::Unwrap;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One self-owning evaluation substrate (see bench_solvers.cc).
+struct Instance {
+  std::unique_ptr<CubeLattice> lattice;
+  std::unique_ptr<MapReduceSimulator> simulator;
+  std::unique_ptr<PricingModel> pricing;
+  std::unique_ptr<CloudCostModel> cost_model;
+  ClusterSpec cluster;
+  Workload workload;
+  DeploymentSpec deployment;
+  std::unique_ptr<SelectionEvaluator> evaluator;
+};
+
+Instance MakeSalesInstance(size_t workload_size, size_t max_candidates) {
+  Instance inst;
+  SalesConfig config;
+  config.logical_size = DataSize::FromGB(10);
+  inst.lattice = std::make_unique<CubeLattice>(
+      Unwrap(CubeLattice::Build(Unwrap(MakeSalesSchema(config), "schema")),
+             "lattice"));
+  MapReduceParams params;
+  params.job_startup = Duration::FromSeconds(45);
+  params.map_throughput_per_unit = DataSize::FromBytes(2'100 * 1024);
+  inst.simulator =
+      std::make_unique<MapReduceSimulator>(*inst.lattice, params);
+  inst.pricing = std::make_unique<PricingModel>(
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond));
+  inst.cost_model = std::make_unique<CloudCostModel>(*inst.pricing);
+  inst.cluster =
+      ClusterSpec{Unwrap(inst.pricing->instances().Find("small"), "type"),
+                  5};
+  inst.workload = Unwrap(MakePaperWorkload(*inst.lattice), "workload")
+                      .Prefix(workload_size);
+
+  inst.deployment.instance = inst.cluster.instance;
+  inst.deployment.nb_instances = inst.cluster.nodes;
+  inst.deployment.storage_period = Months::FromMilli(4);
+  inst.deployment.base_storage =
+      StorageTimeline(inst.lattice->fact_scan_size());
+  inst.deployment.maintenance_cycles = 0;
+
+  CandidateGenOptions options;
+  options.max_candidates = max_candidates;
+  options.max_rows_fraction = 0.05;
+  inst.evaluator = std::make_unique<SelectionEvaluator>(Unwrap(
+      SelectionEvaluator::Create(
+          *inst.lattice, inst.workload, *inst.simulator, inst.cluster,
+          *inst.cost_model, inst.deployment,
+          Unwrap(GenerateCandidates(*inst.lattice, inst.workload,
+                                    *inst.simulator, inst.cluster,
+                                    options),
+                 "candidates")),
+      "evaluator"));
+  return inst;
+}
+
+ObjectiveSpec BudgetSpec() {
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  spec.alpha = 0.5;
+  spec.max_monthly_cost = Money::FromDollars(400);
+  return spec;
+}
+
+struct Measured {
+  SelectionResult result;
+  double wall_ms_per_solve = 0.0;
+  double subsets_per_sec = 0.0;
+};
+
+// Times repeated fresh frontier solves (fresh memo per repetition).
+Measured MeasureFrontier(const Solver& solver, const Instance& inst,
+                         const ObjectiveSpec& spec) {
+  Measured out;
+  uint64_t scored = 0;
+  int reps = 0;
+  auto start = std::chrono::steady_clock::now();
+  do {
+    EvaluationCache cache;
+    SolverContext context(*inst.evaluator, spec, &cache);
+    out.result = Unwrap(solver.Solve(spec, context), "solve");
+    scored += context.counters().subsets_scored();
+    ++reps;
+  } while (MillisSince(start) < bench::MeasureBudgetMs(400.0) &&
+           reps < 20);
+  double total_ms = MillisSince(start);
+  out.wall_ms_per_solve = total_ms / reps;
+  out.subsets_per_sec = 1000.0 * static_cast<double>(scored) / total_ms;
+  return out;
+}
+
+bool SameFrontier(const std::vector<ParetoPoint>& a,
+                  const std::vector<ParetoPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].score != b[i].score || a[i].selected != b[i].selected ||
+        a[i].origin != b[i].origin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Part 1: the two frontier strategies head to head -----------------------
+
+void PrintFrontierComparison() {
+  Instance inst = MakeSalesInstance(/*workload_size=*/10,
+                                    /*max_candidates=*/12);
+  ObjectiveSpec spec = BudgetSpec();
+  std::cout << "Instance: " << inst.workload.size() << " queries, "
+            << inst.evaluator->num_candidates()
+            << " candidates, budget " << spec.max_monthly_cost
+            << "/month\n\n";
+
+  TablePrinter table({"solver", "frontier points", "wall/solve",
+                      "subsets/sec"});
+  table.SetTitle("Multi-objective strategies on the paper workload");
+  for (const char* name : {"pareto-sweep", "pareto-genetic"}) {
+    const Solver& solver =
+        *Unwrap(SolverRegistry::Global().Find(name), name);
+    Measured m = MeasureFrontier(solver, inst, spec);
+    table.AddRow({name, std::to_string(m.result.frontier.size()),
+                  StrFormat("%.2f ms", m.wall_ms_per_solve),
+                  StrFormat("%.0f", m.subsets_per_sec)});
+    JsonLine("pareto")
+        .Str("solver", name)
+        .Num("wall_ms_per_solve", m.wall_ms_per_solve)
+        .Num("subsets_per_sec", m.subsets_per_sec)
+        .Int("frontier_points",
+             static_cast<int64_t>(m.result.frontier.size()))
+        .Emit();
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// --- Part 2: sweep thread determinism + scaling -----------------------------
+
+void PrintSweepThreadSweep() {
+  Instance inst = MakeSalesInstance(/*workload_size=*/10,
+                                    /*max_candidates=*/12);
+  ObjectiveSpec spec = BudgetSpec();
+  const Solver& sweep = *Unwrap(
+      SolverRegistry::Global().Find("pareto-sweep"), "pareto-sweep");
+
+  TablePrinter table({"threads", "wall/solve", "speedup vs 1",
+                      "subsets/sec", "points"});
+  table.SetTitle("pareto-sweep thread sweep (frontier must not move)");
+
+  size_t original = ThreadPool::Global().concurrency();
+  double serial_ms = 0.0;
+  std::vector<ParetoPoint> reference;
+  bool identical = true;
+  for (size_t threads : {1, 2, 4, 8}) {
+    ThreadPool::SetGlobalConcurrency(threads);
+    Measured m = MeasureFrontier(sweep, inst, spec);
+    if (threads == 1) {
+      serial_ms = m.wall_ms_per_solve;
+      reference = m.result.frontier;
+    } else if (!SameFrontier(reference, m.result.frontier)) {
+      identical = false;
+    }
+    double speedup =
+        m.wall_ms_per_solve > 0 ? serial_ms / m.wall_ms_per_solve : 0.0;
+    table.AddRow({std::to_string(threads),
+                  StrFormat("%.2f ms", m.wall_ms_per_solve),
+                  StrFormat("%.2fx", speedup),
+                  StrFormat("%.0f", m.subsets_per_sec),
+                  std::to_string(m.result.frontier.size())});
+    JsonLine("pareto")
+        .Str("sweep", "sweep_threads")
+        .Str("threads", std::to_string(threads))
+        .Num("wall_ms_per_solve", m.wall_ms_per_solve)
+        .Num("speedup_vs_1thread", speedup)
+        .Num("subsets_per_sec", m.subsets_per_sec)
+        .Emit();
+  }
+  ThreadPool::SetGlobalConcurrency(original);
+  table.Print(std::cout);
+  std::cout << "Identical frontier at every thread count: "
+            << (identical ? "yes" : "NO") << "\n\n";
+  if (!identical) {
+    std::fprintf(stderr,
+                 "pareto-sweep frontiers diverged across thread counts\n");
+    std::exit(1);
+  }
+}
+
+// --- Microbenchmark: ParetoFront insertion ----------------------------------
+
+void BM_ParetoFrontInsert(benchmark::State& state) {
+  // A worst-case-ish stream: many mutually non-dominated points (anti-
+  // correlated cost/time), interleaved with dominated ones.
+  std::vector<ParetoPoint> stream;
+  for (int64_t i = 0; i < 256; ++i) {
+    ParetoPoint point;
+    point.score.monthly_cost = Money::FromCents(100 + i);
+    point.score.time = Duration::FromMillis(100'000 - 300 * i);
+    point.score.storage = DataSize::FromKB(64 + (i % 7));
+    point.selected = {static_cast<size_t>(i)};
+    stream.push_back(std::move(point));
+  }
+  for (auto _ : state) {
+    ParetoFront front(1e-9);
+    for (const ParetoPoint& point : stream) front.Insert(point);
+    benchmark::DoNotOptimize(front.size());
+  }
+}
+BENCHMARK(BM_ParetoFrontInsert);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+  PrintFrontierComparison();
+  PrintSweepThreadSweep();
+  bench::RunMicrobenchmarks(argc, argv);
+  return 0;
+}

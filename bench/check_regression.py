@@ -22,6 +22,10 @@ does not know are reported but never fail the gate.
 
 Rows are keyed by their string fields (bench/scenario/solver/sweep...),
 which are stable across runs; numeric fields are the measurements.
+`--trend` additionally prints a per-metric table (every numeric metric
+the benches emitted, its cross-round spread, and best-vs-baseline
+ratios for the gated metric), which is what CI surfaces in the job log
+for eyeballing drift that never trips the gate.
 
 Regenerate the baseline (required whenever solvers/benches change, and
 best done on a CI-sized machine so the floor is realistic). Feed it a
@@ -69,21 +73,98 @@ def row_key(row):
     return " ".join(parts)
 
 
-def collect(stream, metric, into, merge):
-    """Folds row key -> metric value into `into` for rows that carry the
-    metric; repeated keys (several runs of the same bench) are combined
-    with `merge`. Baselines merge with min (a floor over the observed
-    runs, not one lucky sample); the gate merges with max (did any run
-    reach the floor?) — smoke throughput is noisy even with a small
-    measuring budget, and the asymmetry is what keeps a generous
-    threshold meaningful."""
-    for row in parse_rows(stream):
+def collect(rows, metric, merge):
+    """Folds row key -> metric value for rows that carry the metric;
+    repeated keys (several runs of the same bench) are combined with
+    `merge`. Baselines merge with min (a floor over the observed runs,
+    not one lucky sample); the gate merges with max (did any run reach
+    the floor?) — smoke throughput is noisy even with a small measuring
+    budget, and the asymmetry is what keeps a generous threshold
+    meaningful."""
+    into = {}
+    for row in rows:
         value = row.get(metric)
         if isinstance(value, (int, float)) and value > 0:
             key = row_key(row)
             value = float(value)
             into[key] = merge(into[key], value) if key in into else value
     return into
+
+
+def print_trend(rows, gated_metric, baseline_rows, gated_best):
+    """Per-metric trend table: every measurement metric the benches
+    emitted, how many rows carry it, and its observed spread across
+    rounds. The gated metric additionally reports best-vs-baseline
+    ratios (`gated_best` is main()'s key -> best map), so a slow drift
+    is visible in the log long before it trips the floor-vs-best gate.
+
+    Rows are grouped by their string fields plus their integer fields:
+    bench_util.h emits discrete configuration axes and deterministic
+    results with Int() and measurements with Num(), so integer fields
+    belong to a row's identity (several sweep points may share one
+    row_key, distinguished only numerically — e.g. volume_gb) while
+    float fields are the per-round observations spread is computed
+    over. Because Num()'s %.6g renders integral measurements without a
+    decimal point, a field counts as a measurement if it parses as
+    float in ANY row. Sweep points distinguished only by *float*
+    configs (e.g. rows_cap) still collapse into one group; those groups
+    are detected by their above-round observation count and reported as
+    mixed instead of pretending the config spread is round-to-round
+    noise."""
+    float_fields = set()
+    for row in rows:
+        for name, value in row.items():
+            if isinstance(value, float):
+                float_fields.add(name)
+
+    def is_config(value):
+        return (isinstance(value, int) and not isinstance(value, bool))
+
+    metrics = {}
+    for row in rows:
+        config = [f"{k}={v}" for k, v in sorted(row.items())
+                  if is_config(v) and k not in float_fields]
+        key = " ".join([row_key(row)] + config)
+        for name, value in row.items():
+            if (name in float_fields and not isinstance(value, bool)
+                    and isinstance(value, (int, float))):
+                metrics.setdefault(name, {}).setdefault(
+                    key, []).append(float(value))
+    if not metrics:
+        print("trend: no numeric metrics in input")
+        return
+
+    # The gate relies on the gated metric's rows being uniquely keyed,
+    # so its modal observation count IS the number of rounds; any group
+    # observed more often than that mixes sweep points that only differ
+    # in a float-valued config field.
+    counts = sorted(len(vs) for vs in metrics.get(
+        gated_metric, {}).values()) or [1]
+    rounds = max(set(counts), key=counts.count)
+
+    print(f"per-metric trend (spread across {rounds} round(s)):")
+    name_width = max(len(name) for name in metrics)
+    for name in sorted(metrics):
+        per_key = metrics[name]
+        clean = [vs for vs in per_key.values() if len(vs) <= rounds]
+        mixed = len(per_key) - len(clean)
+        spreads = [max(vs) / min(vs) for vs in clean if min(vs) > 0]
+        spread = (f"max spread {max(spreads):.2f}x"
+                  if spreads else "spread n/a")
+        line = f"  {name:<{name_width}}  {len(per_key):>3} row(s)  {spread}"
+        if mixed:
+            line += f"  ({mixed} mixed-sweep group(s) skipped)"
+        if name == gated_metric and baseline_rows:
+            ratios = sorted(
+                best / baseline_rows[key]
+                for key, best in gated_best.items()
+                if key in baseline_rows)
+            if ratios:
+                median = ratios[len(ratios) // 2]
+                line += (f"  vs baseline floor: min {ratios[0]:.2f}x"
+                         f" / median {median:.2f}x"
+                         f" / max {ratios[-1]:.2f}x")
+        print(line)
 
 
 def main():
@@ -101,6 +182,9 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the input instead "
                              "of gating")
+    parser.add_argument("--trend", action="store_true",
+                        help="print a per-metric trend table before "
+                             "gating")
     parser.add_argument("--derate", type=float, default=0.35,
                         help="with --update: store min-observed x this "
                              "factor, so the baseline is a deliberate "
@@ -109,14 +193,15 @@ def main():
                              "swings reach 2-3x between time windows)")
     args = parser.parse_args()
 
-    merge = min if args.update else max
-    current = {}
+    all_rows = []
     for path in args.inputs:
         if path == "-":
-            collect(sys.stdin, args.metric, current, merge)
+            all_rows.extend(parse_rows(sys.stdin))
         else:
             with open(path, encoding="utf-8") as handle:
-                collect(handle, args.metric, current, merge)
+                all_rows.extend(parse_rows(handle))
+    merge = min if args.update else max
+    current = collect(all_rows, args.metric, merge)
     if not current:
         raise SystemExit(
             f"no BENCH_JSON rows with metric '{args.metric}' in input")
@@ -139,9 +224,17 @@ def main():
         baseline = json.load(handle)
     if baseline.get("metric") != args.metric:
         raise SystemExit(
-            f"baseline gates '{baseline.get('metric')}', not "
-            f"'{args.metric}'; regenerate with --update")
-    rows = baseline["rows"]
+            f"metric '{args.metric}' missing from baseline (it gates "
+            f"'{baseline.get('metric')}') — regenerate "
+            f"{args.baseline} with --update --metric {args.metric}")
+    rows = baseline.get("rows")
+    if not isinstance(rows, dict) or not rows:
+        raise SystemExit(
+            f"no rows for metric '{args.metric}' in the baseline — "
+            f"regenerate {args.baseline} with --update")
+
+    if args.trend:
+        print_trend(all_rows, args.metric, rows, current)
 
     failures, missing = [], []
     floor = 1.0 - args.threshold

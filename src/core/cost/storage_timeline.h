@@ -33,7 +33,9 @@ class StorageTimeline {
   StorageTimeline() = default;
 
   /// \brief Convenience: a timeline holding `size` from month 0.
-  explicit StorageTimeline(DataSize initial) { events_.push_back({Months::Zero(), initial}); }
+  explicit StorageTimeline(DataSize initial) {
+    events_.push_back({Months::Zero(), initial});
+  }
 
   /// \brief Adds `delta` bytes at month `at` (negative deltas model data
   /// deletion). Events may be added in any order.

@@ -12,8 +12,12 @@ namespace cloudview {
 namespace {
 
 // Scalarized objective: normalized primary objective plus a heavy
-// penalty per unit of constraint violation (also normalized).
-double Scalarize(const SolverContext& context, Duration time, Money cost) {
+// penalty per unit of constraint violation (also normalized). Hard
+// constraints (max_monthly_cost / max_storage / max_makespan) join the
+// penalty through the context's normalized blend, so the walk is pulled
+// into the fully feasible region first.
+double Scalarize(const SolverContext& context,
+                 const SolverContext::Probe& probe) {
   constexpr double kViolationPenalty = 100.0;
   const ObjectiveSpec& spec = context.spec();
   const SubsetEvaluation& baseline = context.evaluator().baseline();
@@ -21,6 +25,10 @@ double Scalarize(const SolverContext& context, Duration time, Money cost) {
       static_cast<double>(context.TimeMetric(baseline).millis());
   double base_cost =
       static_cast<double>(baseline.cost.total().micros());
+  Duration time = probe.time;
+  Money cost = probe.cost;
+  double hard_penalty =
+      kViolationPenalty * context.HardViolationBlend(probe);
 
   switch (spec.scenario) {
     case Scenario::kMV1BudgetLimit: {
@@ -28,17 +36,17 @@ double Scalarize(const SolverContext& context, Duration time, Money cost) {
           0.0, static_cast<double>(cost.micros()) -
                    static_cast<double>(spec.budget_limit.micros()));
       return static_cast<double>(time.millis()) / base_time +
-             kViolationPenalty * violation / base_cost;
+             kViolationPenalty * violation / base_cost + hard_penalty;
     }
     case Scenario::kMV2TimeLimit: {
       double violation = std::max(
           0.0, static_cast<double>(time.millis()) -
                    static_cast<double>(spec.time_limit.millis()));
       return static_cast<double>(cost.micros()) / base_cost +
-             kViolationPenalty * violation / base_time;
+             kViolationPenalty * violation / base_time + hard_penalty;
     }
     case Scenario::kMV3Tradeoff:
-      return context.TradeoffObjective(time, cost);
+      return context.TradeoffObjective(time, cost) + hard_penalty;
   }
   return 0.0;
 }
@@ -54,7 +62,7 @@ Result<SelectionResult> Anneal(SolverContext& context,
   SubsetState current(context.evaluator());
   CV_ASSIGN_OR_RETURN(SolverContext::Probe probe,
                       context.ProbeState(current));
-  double current_score = Scalarize(context, probe.time, probe.cost);
+  double current_score = Scalarize(context, probe);
   std::vector<size_t> best = current.Selected();
   double best_score = current_score;
 
@@ -63,7 +71,7 @@ Result<SelectionResult> Anneal(SolverContext& context,
   for (int it = 0; it < options.iterations && n > 0; ++it) {
     size_t flip = static_cast<size_t>(rng.Uniform(n));
     CV_ASSIGN_OR_RETURN(probe, context.ProbeToggle(current, flip));
-    double trial_score = Scalarize(context, probe.time, probe.cost);
+    double trial_score = Scalarize(context, probe);
     double delta = trial_score - current_score;
     if (delta <= 0.0 ||
         rng.UniformDouble() < std::exp(-delta / std::max(1e-12,

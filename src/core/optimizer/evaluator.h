@@ -326,8 +326,9 @@ class SubsetState {
 
 /// \brief Memo of compact subset evaluations keyed by SubsetHash.
 ///
-/// Stores only what the objectives score on — the two time metrics and
-/// the monetary total — so repeated probes of the same subset (local
+/// Stores only what the objectives score on — the two time metrics, the
+/// monetary total, and the view bytes — so repeated probes of the same
+/// subset (local
 /// search re-visiting a neighborhood, annealing re-proposing a toggle,
 /// different solvers probing the same region) skip even the fast
 /// incremental cost path. Shared by every solver run on one selector.
@@ -349,6 +350,9 @@ class EvaluationCache {
     Duration processing_time;
     Duration makespan;
     Money total_cost;
+    /// Duplicated view bytes — carried so cache hits can rebuild the
+    /// full Probe (storage constraints, MultiScore) without recomputing.
+    DataSize view_bytes;
   };
 
   EvaluationCache() { Rehash(1 << 12); }

@@ -1,0 +1,72 @@
+#include "core/optimizer/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace cloudview {
+
+namespace {
+
+/// |a-b| <= eps * max(|a|, |b|), exact at eps == 0.
+bool CloseRel(int64_t a, int64_t b, double epsilon) {
+  if (a == b) return true;
+  if (epsilon <= 0.0) return false;
+  double magnitude = std::max(std::abs(static_cast<double>(a)),
+                              std::abs(static_cast<double>(b)));
+  return std::abs(static_cast<double>(a) - static_cast<double>(b)) <=
+         epsilon * magnitude;
+}
+
+/// Presentation (and tie-break) order of frontier members.
+bool PointLess(const ParetoPoint& a, const ParetoPoint& b) {
+  auto ka = a.score.AsTuple();
+  auto kb = b.score.AsTuple();
+  if (ka != kb) return ka < kb;
+  if (a.selected != b.selected) return a.selected < b.selected;
+  return a.origin < b.origin;
+}
+
+}  // namespace
+
+bool MultiScore::WithinEpsilon(const MultiScore& other,
+                               double epsilon) const {
+  return CloseRel(monthly_cost.micros(), other.monthly_cost.micros(),
+                  epsilon) &&
+         CloseRel(time.millis(), other.time.millis(), epsilon) &&
+         CloseRel(storage.bytes(), other.storage.bytes(), epsilon);
+}
+
+bool ParetoFront::Insert(ParetoPoint point) {
+  for (const ParetoPoint& member : points_) {
+    // The incumbent wins ties and epsilon-near duplicates: with a fixed
+    // insertion order, the survivor never depends on thread count.
+    if (member.score.WeaklyDominates(point.score) ||
+        member.score.WithinEpsilon(point.score, epsilon_)) {
+      return false;
+    }
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const ParetoPoint& member) {
+                                 return point.score.Dominates(
+                                     member.score);
+                               }),
+                points_.end());
+  points_.insert(std::upper_bound(points_.begin(), points_.end(), point,
+                                  PointLess),
+                 std::move(point));
+  return true;
+}
+
+bool ParetoFront::Covers(const MultiScore& score) const {
+  for (const ParetoPoint& member : points_) {
+    if (member.score.WeaklyDominates(score) ||
+        member.score.WithinEpsilon(score, epsilon_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cloudview

@@ -24,11 +24,14 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/data_size.h"
 #include "common/duration.h"
 #include "common/money.h"
 #include "common/result.h"
 #include "core/optimizer/evaluator.h"
+#include "core/optimizer/pareto.h"
 
 namespace cloudview {
 
@@ -59,13 +62,35 @@ struct ObjectiveSpec {
   /// deployments (e.g. instance tiers) against one common reference.
   Duration mv3_reference_time = Duration::Zero();
   Money mv3_reference_cost = Money::Zero();
+
+  // --- Hard constraints (DESIGN.md §10) --------------------------------
+  // Orthogonal to the scenario's own objective: every registered solver
+  // treats a violation as lexicographically worse than any feasible
+  // subset (SolverContext folds them into the score's violation term),
+  // and SelectionResult::feasible reports them. Zero means
+  // unconstrained.
+
+  /// Cap on the total cost normalized to one month of the billed
+  /// storage period ("$X/month budget").
+  Money max_monthly_cost = Money::Zero();
+  /// Cap on the duplicated bytes stored for the selected views.
+  DataSize max_storage = DataSize::Zero();
+  /// Cap on the workload-run makespan (processing + one-time
+  /// materialization), regardless of the scenario's time metric.
+  Duration max_makespan = Duration::Zero();
+
+  /// Relative dedup tolerance for the frontier the multi-objective
+  /// solvers return (see ParetoFront); ignored by single-objective
+  /// strategies.
+  double frontier_epsilon = 1e-6;
 };
 
 /// \brief The selected view set and how it scores.
 struct SelectionResult {
   SubsetEvaluation evaluation;
-  /// False when the constraint cannot be met even by the best subset;
-  /// `evaluation` then holds the best-effort subset.
+  /// False when the scenario constraint or a hard constraint cannot be
+  /// met even by the best subset; `evaluation` then holds the
+  /// best-effort subset.
   bool feasible = true;
   /// MV3 only: the normalized blended objective of the selection.
   double objective_value = 0.0;
@@ -74,6 +99,15 @@ struct SelectionResult {
 
   /// \brief The time metric the objective used (makespan or processing).
   Duration time;
+
+  /// \brief The selection's position in the (monthly cost, time,
+  /// storage) objective space (DESIGN.md §10).
+  MultiScore multi;
+
+  /// \brief Multi-objective strategies only ("pareto-sweep",
+  /// "pareto-genetic"): the non-dominated frontier discovered during the
+  /// solve, in ParetoFront order. Empty for single-objective solvers.
+  std::vector<ParetoPoint> frontier;
 };
 
 /// \brief Solves the three scenarios against a SelectionEvaluator by

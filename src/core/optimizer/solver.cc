@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -12,6 +13,15 @@ namespace cloudview {
 namespace {
 
 constexpr size_t kNoMove = static_cast<size_t>(-1);
+
+int64_t SaturatingAdd(int64_t a, int64_t b) {
+  int64_t sum;
+  if (__builtin_add_overflow(a, b, &sum)) {
+    return a > 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return sum;
+}
 
 }  // namespace
 
@@ -40,7 +50,63 @@ double SolverContext::TradeoffObjective(Duration time, Money cost) const {
          (1.0 - spec_->alpha) * (c / c0_micros_);
 }
 
-bool SolverContext::Feasible(Duration time, Money cost) const {
+Money SolverContext::MonthlyCost(Money total) const {
+  Months period = evaluator_->deployment().storage_period;
+  if (period.milli() <= 0) return total;
+  return total.ScaleBy(Months::kMilliPerMonth, period.milli());
+}
+
+int64_t SolverContext::HardViolation(const Probe& probe) const {
+  int64_t violation = 0;
+  if (spec_->max_monthly_cost > Money::Zero()) {
+    violation = SaturatingAdd(
+        violation,
+        std::max<int64_t>(
+            0, (MonthlyCost(probe.cost) - spec_->max_monthly_cost)
+                   .micros()));
+  }
+  if (spec_->max_storage > DataSize::Zero()) {
+    violation = SaturatingAdd(
+        violation, std::max<int64_t>(
+                       0, (probe.storage - spec_->max_storage).bytes()));
+  }
+  if (spec_->max_makespan > Duration::Zero()) {
+    violation = SaturatingAdd(
+        violation,
+        std::max<int64_t>(
+            0, (probe.makespan - spec_->max_makespan).millis()));
+  }
+  return violation;
+}
+
+double SolverContext::HardViolationBlend(const Probe& probe) const {
+  double blend = 0.0;
+  if (spec_->max_monthly_cost > Money::Zero()) {
+    double excess = static_cast<double>(
+        (MonthlyCost(probe.cost) - spec_->max_monthly_cost).micros());
+    if (excess > 0.0) {
+      blend +=
+          excess / static_cast<double>(spec_->max_monthly_cost.micros());
+    }
+  }
+  if (spec_->max_storage > DataSize::Zero()) {
+    double excess = static_cast<double>(
+        (probe.storage - spec_->max_storage).bytes());
+    if (excess > 0.0) {
+      blend += excess / static_cast<double>(spec_->max_storage.bytes());
+    }
+  }
+  if (spec_->max_makespan > Duration::Zero()) {
+    double excess = static_cast<double>(
+        (probe.makespan - spec_->max_makespan).millis());
+    if (excess > 0.0) {
+      blend += excess / static_cast<double>(spec_->max_makespan.millis());
+    }
+  }
+  return blend;
+}
+
+bool SolverContext::ScenarioFeasible(Duration time, Money cost) const {
   switch (spec_->scenario) {
     case Scenario::kMV1BudgetLimit:
       return cost <= spec_->budget_limit;
@@ -52,8 +118,19 @@ bool SolverContext::Feasible(Duration time, Money cost) const {
   return true;
 }
 
-SolverContext::Score SolverContext::ScoreOf(Duration time,
-                                            Money cost) const {
+bool SolverContext::Feasible(const Probe& probe) const {
+  return ScenarioFeasible(probe.time, probe.cost) &&
+         HardViolation(probe) == 0;
+}
+
+SolverContext::Score SolverContext::ScoreOf(const Probe& probe) const {
+  Score score = ScenarioScore(probe.time, probe.cost);
+  score[0] = SaturatingAdd(score[0], HardViolation(probe));
+  return score;
+}
+
+SolverContext::Score SolverContext::ScenarioScore(Duration time,
+                                                  Money cost) const {
   switch (spec_->scenario) {
     case Scenario::kMV1BudgetLimit: {
       // Respect the budget, then minimize time, then prefer cheaper.
@@ -86,16 +163,18 @@ Result<SolverContext::Probe> SolverContext::ProbeTotals(
     if (const EvaluationCache::Entry* entry = cache_->Find(totals.hash)) {
       ++counters_.cache_hits;
       return Probe{TimeMetric(entry->processing_time, entry->makespan),
-                   entry->total_cost};
+                   entry->makespan, entry->total_cost,
+                   entry->view_bytes};
     }
   }
   ++counters_.incremental_probes;
   CV_ASSIGN_OR_RETURN(Money cost, evaluator_->FastTotalCost(totals));
   if (cached) {
-    cache_->Insert(totals.hash,
-                   {totals.processing, totals.makespan(), cost});
+    cache_->Insert(totals.hash, {totals.processing, totals.makespan(),
+                                 cost, totals.view_bytes});
   }
-  return Probe{TimeMetric(totals.processing, totals.makespan()), cost};
+  return Probe{TimeMetric(totals.processing, totals.makespan()),
+               totals.makespan(), cost, totals.view_bytes};
 }
 
 Result<SolverContext::Probe> SolverContext::ProbeState(
@@ -104,7 +183,7 @@ Result<SolverContext::Probe> SolverContext::ProbeState(
     ++counters_.full_evaluations;
     CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
                         evaluator_->Evaluate(state.Selected()));
-    return Probe{TimeMetric(eval), eval.cost.total()};
+    return ProbeOf(eval);
   }
   return ProbeTotals(state.totals());
 }
@@ -121,7 +200,7 @@ Result<SolverContext::Probe> SolverContext::ProbeToggle(
     }
     CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
                         evaluator_->Evaluate(selected));
-    return Probe{TimeMetric(eval), eval.cost.total()};
+    return ProbeOf(eval);
   }
   return ProbeTotals(state.PeekToggle(c));
 }
@@ -195,10 +274,11 @@ Result<SelectionResult> SolverContext::Finalize(
     const std::vector<size_t>& selected) {
   CV_ASSIGN_OR_RETURN(SubsetEvaluation eval, Evaluate(selected));
   SelectionResult result;
-  result.time = TimeMetric(eval);
-  result.feasible = Feasible(result.time, eval.cost.total());
-  result.objective_value =
-      TradeoffObjective(result.time, eval.cost.total());
+  Probe probe = ProbeOf(eval);
+  result.time = probe.time;
+  result.feasible = Feasible(probe);
+  result.objective_value = TradeoffObjective(probe.time, probe.cost);
+  result.multi = MultiScoreOf(probe);
   result.evaluation = std::move(eval);
   return result;
 }

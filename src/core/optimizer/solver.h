@@ -14,8 +14,11 @@
 // Built-in strategies: "knapsack-dp" (the paper's Section 5.2 DP plus
 // exact repair), "greedy", "exhaustive", "annealing", "local-search"
 // (add/remove/swap iterated local search in the spirit of
-// arXiv 2606.03772), and "portfolio" (a parallel multi-start race over
-// the others' start procedures; DESIGN.md §9). See DESIGN.md §5.11.
+// arXiv 2606.03772), "portfolio" (a parallel multi-start race over the
+// others' start procedures; DESIGN.md §9), and the multi-objective
+// strategies "pareto-sweep" / "pareto-genetic", which additionally
+// return the (monthly cost, time, storage) Pareto frontier
+// (DESIGN.md §10). See DESIGN.md §5.11.
 
 #ifndef CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
 #define CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
@@ -29,6 +32,7 @@
 
 #include "common/result.h"
 #include "core/optimizer/evaluator.h"
+#include "core/optimizer/pareto.h"
 #include "core/optimizer/selector.h"
 
 namespace cloudview {
@@ -36,22 +40,32 @@ namespace cloudview {
 /// \brief The scenario-and-evaluator bundle a solver runs against.
 ///
 /// Scoring is uniform across the three scenarios: a subset is reduced to
-/// (time metric, total cost) and ranked by the lexicographic Score
-/// (constraint violation, primary objective, tie-breaker) — lower is
-/// better, violation 0 means feasible. Probes go through the memo cache
-/// and the incremental fast path by default; set_use_incremental(false)
-/// forces every probe through the exact Evaluate() ground truth (the
-/// ablation bench_solvers measures).
+/// a Probe (time metric, makespan, total cost, view bytes) and ranked by
+/// the lexicographic Score (constraint violation, primary objective,
+/// tie-breaker) — lower is better, violation 0 means feasible. The
+/// violation term sums the scenario's own constraint with the spec's
+/// hard constraints (max_monthly_cost / max_storage / max_makespan), so
+/// every registered strategy honors them without strategy-specific code.
+/// Probes go through the memo cache and the incremental fast path by
+/// default; set_use_incremental(false) forces every probe through the
+/// exact Evaluate() ground truth (the ablation bench_solvers measures).
 class SolverContext {
  public:
   /// Lexicographic move score; lower is better.
   using Score = std::array<int64_t, 3>;
 
-  /// \brief What one subset probe reduces to.
+  /// \brief What one subset probe reduces to: everything the scalar
+  /// score, the hard constraints, and the MultiScore consume.
   struct Probe {
     /// The scenario's time metric (makespan or processing time).
     Duration time;
+    /// processing + one-time materialization, regardless of the metric
+    /// (what ObjectiveSpec::max_makespan binds on).
+    Duration makespan;
     Money cost;
+    /// Duplicated bytes stored for the subset
+    /// (ObjectiveSpec::max_storage binds on this).
+    DataSize storage;
   };
 
   /// \brief Per-run evaluation counters (reported by bench_solvers).
@@ -93,15 +107,48 @@ class SolverContext {
     return TradeoffObjective(TimeMetric(eval), eval.cost.total());
   }
 
-  /// \brief Whether (time, cost) satisfies the scenario's constraint.
-  bool Feasible(Duration time, Money cost) const;
-
-  Score ScoreOf(Duration time, Money cost) const;
-  Score ScoreOf(const Probe& probe) const {
-    return ScoreOf(probe.time, probe.cost);
+  /// \brief The probe a finished exact evaluation reduces to.
+  Probe ProbeOf(const SubsetEvaluation& eval) const {
+    return Probe{TimeMetric(eval), eval.makespan, eval.cost.total(),
+                 eval.view_input.TotalSize()};
   }
+
+  /// \brief Total cost normalized to one month of the deployment's
+  /// billed storage period — the MultiScore's monetary axis and what
+  /// ObjectiveSpec::max_monthly_cost binds on. Exact rational scaling;
+  /// a non-positive period degenerates to the unscaled total.
+  Money MonthlyCost(Money total) const;
+
+  /// \brief The probe's position in the three-objective space
+  /// (DESIGN.md §10).
+  MultiScore MultiScoreOf(const Probe& probe) const {
+    return MultiScore{MonthlyCost(probe.cost), probe.time, probe.storage};
+  }
+  MultiScore MultiScoreOf(const SubsetEvaluation& eval) const {
+    return MultiScoreOf(ProbeOf(eval));
+  }
+
+  /// \brief Sum of hard-constraint excesses (micro-dollars + bytes +
+  /// millis; saturating): 0 iff max_monthly_cost / max_storage /
+  /// max_makespan all hold. Folded into the score's violation term, so
+  /// every strategy is pulled toward the hard-feasible region first.
+  int64_t HardViolation(const Probe& probe) const;
+
+  /// \brief HardViolation normalized per constraint (excess as a
+  /// fraction of each limit, summed) — the penalty scalarizing walks
+  /// (annealing) mix into their double-valued objective.
+  double HardViolationBlend(const Probe& probe) const;
+
+  /// \brief Whether the probe satisfies the scenario's constraint AND
+  /// every hard constraint.
+  bool Feasible(const Probe& probe) const;
+  bool Feasible(const SubsetEvaluation& eval) const {
+    return Feasible(ProbeOf(eval));
+  }
+
+  Score ScoreOf(const Probe& probe) const;
   Score ScoreOf(const SubsetEvaluation& eval) const {
-    return ScoreOf(TimeMetric(eval), eval.cost.total());
+    return ScoreOf(ProbeOf(eval));
   }
 
   // --- Evaluation paths ------------------------------------------------
@@ -166,6 +213,12 @@ class SolverContext {
   }
 
  private:
+  /// The scenario's own (violation, objective, tie-break) score, before
+  /// hard constraints are folded in.
+  Score ScenarioScore(Duration time, Money cost) const;
+  /// The scenario's own constraint (budget or time limit).
+  bool ScenarioFeasible(Duration time, Money cost) const;
+
   /// Memo-or-compute for a peeked/committed totals bundle.
   Result<Probe> ProbeTotals(const SubsetTotals& totals);
 
@@ -193,6 +246,12 @@ class Solver {
   virtual std::string_view name() const = 0;
   /// \brief One-line description for listings.
   virtual std::string_view description() const = 0;
+  /// \brief Whether this strategy returns a Pareto frontier on
+  /// SelectionResult::frontier (DESIGN.md §10). Frontier builders that
+  /// enumerate the registry (the sweep) skip strategies that answer
+  /// true — including downstream registrations — so two frontier
+  /// builders can never recurse into each other.
+  virtual bool multi_objective() const { return false; }
 
   /// \brief Searches the subset space for `spec`'s objective. The
   /// returned result must come from SolverContext::Finalize (exact

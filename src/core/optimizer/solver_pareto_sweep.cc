@@ -1,0 +1,224 @@
+// "pareto-sweep": the multi-objective wrapper that turns the existing
+// single-objective registry into a frontier builder (DESIGN.md §10, in
+// the spirit of arXiv 2408.00253's budget sweeps).
+//
+// Three task families, all raced on the global ThreadPool:
+//   * anchors — every registered single-objective solver runs once on
+//     the caller's own spec, so the frontier always contains (or
+//     dominates) each strategy's lexicographic optimum;
+//   * weight sweep — a cheap solver roster re-solves the instance as an
+//     MV3 tradeoff across a fixed grid of alpha weights, tracing the
+//     middle of the time/cost frontier the anchors skip;
+//   * storage slices — the epsilon-constraint method on the third axis:
+//     the same MV3 endpoints re-solved under tightening max_storage
+//     caps (fractions of the total candidate bytes), surfacing the
+//     low-storage points no time/cost scalarization can reach. Hard
+//     constraints ride along on every swept spec (caps only ever
+//     tighten a caller-provided max_storage).
+//
+// Determinism: the task list is a pure function of the registry contents
+// and the spec; every task runs on a shared-nothing
+// SelectionEvaluator::Clone() with its own cache and context; results
+// are reduced and inserted into the ParetoFront in task-index order —
+// so the frontier is bit-identical at any thread count (same rules as
+// the portfolio solver; pinned by pareto_property_test).
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/optimizer/pareto.h"
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+namespace {
+
+/// Solvers that themselves produce frontiers (Solver::multi_objective);
+/// a sweep must not recurse into them.
+bool IsMultiObjective(const std::string& name) {
+  Result<const Solver*> solver = SolverRegistry::Global().Find(name);
+  return solver.ok() && solver.value()->multi_objective();
+}
+
+/// Solvers too expensive to re-run once per weight vector; they still
+/// anchor the frontier with one solve on the caller's spec.
+bool IsSweepRosterMember(const std::string& name) {
+  return !IsMultiObjective(name) && name != "exhaustive" &&
+         name != "portfolio";
+}
+
+/// The alpha grid the roster re-solves MV3 on (endpoints included:
+/// alpha 1 is pure time, alpha 0 pure cost).
+constexpr double kAlphaGrid[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9, 1.0};
+
+struct SweepTask {
+  std::string solver;
+  ObjectiveSpec spec;
+  std::string origin;
+};
+
+/// What one shared-nothing task reports back to the index-ordered
+/// reduction.
+struct TaskOutcome {
+  Status status = Status::OK();
+  std::vector<size_t> selected;
+  SolverContext::Counters counters;
+};
+
+class ParetoSweepSolver : public Solver {
+ public:
+  std::string_view name() const override { return "pareto-sweep"; }
+  std::string_view description() const override {
+    return "races registered solvers across weight vectors and reduces "
+           "their picks to a Pareto frontier";
+  }
+  bool multi_objective() const override { return true; }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec& spec,
+                                SolverContext& context) const override {
+    DataSize total_bytes = DataSize::Zero();
+    for (const ViewCandidate& candidate :
+         context.evaluator().candidates()) {
+      total_bytes += candidate.size;
+    }
+    std::vector<SweepTask> tasks =
+        BuildTasks(spec, context.num_candidates(), total_bytes);
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    const SelectionEvaluator& shared = context.evaluator();
+
+    ParallelFor(tasks.size(), [&](size_t i) {
+      outcomes[i] = RunTask(shared, tasks[i]);
+    });
+
+    // Sequential, index-ordered reduction: exact re-evaluation of every
+    // distinct pick, then frontier insertion in a fixed order. The
+    // tasks' picks converge heavily (many weight vectors share an
+    // optimum), so identical subsets are evaluated once — the first
+    // task's origin label wins, deterministically.
+    ParetoFront front(spec.frontier_epsilon);
+    std::set<std::vector<size_t>> seen;
+    std::vector<size_t> best_selected;
+    SolverContext::Score best_score{};
+    bool have_best = false;
+
+    auto consider = [&](const std::vector<size_t>& selected,
+                        const std::string& origin) -> Status {
+      if (!seen.insert(selected).second) return Status::OK();
+      CV_ASSIGN_OR_RETURN(SubsetEvaluation eval,
+                          context.Evaluate(selected));
+      SolverContext::Probe probe = context.ProbeOf(eval);
+      if (context.Feasible(probe)) {
+        front.Insert(
+            ParetoPoint{context.MultiScoreOf(probe), selected, origin});
+      }
+      SolverContext::Score score = context.ScoreOf(probe);
+      if (!have_best || score < best_score) {
+        best_score = score;
+        best_selected = selected;
+        have_best = true;
+      }
+      return Status::OK();
+    };
+
+    // The empty set is always a legal frontier candidate (zero storage,
+    // the baseline bill) and the deterministic first insertion.
+    CV_RETURN_IF_ERROR(consider({}, "baseline"));
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      CV_RETURN_IF_ERROR(outcomes[i].status);
+      context.MergeCounters(outcomes[i].counters);
+      CV_RETURN_IF_ERROR(consider(outcomes[i].selected, tasks[i].origin));
+    }
+
+    CV_ASSIGN_OR_RETURN(SelectionResult result,
+                        context.Finalize(best_selected));
+    result.frontier = front.points();
+    return result;
+  }
+
+ private:
+  /// The fixed task list for `spec`: anchors first (sorted registry
+  /// order), then roster x alpha grid, then roster x alpha endpoints x
+  /// storage caps.
+  static std::vector<SweepTask> BuildTasks(
+      const ObjectiveSpec& spec, size_t num_candidates,
+      DataSize total_candidate_bytes) {
+    std::vector<SweepTask> tasks;
+    std::vector<std::string> names = SolverRegistry::Global().Names();
+    for (const std::string& name : names) {
+      if (IsMultiObjective(name)) continue;
+      // Enumeration is only an anchor where it is tractable.
+      if (name == "exhaustive" && num_candidates > 20) continue;
+      tasks.push_back(SweepTask{name, spec, name});
+    }
+    for (const std::string& name : names) {
+      if (!IsSweepRosterMember(name)) continue;
+      for (double alpha : kAlphaGrid) {
+        ObjectiveSpec swept = spec;
+        swept.scenario = Scenario::kMV3Tradeoff;
+        swept.alpha = alpha;
+        tasks.push_back(SweepTask{
+            name, swept,
+            name + " a=" + std::to_string(alpha).substr(0, 3)});
+      }
+    }
+    if (total_candidate_bytes > DataSize::Zero()) {
+      for (const std::string& name : names) {
+        if (!IsSweepRosterMember(name)) continue;
+        for (double alpha : {0.0, 0.5, 1.0}) {
+          for (int64_t pct : {5, 15, 30, 60}) {
+            DataSize cap = DataSize::FromBytes(
+                total_candidate_bytes.bytes() * pct / 100);
+            if (cap <= DataSize::Zero()) continue;
+            // A cap that does not tighten the caller's own max_storage
+            // would duplicate an alpha-grid task verbatim.
+            if (spec.max_storage > DataSize::Zero() &&
+                cap >= spec.max_storage) {
+              continue;
+            }
+            ObjectiveSpec swept = spec;
+            swept.scenario = Scenario::kMV3Tradeoff;
+            swept.alpha = alpha;
+            swept.max_storage = cap;
+            tasks.push_back(
+                SweepTask{name, swept,
+                          name + " a=" + std::to_string(alpha).substr(
+                                             0, 3) +
+                              " s<=" + std::to_string(pct) + "%"});
+          }
+        }
+      }
+    }
+    return tasks;
+  }
+
+  /// One shared-nothing task: clone the evaluator, run the named solver
+  /// on a private context, report the pick (scores are recomputed by
+  /// the reduction against the caller's context).
+  static TaskOutcome RunTask(const SelectionEvaluator& shared,
+                             const SweepTask& task) {
+    TaskOutcome out;
+    SelectionEvaluator evaluator = shared.Clone();
+    EvaluationCache cache;
+    SolverContext local(evaluator, task.spec, &cache);
+    auto run = [&]() -> Status {
+      CV_ASSIGN_OR_RETURN(const Solver* solver,
+                          SolverRegistry::Global().Find(task.solver));
+      CV_ASSIGN_OR_RETURN(SelectionResult result,
+                          solver->Solve(task.spec, local));
+      out.selected = std::move(result.evaluation.selected);
+      return Status::OK();
+    };
+    out.status = run();
+    out.counters = local.counters();
+    return out;
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(ParetoSweepSolver)
+
+}  // namespace
+}  // namespace cloudview

@@ -140,24 +140,22 @@ Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
   return rows;
 }
 
-Status CloudScenario::CompareOneProvider(const std::string& name,
-                                         const Workload& workload,
-                                         const ObjectiveSpec& spec,
-                                         std::string_view solver,
-                                         ProviderComparisonRow& row) const {
+Result<CloudScenario> CloudScenario::ForProvider(
+    const std::string& name, std::string* instance,
+    BillingGranularity* granularity) const {
   CV_ASSIGN_OR_RETURN(PricingModel model,
                       ProviderRegistry::Global().Model(name));
 
   // Catalogs name their tiers differently: keep the configured
   // instance when this provider offers it, otherwise rent the
   // cheapest type matching the configured compute power.
-  Result<InstanceType> instance =
+  Result<InstanceType> type =
       model.instances().Find(config_.instance_name);
-  if (!instance.ok()) {
-    instance =
+  if (!type.ok()) {
+    type =
         model.instances().CheapestWithUnits(cluster_.instance.compute_units);
   }
-  CV_RETURN_IF_ERROR(instance.status());
+  CV_RETURN_IF_ERROR(type.status());
 
   ScenarioConfig config = config_;
   config.pricing.reset();
@@ -165,15 +163,68 @@ Status CloudScenario::CompareOneProvider(const std::string& name,
   // Native billing semantics: the comparison is between the sheets as
   // published, not between override combinations.
   config.pricing_overrides = PricingOverrides{};
-  config.instance_name = instance->name;
-  CV_ASSIGN_OR_RETURN(CloudScenario scenario,
-                      CloudScenario::Create(std::move(config)));
+  config.instance_name = type->name;
+  *instance = type->name;
+  *granularity = model.compute_granularity();
+  return CloudScenario::Create(std::move(config));
+}
 
+Status CloudScenario::CompareOneProvider(const std::string& name,
+                                         const Workload& workload,
+                                         const ObjectiveSpec& spec,
+                                         std::string_view solver,
+                                         ProviderComparisonRow& row) const {
   row.provider = name;
-  row.instance = instance->name;
-  row.granularity = model.compute_granularity();
+  CV_ASSIGN_OR_RETURN(
+      CloudScenario scenario,
+      ForProvider(name, &row.instance, &row.granularity));
   CV_ASSIGN_OR_RETURN(row.run, scenario.Run(workload, spec, solver));
   return Status::OK();
+}
+
+Result<FrontierRun> CloudScenario::SolveFrontier(
+    const Workload& workload, const ObjectiveSpec& spec,
+    std::string_view solver) const {
+  std::string_view frontier_solver =
+      solver.empty() ? std::string_view(config_.frontier_solver) : solver;
+  CV_ASSIGN_OR_RETURN(ScenarioRun run,
+                      Run(workload, spec, frontier_solver));
+  FrontierRun out;
+  out.baseline = std::move(run.baseline);
+  out.best = std::move(run.selection);
+  out.frontier = std::move(out.best.frontier);
+  out.best.frontier.clear();
+  if (out.frontier.empty() && out.best.feasible) {
+    // A single-objective strategy was named: degenerate to its one
+    // operating point rather than returning an empty frontier.
+    out.frontier.push_back(ParetoPoint{out.best.multi,
+                                       out.best.evaluation.selected,
+                                       out.best.solver});
+  }
+  return out;
+}
+
+Result<std::vector<ProviderFrontierRow>>
+CloudScenario::CompareProviderFrontiers(const Workload& workload,
+                                        const ObjectiveSpec& spec,
+                                        std::string_view solver) const {
+  // Mirrors CompareProviders: one shared-nothing task per registered
+  // sheet, rows landing by sorted-name index. The frontier solve inside
+  // each task fans out again; nested parallel regions are safe
+  // (thread_pool.h) and drain on the same global pool.
+  std::vector<std::string> names = ProviderRegistry::Global().Names();
+  std::vector<ProviderFrontierRow> rows(names.size());
+  CV_RETURN_IF_ERROR(ParallelForStatus(names.size(), [&](size_t i) {
+    ProviderFrontierRow& row = rows[i];
+    row.provider = names[i];
+    CV_ASSIGN_OR_RETURN(
+        CloudScenario scenario,
+        ForProvider(names[i], &row.instance, &row.granularity));
+    CV_ASSIGN_OR_RETURN(row.run,
+                        scenario.SolveFrontier(workload, spec, solver));
+    return Status::OK();
+  }));
+  return rows;
 }
 
 Result<TemporalRunResult> CloudScenario::RunTimeline(

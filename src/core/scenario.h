@@ -62,6 +62,10 @@ struct ScenarioConfig {
   /// Bill all compute of a run as one rental session (round the busy
   /// total up once instead of per activity).
   bool single_compute_session = false;
+  /// Multi-objective strategy used by SolveFrontier and
+  /// CompareProviderFrontiers when the call does not name one
+  /// ("pareto-sweep" or "pareto-genetic"; DESIGN.md §10).
+  std::string frontier_solver = "pareto-sweep";
 };
 
 /// \brief A selection outcome paired with its no-view baseline.
@@ -85,6 +89,26 @@ struct ProviderComparisonRow {
   /// The sheet's native compute billing granularity.
   BillingGranularity granularity = BillingGranularity::kHour;
   ScenarioRun run;
+};
+
+/// \brief A frontier solve paired with its baseline: the mutually
+/// non-dominated (monthly cost, time, storage) points, plus the spec's
+/// own best selection (DESIGN.md §10).
+struct FrontierRun {
+  /// Non-dominated points in ParetoFront order (cost, time, storage).
+  std::vector<ParetoPoint> frontier;
+  /// The lexicographic best under the spec itself — always one of the
+  /// frontier's subsets when the spec is satisfiable.
+  SelectionResult best;
+  SubsetEvaluation baseline;
+};
+
+/// \brief One provider's row in a CompareProviderFrontiers sweep.
+struct ProviderFrontierRow {
+  std::string provider;
+  std::string instance;
+  BillingGranularity granularity = BillingGranularity::kHour;
+  FrontierRun run;
 };
 
 /// \brief A wired-up deployment; build once, run many workloads.
@@ -127,6 +151,24 @@ class CloudScenario {
       const Workload& workload, const ObjectiveSpec& spec,
       std::string_view solver = kDefaultSolverName) const;
 
+  /// \brief Solves the whole (monthly cost, time, storage) frontier for
+  /// `workload` under `spec` with a multi-objective strategy (empty
+  /// `solver` uses config().frontier_solver). Hard constraints in the
+  /// spec bound the frontier; `best` is the spec's own optimum
+  /// (DESIGN.md §10).
+  Result<FrontierRun> SolveFrontier(const Workload& workload,
+                                    const ObjectiveSpec& spec,
+                                    std::string_view solver = {}) const;
+
+  /// \brief CompareProviders, frontier-aware: every registered sheet is
+  /// rebuilt with its native billing semantics and SolveFrontier is
+  /// re-run, so tenants can compare whole trade-off curves — not just
+  /// one operating point — across CSPs. One ThreadPool task per sheet;
+  /// rows in sorted provider order at any thread count.
+  Result<std::vector<ProviderFrontierRow>> CompareProviderFrontiers(
+      const Workload& workload, const ObjectiveSpec& spec,
+      std::string_view solver = {}) const;
+
   /// \brief Walks `timeline` with a TemporalPlanner under `policy`,
   /// re-running the named registered solver on re-selection periods and
   /// charging transition costs plus horizon-long storage (DESIGN.md §8).
@@ -164,6 +206,14 @@ class CloudScenario {
  private:
   explicit CloudScenario(ScenarioConfig config)
       : config_(std::move(config)) {}
+
+  /// Rebuilds this deployment on `name`'s sheet (native billing
+  /// semantics, instance matched by name or compute units) — the shared
+  /// core of the provider comparison sweeps. `instance`/`granularity`
+  /// report what was rented.
+  Result<CloudScenario> ForProvider(const std::string& name,
+                                    std::string* instance,
+                                    BillingGranularity* granularity) const;
 
   /// One CompareProviders task: rebuild this deployment on `name`'s
   /// sheet and re-solve into `row`.

@@ -162,7 +162,7 @@ TEST_F(AggregatorTest, MergeWithSelfDoublesAggregates) {
   EXPECT_EQ(view.num_rows(), copy.num_rows());  // Same keys.
 }
 
-// --- CuboidTable mechanics ----------------------------------------------------
+// --- CuboidTable mechanics --------------------------------------------------
 TEST(CuboidTable, AppendAndLookup) {
   CuboidTable t(0, 2, 1);
   t.AppendRow({3, 7}, {100}, 2);

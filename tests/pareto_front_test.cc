@@ -1,0 +1,146 @@
+// ParetoFront/MultiScore: the container invariants the multi-objective
+// solvers rely on — dominance semantics, insert-if-non-dominated with
+// eviction, epsilon dedup, deterministic ordering.
+
+#include "core/optimizer/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace cloudview {
+namespace {
+
+MultiScore Score(int64_t cost_cents, int64_t time_minutes,
+                 int64_t storage_mb) {
+  return MultiScore{Money::FromCents(cost_cents),
+                    Duration::FromMinutes(time_minutes),
+                    DataSize::FromMB(storage_mb)};
+}
+
+ParetoPoint Point(int64_t cost_cents, int64_t time_minutes,
+                  int64_t storage_mb, std::vector<size_t> selected = {},
+                  std::string origin = "test") {
+  return ParetoPoint{Score(cost_cents, time_minutes, storage_mb),
+                     std::move(selected), std::move(origin)};
+}
+
+TEST(MultiScore, DominanceSemantics) {
+  MultiScore a = Score(100, 60, 10);
+  // Strictly better on one axis, equal elsewhere: dominates.
+  EXPECT_TRUE(Score(90, 60, 10).Dominates(a));
+  EXPECT_TRUE(Score(100, 50, 10).Dominates(a));
+  EXPECT_TRUE(Score(100, 60, 9).Dominates(a));
+  // Equal: weakly dominates, never strictly.
+  EXPECT_FALSE(a.Dominates(a));
+  EXPECT_TRUE(a.WeaklyDominates(a));
+  // Trade-offs do not dominate in either direction.
+  MultiScore b = Score(90, 70, 10);
+  EXPECT_FALSE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+  // Dominance is antisymmetric.
+  EXPECT_TRUE(Score(90, 50, 9).Dominates(a));
+  EXPECT_FALSE(a.Dominates(Score(90, 50, 9)));
+}
+
+TEST(MultiScore, WithinEpsilonIsRelative) {
+  MultiScore a = Score(100'000, 600, 100);
+  MultiScore close = Score(100'001, 600, 100);
+  MultiScore far = Score(101'000, 600, 100);
+  EXPECT_TRUE(a.WithinEpsilon(a, 0.0));
+  EXPECT_FALSE(a.WithinEpsilon(close, 0.0));
+  EXPECT_TRUE(a.WithinEpsilon(close, 1e-4));
+  EXPECT_FALSE(a.WithinEpsilon(far, 1e-4));
+  EXPECT_TRUE(a.WithinEpsilon(far, 0.05));
+}
+
+TEST(ParetoFront, InsertRejectsDominatedAndDuplicates) {
+  ParetoFront front;
+  EXPECT_TRUE(front.Insert(Point(100, 60, 10)));
+  // Dominated: rejected.
+  EXPECT_FALSE(front.Insert(Point(110, 60, 10)));
+  EXPECT_FALSE(front.Insert(Point(100, 61, 11)));
+  // Exact duplicate score: rejected (incumbent wins).
+  EXPECT_FALSE(front.Insert(Point(100, 60, 10, {1, 2}, "other")));
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.points()[0].origin, "test");
+}
+
+TEST(ParetoFront, InsertEvictsDominatedMembers) {
+  ParetoFront front;
+  EXPECT_TRUE(front.Insert(Point(100, 60, 10)));
+  EXPECT_TRUE(front.Insert(Point(120, 50, 10)));
+  EXPECT_TRUE(front.Insert(Point(140, 40, 10)));
+  ASSERT_EQ(front.size(), 3u);
+  // One newcomer dominates the two cheapest members but not the third.
+  EXPECT_TRUE(front.Insert(Point(90, 45, 10)));
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front.points()[0].score, Score(90, 45, 10));
+  EXPECT_EQ(front.points()[1].score, Score(140, 40, 10));
+}
+
+TEST(ParetoFront, TradeoffsAccumulate) {
+  ParetoFront front;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(front.Insert(Point(100 + 10 * i, 100 - 10 * i, 10)));
+  }
+  EXPECT_EQ(front.size(), 10u);
+  // Every pair must be mutually non-dominated.
+  for (const ParetoPoint& a : front.points()) {
+    for (const ParetoPoint& b : front.points()) {
+      EXPECT_FALSE(a.score.Dominates(b.score));
+    }
+  }
+}
+
+TEST(ParetoFront, EpsilonDedupKeepsIncumbent) {
+  ParetoFront front(/*epsilon=*/0.01);
+  EXPECT_TRUE(front.Insert(Point(10'000, 600, 100, {0}, "first")));
+  // Within 1% on every axis: treated as the same point.
+  EXPECT_FALSE(front.Insert(Point(10'050, 598, 100, {1}, "second")));
+  // A genuine trade-off beyond epsilon still enters.
+  EXPECT_TRUE(front.Insert(Point(9'000, 700, 100, {2}, "third")));
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front.points()[1].origin, "first");
+}
+
+TEST(ParetoFront, DeterministicSortedOrder) {
+  // The same point set in two insertion orders yields the same sorted
+  // contents.
+  std::vector<ParetoPoint> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back(Point(100 + 10 * i, 100 - 10 * i, (i % 3) + 1,
+                           {static_cast<size_t>(i)}));
+  }
+  ParetoFront forward;
+  for (const ParetoPoint& p : points) forward.Insert(p);
+  ParetoFront backward;
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    backward.Insert(*it);
+  }
+  ASSERT_EQ(forward.size(), backward.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward.points()[i].score, backward.points()[i].score);
+    EXPECT_EQ(forward.points()[i].selected,
+              backward.points()[i].selected);
+  }
+  // And the order is ascending by (cost, time, storage).
+  EXPECT_TRUE(std::is_sorted(
+      forward.points().begin(), forward.points().end(),
+      [](const ParetoPoint& a, const ParetoPoint& b) {
+        return a.score.AsTuple() < b.score.AsTuple();
+      }));
+}
+
+TEST(ParetoFront, CoversReportsWeakDominance) {
+  ParetoFront front;
+  front.Insert(Point(100, 60, 10));
+  EXPECT_TRUE(front.Covers(Score(100, 60, 10)));   // Equal.
+  EXPECT_TRUE(front.Covers(Score(120, 80, 20)));   // Dominated.
+  EXPECT_FALSE(front.Covers(Score(90, 70, 10)));   // Trade-off.
+  EXPECT_FALSE(front.Covers(Score(90, 50, 5)));    // Dominates members.
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over an lcov tracefile.
+
+CI's coverage job captures tier-1 test coverage with lcov and fails the
+build when the line coverage of a gated subtree (default
+src/core/optimizer/) drops below a threshold (default 80%):
+
+    lcov --capture --directory build --output-file coverage.info
+    python3 tools/coverage_gate.py coverage.info \
+        --path src/core/optimizer/ --min-percent 80
+
+The tracefile format is lcov's own (`SF:` source file, `LF:`/`LH:`
+lines found/hit, `end_of_record`); no lcov binary is needed to gate.
+A per-file table is printed so a failing job names the culprits.
+"""
+
+import argparse
+import sys
+
+
+def parse_tracefile(path):
+    """Yields (source_file, lines_found, lines_hit) records."""
+    source, found, hit = None, 0, 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line.startswith("SF:"):
+                source, found, hit = line[3:], 0, 0
+            elif line.startswith("LF:"):
+                found = int(line[3:])
+            elif line.startswith("LH:"):
+                hit = int(line[3:])
+            elif line == "end_of_record" and source is not None:
+                yield source, found, hit
+                source = None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when a subtree's lcov line coverage is too low")
+    parser.add_argument("tracefile", help="lcov .info tracefile")
+    parser.add_argument("--path", default="src/core/optimizer/",
+                        help="subtree (substring of SF: paths) to gate")
+    parser.add_argument("--min-percent", type=float, default=80.0,
+                        help="minimum line coverage percentage")
+    args = parser.parse_args()
+
+    rows = [(source, found, hit)
+            for source, found, hit in parse_tracefile(args.tracefile)
+            if args.path in source and found > 0]
+    if not rows:
+        raise SystemExit(
+            f"no '{args.path}' records in {args.tracefile} — wrong "
+            "--path, or the tests never ran against instrumented code")
+
+    total_found = sum(found for _, found, _ in rows)
+    total_hit = sum(hit for _, _, hit in rows)
+    percent = 100.0 * total_hit / total_found
+
+    width = max(len(source.split(args.path)[-1]) for source, _, _ in rows)
+    print(f"line coverage under {args.path}:")
+    for source, found, hit in sorted(rows):
+        name = source.split(args.path)[-1]
+        print(f"  {name:<{width}}  {hit:>5}/{found:<5}  "
+              f"{100.0 * hit / found:6.1f}%")
+    print(f"  {'TOTAL':<{width}}  {total_hit:>5}/{total_found:<5}  "
+          f"{percent:6.1f}%")
+
+    if percent < args.min_percent:
+        print(f"FAIL: {percent:.1f}% < required {args.min_percent:.1f}%")
+        return 1
+    print(f"OK: {percent:.1f}% >= {args.min_percent:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
