@@ -1,0 +1,369 @@
+// Evaluator hot-path microbench: the per-op costs underneath every
+// solver row in bench_solvers — single read-only probes, batched
+// neighborhood scans, committed toggles, memo-backed context probes,
+// and the from-scratch Evaluate() they all shortcut (DESIGN.md §11).
+// Rows are emitted in the bench_util.h BENCH_JSON format with the same
+// gated metric (subsets_per_sec) as the solver rows, so the CI
+// regression gate covers the evaluation layer directly: a solver row
+// can hide an evaluator regression behind solver-side wins, these rows
+// cannot.
+//
+// The binary also cross-checks the dispatched eval_kernels against
+// their scalar references on random inputs and exits non-zero on any
+// mismatch — the SIMD sweeps are bit-identical by construction, and a
+// bench run that measured a kernel producing different numbers would
+// be meaningless.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/aligned_buffer.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/optimizer/candidate_generation.h"
+#include "core/optimizer/eval_kernels.h"
+#include "core/optimizer/solver.h"
+#include "engine/sales_generator.h"
+#include "pricing/providers.h"
+#include "workload/ssb.h"
+#include "workload/workload.h"
+
+using namespace cloudview;
+using bench::JsonLine;
+using bench::Unwrap;
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One self-owning evaluation substrate (the evaluator borrows the
+// lattice, simulator and cost model, so they live here together).
+struct Instance {
+  std::string label;
+  std::unique_ptr<CubeLattice> lattice;
+  std::unique_ptr<MapReduceSimulator> simulator;
+  std::unique_ptr<PricingModel> pricing;
+  std::unique_ptr<CloudCostModel> cost_model;
+  ClusterSpec cluster;
+  Workload workload;
+  DeploymentSpec deployment;
+  std::unique_ptr<SelectionEvaluator> evaluator;
+};
+
+// The gate instance bench_solvers' rows run on: the paper's sales cube.
+Instance MakeSalesInstance(size_t workload_size, size_t max_candidates) {
+  Instance inst;
+  SalesConfig config;
+  config.logical_size = DataSize::FromGB(10);
+  inst.lattice = std::make_unique<CubeLattice>(
+      Unwrap(CubeLattice::Build(Unwrap(MakeSalesSchema(config), "schema")),
+             "lattice"));
+  MapReduceParams params;
+  params.job_startup = Duration::FromSeconds(45);
+  params.map_throughput_per_unit = DataSize::FromBytes(2'100 * 1024);
+  inst.simulator =
+      std::make_unique<MapReduceSimulator>(*inst.lattice, params);
+  inst.pricing = std::make_unique<PricingModel>(
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond));
+  inst.cost_model = std::make_unique<CloudCostModel>(*inst.pricing);
+  inst.cluster =
+      ClusterSpec{Unwrap(inst.pricing->instances().Find("small"), "type"),
+                  5};
+  inst.workload = Unwrap(MakePaperWorkload(*inst.lattice), "workload")
+                      .Prefix(workload_size);
+
+  inst.deployment.instance = inst.cluster.instance;
+  inst.deployment.nb_instances = inst.cluster.nodes;
+  inst.deployment.storage_period = Months::FromMilli(4);
+  inst.deployment.base_storage =
+      StorageTimeline(inst.lattice->fact_scan_size());
+  inst.deployment.maintenance_cycles = 0;
+
+  CandidateGenOptions options;
+  options.max_candidates = max_candidates;
+  options.max_rows_fraction = 0.05;
+  inst.evaluator = std::make_unique<SelectionEvaluator>(Unwrap(
+      SelectionEvaluator::Create(
+          *inst.lattice, inst.workload, *inst.simulator, inst.cluster,
+          *inst.cost_model, inst.deployment,
+          Unwrap(GenerateCandidates(*inst.lattice, inst.workload,
+                                    *inst.simulator, inst.cluster,
+                                    options),
+                 "candidates")),
+      "evaluator"));
+  inst.label = "sales/" + std::to_string(inst.workload.size()) + "q/" +
+               std::to_string(inst.evaluator->num_candidates()) + "c";
+  return inst;
+}
+
+// A wider SSB mix whose query count exceeds the evaluator's
+// inline-sweep threshold, so the probe loops here run through the
+// dispatched (AVX2 when available) eval_kernels rather than the
+// small-instance scalar path.
+Instance MakeSsbInstance(size_t max_candidates, int workload_repeats) {
+  Instance inst;
+  SsbConfig config;
+  inst.lattice = std::make_unique<CubeLattice>(Unwrap(
+      CubeLattice::Build(Unwrap(MakeSsbSchema(config), "schema")),
+      "lattice"));
+  inst.simulator = std::make_unique<MapReduceSimulator>(
+      *inst.lattice, MapReduceParams{});
+  inst.pricing = std::make_unique<PricingModel>(
+      AwsPricing2012().WithComputeGranularity(BillingGranularity::kSecond));
+  inst.cost_model = std::make_unique<CloudCostModel>(*inst.pricing);
+  inst.cluster =
+      ClusterSpec{Unwrap(inst.pricing->instances().Find("small"), "type"),
+                  5};
+  Workload ssb = Unwrap(MakeSsbWorkload(*inst.lattice), "workload");
+  std::vector<QuerySpec> mix;
+  for (int r = 0; r < workload_repeats; ++r) {
+    for (QuerySpec query : ssb.queries()) {
+      query.frequency = static_cast<uint64_t>(r + 1);
+      mix.push_back(std::move(query));
+    }
+  }
+  inst.workload = Workload(std::move(mix));
+
+  inst.deployment.instance = inst.cluster.instance;
+  inst.deployment.nb_instances = inst.cluster.nodes;
+  inst.deployment.storage_period = Months::FromMilli(3);
+  inst.deployment.base_storage =
+      StorageTimeline(inst.lattice->fact_scan_size());
+  inst.deployment.maintenance_cycles = 0;
+
+  CandidateGenOptions options;
+  options.max_candidates = max_candidates;
+  options.max_rows_fraction = 0.10;
+  inst.evaluator = std::make_unique<SelectionEvaluator>(Unwrap(
+      SelectionEvaluator::Create(
+          *inst.lattice, inst.workload, *inst.simulator, inst.cluster,
+          *inst.cost_model, inst.deployment,
+          Unwrap(GenerateCandidates(*inst.lattice, inst.workload,
+                                    *inst.simulator, inst.cluster,
+                                    options),
+                 "candidates")),
+      "evaluator"));
+  inst.label = "ssb/" + std::to_string(inst.workload.size()) + "q/" +
+               std::to_string(inst.evaluator->num_candidates()) + "c";
+  return inst;
+}
+
+struct OpResult {
+  double ops_per_sec = 0.0;
+  double ns_per_op = 0.0;
+  // Folded so the measured loops cannot be optimized away.
+  int64_t checksum = 0;
+};
+
+// Repeats `body(round)` until the measuring budget is spent; `body`
+// returns (ops run, checksum contribution).
+template <typename Body>
+OpResult MeasureOp(Body&& body) {
+  OpResult out;
+  uint64_t ops = 0;
+  uint64_t round = 0;
+  auto start = std::chrono::steady_clock::now();
+  do {
+    auto [n, sum] = body(round++);
+    ops += n;
+    out.checksum += sum;
+  } while (MillisSince(start) < bench::MeasureBudgetMs(100.0));
+  double total_ms = MillisSince(start);
+  out.ops_per_sec = 1000.0 * static_cast<double>(ops) / total_ms;
+  out.ns_per_op = 1e6 * total_ms / static_cast<double>(ops);
+  return out;
+}
+
+struct Row {
+  const char* op;
+  OpResult result;
+};
+
+// A mid-density roster the probe loops toggle around: every third
+// candidate selected, matching the subset sizes the solvers traverse.
+SubsetState MakeRoster(const SelectionEvaluator& evaluator) {
+  SubsetState state(evaluator);
+  for (size_t c = 0; c < evaluator.num_candidates(); c += 3) {
+    state.Add(c);
+  }
+  return state;
+}
+
+std::vector<Row> RunOps(const Instance& inst) {
+  const SelectionEvaluator& evaluator = *inst.evaluator;
+  size_t n = evaluator.num_candidates();
+  std::vector<Row> rows;
+
+  // Single read-only probes, striding the whole neighborhood.
+  {
+    SubsetState state = MakeRoster(evaluator);
+    rows.push_back({"peek_toggle", MeasureOp([&](uint64_t) {
+      int64_t sum = 0;
+      for (size_t c = 0; c < n; ++c) {
+        sum += state.PeekToggle(c).processing.millis();
+      }
+      return std::pair<uint64_t, int64_t>(n, sum);
+    })});
+  }
+
+  // The same neighborhood as one batched matrix pass.
+  {
+    SubsetState state = MakeRoster(evaluator);
+    std::vector<size_t> candidates(n);
+    std::iota(candidates.begin(), candidates.end(), size_t{0});
+    std::vector<SubsetTotals> totals(n);
+    rows.push_back({"peek_toggle_batch", MeasureOp([&](uint64_t) {
+      state.PeekToggleBatch(candidates, totals);
+      int64_t sum = 0;
+      for (const SubsetTotals& t : totals) sum += t.processing.millis();
+      return std::pair<uint64_t, int64_t>(n, sum);
+    })});
+  }
+
+  // Committed moves: every op is one Toggle (walking the candidate list
+  // keeps the subset density stable over rounds).
+  {
+    SubsetState state = MakeRoster(evaluator);
+    rows.push_back({"toggle_commit", MeasureOp([&](uint64_t) {
+      int64_t sum = 0;
+      for (size_t c = 0; c < n; ++c) {
+        state.Toggle(c);
+        sum += state.processing_time().millis();
+      }
+      return std::pair<uint64_t, int64_t>(n, sum);
+    })});
+  }
+
+  // The full context probe on a warm memo: hash-first cache hits, the
+  // steady state of a converged neighborhood scan.
+  {
+    SubsetState state = MakeRoster(evaluator);
+    ObjectiveSpec spec;
+    spec.scenario = Scenario::kMV3Tradeoff;
+    spec.alpha = 0.5;
+    EvaluationCache cache;
+    SolverContext context(evaluator, spec, &cache);
+    rows.push_back({"context_probe_cached", MeasureOp([&](uint64_t) {
+      int64_t sum = 0;
+      for (size_t c = 0; c < n; ++c) {
+        sum += Unwrap(context.ProbeToggle(state, c), "probe")
+                   .cost.micros();
+      }
+      return std::pair<uint64_t, int64_t>(n, sum);
+    })});
+  }
+
+  // The from-scratch path everything above shortcuts.
+  {
+    std::vector<size_t> selected;
+    for (size_t c = 0; c < n; c += 3) selected.push_back(c);
+    rows.push_back({"full_evaluate", MeasureOp([&](uint64_t) {
+      SubsetEvaluation eval =
+          Unwrap(evaluator.Evaluate(selected), "evaluate");
+      return std::pair<uint64_t, int64_t>(
+          1, eval.cost.total().micros());
+    })});
+  }
+
+  return rows;
+}
+
+void EmitInstance(const Instance& inst) {
+  std::vector<Row> rows = RunOps(inst);
+  TablePrinter table({"op", "ns/op", "subsets/sec"});
+  table.SetTitle("Evaluator hot-path ops on " + inst.label);
+  for (const Row& row : rows) {
+    table.AddRow({row.op, StrFormat("%.1f", row.result.ns_per_op),
+                  StrFormat("%.0f", row.result.ops_per_sec)});
+    JsonLine("evaluator")
+        .Str("op", row.op)
+        .Str("instance", inst.label)
+        .Num("subsets_per_sec", row.result.ops_per_sec)
+        .Num("ns_per_op", row.result.ns_per_op)
+        .Emit();
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+// Random-input cross-check of the dispatched kernels against their
+// scalar references; any divergence is a correctness bug (the SIMD
+// sweeps are bit-identical by construction), so the bench refuses to
+// measure. Covers lengths straddling every vector-width boundary.
+bool VerifyKernelDispatch() {
+  Rng rng(0xEDB7'2012);
+  for (size_t m : {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 39, 64, 100}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      AlignedVector<int64_t> col(m), best(m), freq(m);
+      for (size_t q = 0; q < m; ++q) {
+        col[q] = static_cast<int64_t>(rng.Uniform(1'000'000));
+        best[q] = static_cast<int64_t>(rng.Uniform(1'000'000));
+        freq[q] = static_cast<int64_t>(rng.Uniform(1'000)) + 1;
+      }
+      int64_t want = eval_kernels::PeekAddDeltaScalar(
+          col.data(), best.data(), freq.data(), m);
+      int64_t got = eval_kernels::PeekAddDelta(col.data(), best.data(),
+                                               freq.data(), m);
+      if (want != got) {
+        std::fprintf(stderr,
+                     "FAIL: PeekAddDelta(%s) m=%zu: %" PRId64
+                     " != scalar %" PRId64 "\n",
+                     eval_kernels::DispatchName(), m, got, want);
+        return false;
+      }
+
+      AlignedVector<int64_t> best_a(best), best_b(best);
+      AlignedVector<uint32_t> view_a(m), view_b(m);
+      for (size_t q = 0; q < m; ++q) {
+        view_a[q] = static_cast<uint32_t>(rng.Uniform(32));
+        view_b[q] = view_a[q];
+      }
+      int64_t sweep_want = eval_kernels::AddSweepScalar(
+          col.data(), best_a.data(), view_a.data(), freq.data(), m, 7);
+      int64_t sweep_got = eval_kernels::AddSweep(
+          col.data(), best_b.data(), view_b.data(), freq.data(), m, 7);
+      bool arrays_equal = true;
+      for (size_t q = 0; q < m; ++q) {
+        arrays_equal &= best_a[q] == best_b[q] && view_a[q] == view_b[q];
+      }
+      if (sweep_want != sweep_got || !arrays_equal) {
+        std::fprintf(stderr,
+                     "FAIL: AddSweep(%s) m=%zu diverges from scalar\n",
+                     eval_kernels::DispatchName(), m);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+
+  if (!VerifyKernelDispatch()) return 1;
+  std::cout << "Kernel dispatch: " << eval_kernels::DispatchName()
+            << " (scalar cross-check passed)\n\n";
+  JsonLine("evaluator")
+      .Str("op", "dispatch")
+      .Str("kernel", eval_kernels::DispatchName())
+      .Emit();
+
+  EmitInstance(MakeSalesInstance(/*workload_size=*/10,
+                                 /*max_candidates=*/12));
+  EmitInstance(MakeSsbInstance(/*max_candidates=*/20,
+                               /*workload_repeats=*/3));
+  return 0;
+}

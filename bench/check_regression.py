@@ -166,6 +166,22 @@ def print_trend(rows, gated_metric, baseline_rows, gated_best):
                          f" / max {ratios[-1]:.2f}x")
         print(line)
 
+    # Per-row speedup table for the gated metric: best observation this
+    # run vs the checked-in floor, slowest rows first. This is where an
+    # optimization PR's claimed row-level speedups are recorded in the
+    # CI log (the floor is min-observed x derate at baseline time, so
+    # ratios are comparable across runs of one machine, not absolute).
+    if baseline_rows:
+        pairs = sorted(
+            ((best / baseline_rows[key], key, best)
+             for key, best in gated_best.items() if key in baseline_rows))
+        if pairs:
+            print(f"\n{gated_metric} per row, best-of-run vs baseline "
+                  "floor:")
+            for ratio, key, best in pairs:
+                print(f"  {ratio:6.2f}x  {best:>14,.0f}  {key}")
+            print()
+
 
 def main():
     parser = argparse.ArgumentParser(

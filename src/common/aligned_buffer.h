@@ -1,0 +1,59 @@
+// AlignedVector: a std::vector whose storage is cache-line aligned.
+//
+// The evaluator hot path (core/optimizer/eval_kernels.h) streams flat
+// int64 arrays — the candidate-major timing matrix, the per-query
+// best-time/frequency columns — through vectorized min/accumulate
+// sweeps. Aligning those buffers to 64 bytes keeps every vector load
+// inside one cache line and lets the whole per-query working set start
+// on a line boundary. The allocator is the only custom part; value
+// semantics (copy, move, resize) are untouched vector behavior, which
+// SubsetState's copyability depends on.
+
+#ifndef CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_
+#define CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cloudview {
+
+/// \brief Minimal C++17 aligned allocator; equality is stateless.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// \brief A vector with 64-byte-aligned storage (SIMD/cache-line ready).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_

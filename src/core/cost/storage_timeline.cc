@@ -45,6 +45,16 @@ Result<std::vector<StorageInterval>> StorageTimeline::Intervals(
   return intervals;
 }
 
+std::vector<std::pair<Months, DataSize>> StorageTimeline::CoalescedEvents(
+    Months end) const {
+  std::map<Months, DataSize> by_time;
+  for (const Event& event : events_) {
+    if (event.at >= end) continue;
+    by_time[event.at] += event.delta;
+  }
+  return {by_time.begin(), by_time.end()};
+}
+
 DataSize StorageTimeline::SizeAt(Months at) const {
   DataSize size = DataSize::Zero();
   for (const Event& event : events_) {

@@ -9,6 +9,7 @@
 #ifndef CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
 #define CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/data_size.h"
@@ -48,6 +49,13 @@ class StorageTimeline {
 
   /// \brief Stored volume at month `at` (sum of deltas with time <= at).
   DataSize SizeAt(Months at) const;
+
+  /// \brief Timestamp-coalesced events below `end`, time-ordered — the
+  /// exact inputs Intervals() integrates over. Lets hot-path callers
+  /// replay the interval walk (with extra deltas folded in) without
+  /// copying the timeline (SelectionEvaluator::FastTotalCost).
+  std::vector<std::pair<Months, DataSize>> CoalescedEvents(
+      Months end) const;
 
   bool empty() const { return events_.empty(); }
 

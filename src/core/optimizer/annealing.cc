@@ -16,15 +16,27 @@ namespace {
 // constraints (max_monthly_cost / max_storage / max_makespan) join the
 // penalty through the context's normalized blend, so the walk is pulled
 // into the fully feasible region first.
-double Scalarize(const SolverContext& context,
+// The baseline normalizers are loop-invariant — computed once per walk
+// (Norms) instead of per proposed move, where re-deriving them from the
+// baseline evaluation dominated short walks.
+struct Norms {
+  double base_time;
+  double base_cost;
+};
+
+Norms NormsOf(const SolverContext& context) {
+  const SubsetEvaluation& baseline = context.evaluator().baseline();
+  return Norms{
+      static_cast<double>(context.TimeMetric(baseline).millis()),
+      static_cast<double>(baseline.cost.total().micros())};
+}
+
+double Scalarize(const SolverContext& context, const Norms& norms,
                  const SolverContext::Probe& probe) {
   constexpr double kViolationPenalty = 100.0;
   const ObjectiveSpec& spec = context.spec();
-  const SubsetEvaluation& baseline = context.evaluator().baseline();
-  double base_time =
-      static_cast<double>(context.TimeMetric(baseline).millis());
-  double base_cost =
-      static_cast<double>(baseline.cost.total().micros());
+  double base_time = norms.base_time;
+  double base_cost = norms.base_cost;
   Duration time = probe.time;
   Money cost = probe.cost;
   double hard_penalty =
@@ -60,9 +72,10 @@ Result<SelectionResult> Anneal(SolverContext& context,
   size_t n = context.num_candidates();
 
   SubsetState current(context.evaluator());
+  Norms norms = NormsOf(context);
   CV_ASSIGN_OR_RETURN(SolverContext::Probe probe,
                       context.ProbeState(current));
-  double current_score = Scalarize(context, probe);
+  double current_score = Scalarize(context, norms, probe);
   std::vector<size_t> best = current.Selected();
   double best_score = current_score;
 
@@ -71,7 +84,7 @@ Result<SelectionResult> Anneal(SolverContext& context,
   for (int it = 0; it < options.iterations && n > 0; ++it) {
     size_t flip = static_cast<size_t>(rng.Uniform(n));
     CV_ASSIGN_OR_RETURN(probe, context.ProbeToggle(current, flip));
-    double trial_score = Scalarize(context, probe);
+    double trial_score = Scalarize(context, norms, probe);
     double delta = trial_score - current_score;
     if (delta <= 0.0 ||
         rng.UniformDouble() < std::exp(-delta / std::max(1e-12,

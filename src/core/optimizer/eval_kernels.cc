@@ -1,0 +1,142 @@
+#include "core/optimizer/eval_kernels.h"
+
+#if CLOUDVIEW_SIMD
+#include <immintrin.h>
+#endif
+
+namespace cloudview {
+namespace eval_kernels {
+
+int64_t PeekAddDeltaScalar(const int64_t* col, const int64_t* best,
+                           const int64_t* freq, size_t m) {
+  int64_t delta = 0;
+  for (size_t q = 0; q < m; ++q) {
+    if (col[q] < best[q]) delta += (col[q] - best[q]) * freq[q];
+  }
+  return delta;
+}
+
+int64_t AddSweepScalar(const int64_t* col, int64_t* best, uint32_t* view,
+                       const int64_t* freq, size_t m, uint32_t c) {
+  int64_t delta = 0;
+  for (size_t q = 0; q < m; ++q) {
+    if (col[q] < best[q]) {
+      delta += (col[q] - best[q]) * freq[q];
+      best[q] = col[q];
+      view[q] = c;
+    }
+  }
+  return delta;
+}
+
+#if CLOUDVIEW_SIMD
+
+namespace {
+
+/// Exact low 64 bits of a 64x64 product per lane (AVX2 has no 64-bit
+/// multiply): lo(a*b) = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32),
+/// identical to the scalar product's two's-complement low word.
+__attribute__((target("avx2"))) inline __m256i MulLow64(__m256i a,
+                                                        __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                   _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline int64_t HorizontalSum(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i sum = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(sum) +
+         _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum));
+}
+
+__attribute__((target("avx2"))) int64_t PeekAddDeltaAvx2(
+    const int64_t* col, const int64_t* best, const int64_t* freq,
+    size_t m) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t q = 0;
+  for (; q + 4 <= m; q += 4) {
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(best + q));
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(col + q));
+    // col[q] < best[q], lane-wise (signed; times are non-negative).
+    __m256i improved = _mm256_cmpgt_epi64(b, v);
+    if (_mm256_testz_si256(improved, improved)) continue;
+    __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(freq + q));
+    __m256i diff = _mm256_sub_epi64(v, b);
+    acc = _mm256_add_epi64(
+        acc, _mm256_and_si256(MulLow64(diff, f), improved));
+  }
+  int64_t delta = HorizontalSum(acc);
+  for (; q < m; ++q) {
+    if (col[q] < best[q]) delta += (col[q] - best[q]) * freq[q];
+  }
+  return delta;
+}
+
+__attribute__((target("avx2"))) int64_t AddSweepAvx2(
+    const int64_t* col, int64_t* best, uint32_t* view,
+    const int64_t* freq, size_t m, uint32_t c) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t q = 0;
+  for (; q + 4 <= m; q += 4) {
+    __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(best + q));
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(col + q));
+    __m256i improved = _mm256_cmpgt_epi64(b, v);
+    int lanes = _mm256_movemask_pd(_mm256_castsi256_pd(improved));
+    if (lanes == 0) continue;
+    __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(freq + q));
+    __m256i diff = _mm256_sub_epi64(v, b);
+    acc = _mm256_add_epi64(
+        acc, _mm256_and_si256(MulLow64(diff, f), improved));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(best + q),
+                        _mm256_blendv_epi8(b, v, improved));
+    if (lanes & 1) view[q] = c;
+    if (lanes & 2) view[q + 1] = c;
+    if (lanes & 4) view[q + 2] = c;
+    if (lanes & 8) view[q + 3] = c;
+  }
+  int64_t delta = HorizontalSum(acc);
+  for (; q < m; ++q) {
+    if (col[q] < best[q]) {
+      delta += (col[q] - best[q]) * freq[q];
+      best[q] = col[q];
+      view[q] = c;
+    }
+  }
+  return delta;
+}
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace
+
+PeekAddDeltaFn ResolvePeekAddDelta() {
+  return CpuHasAvx2() ? PeekAddDeltaAvx2 : PeekAddDeltaScalar;
+}
+
+AddSweepFn ResolveAddSweep() {
+  return CpuHasAvx2() ? AddSweepAvx2 : AddSweepScalar;
+}
+
+const char* DispatchName() { return CpuHasAvx2() ? "avx2" : "scalar"; }
+
+#else  // !CLOUDVIEW_SIMD
+
+PeekAddDeltaFn ResolvePeekAddDelta() { return PeekAddDeltaScalar; }
+AddSweepFn ResolveAddSweep() { return AddSweepScalar; }
+const char* DispatchName() { return "scalar"; }
+
+#endif  // CLOUDVIEW_SIMD
+
+}  // namespace eval_kernels
+}  // namespace cloudview

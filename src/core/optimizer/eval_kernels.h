@@ -1,0 +1,80 @@
+// The evaluator's two inner-loop kernels, as free functions over flat
+// int64 arrays (DESIGN.md §11).
+//
+// Everything the incremental evaluation layer does per probe reduces to
+// one of two sweeps over a candidate's timing column (milliseconds,
+// candidate-major, contiguous over queries):
+//
+//   PeekAddDelta  — the read-only probe: the frequency-weighted
+//                   Formula 9 delta sum min(col[q] - best[q], 0) * freq[q],
+//                   no writes (SubsetState::PeekToggle / PeekToggleBatch).
+//   AddSweep      — the committed move: the same delta, plus the
+//                   per-query argmin update best[q] = col[q],
+//                   view[q] = c on every improved lane
+//                   (SubsetState::Add).
+//
+// Both are pure integer min/multiply/accumulate reductions, so the
+// vectorized variants are bit-identical to the scalar ones — int64
+// addition is associative and commutative, and the 64x64->low-64
+// product is exact in both paths. The property tests
+// (subset_state_property_test.cc) pin scalar == dispatched on random
+// inputs.
+//
+// Dispatch: CLOUDVIEW_SIMD (default 1 on x86-64 gcc/clang, override
+// with -DCLOUDVIEW_SIMD=0) compiles an AVX2 variant of each kernel with
+// the `target("avx2")` function attribute — no global -mavx2, no new
+// dependencies — and picks it at startup iff the CPU reports AVX2.
+// Non-x86 or non-GNU builds compile the scalar kernels only.
+
+#ifndef CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_
+#define CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef CLOUDVIEW_SIMD
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CLOUDVIEW_SIMD 1
+#else
+#define CLOUDVIEW_SIMD 0
+#endif
+#endif
+
+namespace cloudview {
+namespace eval_kernels {
+
+/// \brief Sum over q of (col[q] - best[q]) * freq[q] for every q with
+/// col[q] < best[q]; reads only. All arrays have `m` elements.
+using PeekAddDeltaFn = int64_t (*)(const int64_t* col, const int64_t* best,
+                                   const int64_t* freq, size_t m);
+
+/// \brief PeekAddDelta plus the argmin commit: on every improved query,
+/// best[q] <- col[q] and view[q] <- c.
+using AddSweepFn = int64_t (*)(const int64_t* col, int64_t* best,
+                               uint32_t* view, const int64_t* freq,
+                               size_t m, uint32_t c);
+
+/// Scalar reference implementations — always compiled; the equality
+/// baseline the dispatch tests and bench_evaluator compare against.
+int64_t PeekAddDeltaScalar(const int64_t* col, const int64_t* best,
+                           const int64_t* freq, size_t m);
+int64_t AddSweepScalar(const int64_t* col, int64_t* best, uint32_t* view,
+                       const int64_t* freq, size_t m, uint32_t c);
+
+/// \brief The dispatched kernels: resolved once (before main, during
+/// dynamic initialization of this translation-unit-shared constant) to
+/// the widest variant the CPU supports.
+PeekAddDeltaFn ResolvePeekAddDelta();
+AddSweepFn ResolveAddSweep();
+
+inline const PeekAddDeltaFn PeekAddDelta = ResolvePeekAddDelta();
+inline const AddSweepFn AddSweep = ResolveAddSweep();
+
+/// \brief What the dispatcher picked: "avx2" or "scalar" (telemetry for
+/// bench_evaluator rows and the dispatch property test).
+const char* DispatchName();
+
+}  // namespace eval_kernels
+}  // namespace cloudview
+
+#endif  // CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_

@@ -4,13 +4,20 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "core/optimizer/eval_kernels.h"
 
 namespace cloudview {
 
 namespace {
 
-constexpr Duration kUnanswerable =
-    Duration::FromMillis(std::numeric_limits<int64_t>::max() / 2);
+// Large enough never to win a min against any base time, small enough
+// that (sentinel - best) * frequency cannot overflow int64.
+constexpr int64_t kUnanswerableMs = std::numeric_limits<int64_t>::max() / 2;
+
+// Below this many queries the dispatched kernels' call indirection costs
+// more than the sweep itself; an inlined scalar loop (identical integer
+// arithmetic, so bit-identical results) wins. Two cache lines of int64.
+constexpr size_t kInlineSweepMaxQueries = 16;
 
 }  // namespace
 
@@ -26,52 +33,59 @@ SelectionEvaluator::SelectionEvaluator(
       candidates_(std::move(candidates)) {
   auto timing = std::make_shared<TimingTable>();
   size_t m = workload.size();
-  timing->base_time.resize(m);
+  size_t n = candidates_.size();
+  timing->base_time_ms.resize(m);
   timing->frequency.resize(m);
-  for (size_t q = 0; q < m; ++q) {
-    timing->frequency[q] =
-        static_cast<int64_t>(workload.query(q).frequency);
-  }
   timing->result_bytes.resize(m);
-  timing->view_time.assign(
-      m, std::vector<Duration>(candidates_.size(), kUnanswerable));
   for (size_t q = 0; q < m; ++q) {
     CuboidId target = workload.query(q).target;
-    timing->base_time[q] = simulator.QueryTimeFromFact(target, cluster);
+    timing->frequency[q] =
+        static_cast<int64_t>(workload.query(q).frequency);
+    timing->base_time_ms[q] =
+        simulator.QueryTimeFromFact(target, cluster).millis();
     timing->result_bytes[q] = lattice.EstimateSize(target);
-    for (size_t c = 0; c < candidates_.size(); ++c) {
-      if (lattice.CanAnswer(candidates_[c].view, target)) {
-        timing->view_time[q][c] = simulator.QueryTimeFromView(
-            candidates_[c].view, target, cluster);
-      }
-    }
   }
-  timing->view_time_by_candidate.resize(m * candidates_.size(),
-                                        kUnanswerable);
-  for (size_t c = 0; c < candidates_.size(); ++c) {
+  // Candidate-major fill: one contiguous column per candidate, written
+  // in the order the probe kernels will stream it.
+  timing->view_time_ms.assign(m * n, kUnanswerableMs);
+  for (size_t c = 0; c < n; ++c) {
+    int64_t* column = timing->view_time_ms.data() + c * m;
     for (size_t q = 0; q < m; ++q) {
-      timing->view_time_by_candidate[c * m + q] = timing->view_time[q][c];
+      CuboidId target = workload.query(q).target;
+      if (lattice.CanAnswer(candidates_[c].view, target)) {
+        column[q] = simulator
+                        .QueryTimeFromView(candidates_[c].view, target,
+                                           cluster)
+                        .millis();
+      }
     }
   }
   timing->ranked_candidates.resize(m);
   for (size_t q = 0; q < m; ++q) {
-    for (size_t c = 0; c < candidates_.size(); ++c) {
-      if (timing->view_time[q][c] < timing->base_time[q]) {
+    for (size_t c = 0; c < n; ++c) {
+      if (timing->view_time_ms[c * m + q] < timing->base_time_ms[q]) {
         timing->ranked_candidates[q].push_back(static_cast<uint32_t>(c));
       }
     }
     std::stable_sort(timing->ranked_candidates[q].begin(),
                      timing->ranked_candidates[q].end(),
                      [&](uint32_t a, uint32_t b) {
-                       return timing->view_time[q][a] <
-                              timing->view_time[q][b];
+                       return timing->view_time_ms[a * m + q] <
+                              timing->view_time_ms[b * m + q];
                      });
   }
   timing_ = std::move(timing);
+
+  // Flatten the base storage timeline once so a storage-memo miss in
+  // FastTotalCost never copies a std::map (see base_storage_events_).
+  for (const auto& [at, delta] : deployment_.base_storage.CoalescedEvents(
+           deployment_.storage_period)) {
+    base_storage_events_.push_back(StorageEvent{at, delta});
+  }
 }
 
 SelectionEvaluator SelectionEvaluator::Clone() const {
-  // Shares timing_ by reference; skips the memo entirely (CloneTag).
+  // Shares timing_ by reference; skips the memos entirely (CloneTag).
   return SelectionEvaluator(*this, CloneTag{});
 }
 
@@ -119,9 +133,9 @@ Result<SubsetEvaluation> SelectionEvaluator::Evaluate(
   // Per-query best source among the subset (and base).
   for (size_t q = 0; q < workload_.size(); ++q) {
     const QuerySpec& spec = workload_.query(q);
-    Duration best = timing_->base_time[q];
+    Duration best = base_time(q);
     for (size_t c : eval.selected) {
-      if (timing_->view_time[q][c] < best) best = timing_->view_time[q][c];
+      if (view_time(q, c) < best) best = view_time(q, c);
     }
     eval.workload_input.queries.push_back(QueryCostInput{
         spec.name, best, timing_->result_bytes[q], DataSize::Zero(),
@@ -152,10 +166,34 @@ Result<SubsetEvaluation> SelectionEvaluator::Evaluate(
   return eval;
 }
 
+Money SelectionEvaluator::ComputeBill(Duration busy) const {
+  const PricingModel& pricing = cost_model_->pricing();
+  // Granularity rounding collapses the ~2^n distinct raw busy spans a
+  // search explores onto a handful of billed durations, so the memo hit
+  // rate is near 1 after warm-up and the exact-rational ScaleBy division
+  // leaves the probe hot path.
+  int64_t key =
+      RoundUpToGranularity(busy, pricing.compute_granularity()).millis();
+  // One-slot front cache: neighborhood scans and Gray-code walks probe
+  // long runs of subsets whose busy span rounds to the same bill.
+  if (key == compute_last_key_) {
+    return Money::FromMicros(compute_last_micros_);
+  }
+  int64_t micros;
+  if (!compute_cost_memo_.Lookup(key, &micros)) {
+    micros = pricing
+                 .ComputeCost(deployment_.instance, busy,
+                              deployment_.nb_instances)
+                 .micros();
+    compute_cost_memo_.Insert(key, micros);
+  }
+  compute_last_key_ = key;
+  compute_last_micros_ = micros;
+  return Money::FromMicros(micros);
+}
+
 Result<Money> SelectionEvaluator::FastTotalCost(
     const SubsetTotals& totals) const {
-  const PricingModel& pricing = cost_model_->pricing();
-
   // Compute charges (Formula 6): functions of the three time totals only.
   // Mirrors CloudCostModel::CostWithViews — in the single-session mode
   // the per-activity exact charges cancel against the rounding surcharge,
@@ -164,21 +202,15 @@ Result<Money> SelectionEvaluator::FastTotalCost(
   if (deployment_.single_compute_session) {
     Duration busy = totals.processing + totals.materialization +
                     totals.maintenance * deployment_.maintenance_cycles;
-    compute = pricing.ComputeCost(deployment_.instance, busy,
-                                  deployment_.nb_instances);
+    compute = ComputeBill(busy);
   } else {
-    compute = pricing.ComputeCost(deployment_.instance, totals.processing,
-                                  deployment_.nb_instances);
+    compute = ComputeBill(totals.processing);
     if (!totals.materialization.is_zero()) {
-      compute += pricing.ComputeCost(deployment_.instance,
-                                     totals.materialization,
-                                     deployment_.nb_instances);
+      compute += ComputeBill(totals.materialization);
     }
     if (deployment_.maintenance_cycles != 0 &&
         !totals.maintenance.is_zero()) {
-      compute += pricing.ComputeCost(deployment_.instance,
-                                     totals.maintenance,
-                                     deployment_.nb_instances) *
+      compute += ComputeBill(totals.maintenance) *
                  deployment_.maintenance_cycles;
     }
   }
@@ -187,23 +219,40 @@ Result<Money> SelectionEvaluator::FastTotalCost(
   // month 0, memoized per distinct byte total.
   Money storage;
   int64_t key = totals.view_bytes.bytes();
-  auto memo = storage_cost_memo_.find(key);
-  if (memo != storage_cost_memo_.end()) {
-    storage = memo->second;
+  int64_t micros;
+  if (storage_cost_memo_.Lookup(key, &micros)) {
+    storage = Money::FromMicros(micros);
   } else {
-    StorageTimeline timeline = deployment_.base_storage;
-    if (key != 0) {
-      CV_RETURN_IF_ERROR(
-          timeline.AddDelta(Months::Zero(), totals.view_bytes));
+    // Replay StorageTimeline::Intervals() over the pre-flattened base
+    // events with the subset's bytes folded in at month 0: identical
+    // walk, identical StorageCost calls in the same order, but no
+    // per-probe timeline copy or interval vector.
+    Months end = deployment_.storage_period;
+    if (end.is_negative()) {
+      return Status::InvalidArgument("storage period end before month 0");
     }
-    CV_ASSIGN_OR_RETURN(
-        storage,
-        cost_model_->storage().Cost(timeline, deployment_.storage_period));
-    // Bounded: exhaustive enumeration can produce ~2^n distinct byte
-    // totals; past the cap, later totals just recompute.
-    if (storage_cost_memo_.size() < (1u << 16)) {
-      storage_cost_memo_.emplace(key, storage);
+    Money sum = Money::Zero();
+    DataSize size = totals.view_bytes;
+    Months cursor = Months::Zero();
+    for (const StorageEvent& event : base_storage_events_) {
+      if (event.at > cursor) {
+        if (!size.is_zero()) {
+          sum += cost_model_->storage().ConstantCost(size,
+                                                     event.at - cursor);
+        }
+        cursor = event.at;
+      }
+      size += event.delta;
+      if (size.is_negative()) {
+        return Status::FailedPrecondition(
+            "storage timeline deletes more data than it holds");
+      }
     }
+    if (cursor < end && !size.is_zero()) {
+      sum += cost_model_->storage().ConstantCost(size, end - cursor);
+    }
+    storage = sum;
+    storage_cost_memo_.Insert(key, storage.micros());
   }
 
   // Transfer (Section 4.1) and request charges: views never leave the
@@ -220,14 +269,14 @@ Result<Money> SelectionEvaluator::FastTotalCost(
 
 Duration SelectionEvaluator::StandaloneProcessingSaving(size_t c) const {
   CV_CHECK(c < candidates_.size()) << "candidate index out of range";
-  Duration saved = Duration::Zero();
+  const int64_t* column = view_time_ms_of(c);
+  const int64_t* base = base_time_ms_data();
+  const int64_t* freq = frequency_data();
+  int64_t saved_ms = 0;
   for (size_t q = 0; q < workload_.size(); ++q) {
-    if (timing_->view_time[q][c] < timing_->base_time[q]) {
-      saved += (timing_->base_time[q] - timing_->view_time[q][c]) *
-               static_cast<int64_t>(workload_.query(q).frequency);
-    }
+    if (column[q] < base[q]) saved_ms += (base[q] - column[q]) * freq[q];
   }
-  return saved;
+  return Duration::FromMillis(saved_ms);
 }
 
 Result<Money> SelectionEvaluator::StandaloneCostDelta(size_t c) const {
@@ -239,17 +288,40 @@ Result<Money> SelectionEvaluator::StandaloneCostDelta(size_t c) const {
 }
 
 // ---------------------------------------------------------------------------
-// SubsetState: incremental argmin + running totals.
+// SubsetState: incremental argmin + running totals, SoA over flat
+// millisecond arrays so Add/Peek reduce to the eval_kernels sweeps.
 
 SubsetState::SubsetState(const SelectionEvaluator& evaluator)
     : evaluator_(&evaluator),
       member_(evaluator.num_candidates(), 0),
       best_view_(evaluator.num_queries(), kFromBase),
-      best_time_(evaluator.num_queries()) {
-  for (size_t q = 0; q < evaluator.num_queries(); ++q) {
-    best_time_[q] = evaluator.base_time(q);
-    processing_ += best_time_[q] * evaluator.frequency(q);
+      best_time_ms_(evaluator.num_queries()) {
+  const int64_t* base = evaluator.base_time_ms_data();
+  const int64_t* freq = evaluator.frequency_data();
+  int64_t processing_ms = 0;
+  for (size_t q = 0; q < best_time_ms_.size(); ++q) {
+    best_time_ms_[q] = base[q];
+    processing_ms += base[q] * freq[q];
   }
+  processing_ = Duration::FromMillis(processing_ms);
+}
+
+void SubsetState::Reset() {
+  std::fill(member_.begin(), member_.end(), uint8_t{0});
+  count_ = 0;
+  hash_ = 0;
+  materialization_ = Duration::Zero();
+  maintenance_ = Duration::Zero();
+  view_bytes_ = DataSize::Zero();
+  const int64_t* base = evaluator_->base_time_ms_data();
+  const int64_t* freq = evaluator_->frequency_data();
+  int64_t processing_ms = 0;
+  for (size_t q = 0; q < best_time_ms_.size(); ++q) {
+    best_view_[q] = kFromBase;
+    best_time_ms_[q] = base[q];
+    processing_ms += base[q] * freq[q];
+  }
+  processing_ = Duration::FromMillis(processing_ms);
 }
 
 void SubsetState::Add(size_t c) {
@@ -264,15 +336,26 @@ void SubsetState::Add(size_t c) {
   maintenance_ += candidate.maintenance_time;
   view_bytes_ += candidate.size;
 
-  const Duration* column = evaluator_->view_time_of(c);
-  for (size_t q = 0; q < best_time_.size(); ++q) {
-    Duration t = column[q];
-    if (t < best_time_[q]) {
-      processing_ += (t - best_time_[q]) * evaluator_->frequency(q);
-      best_time_[q] = t;
-      best_view_[q] = c;
+  const int64_t* column = evaluator_->view_time_ms_of(c);
+  const int64_t* freq = evaluator_->frequency_data();
+  size_t m = best_time_ms_.size();
+  int64_t delta_ms = 0;
+  if (m <= kInlineSweepMaxQueries) {
+    int64_t* best = best_time_ms_.data();
+    uint32_t* view = best_view_.data();
+    for (size_t q = 0; q < m; ++q) {
+      if (column[q] < best[q]) {
+        delta_ms += (column[q] - best[q]) * freq[q];
+        best[q] = column[q];
+        view[q] = static_cast<uint32_t>(c);
+      }
     }
+  } else {
+    delta_ms = eval_kernels::AddSweep(column, best_time_ms_.data(),
+                                      best_view_.data(), freq, m,
+                                      static_cast<uint32_t>(c));
   }
+  processing_ += Duration::FromMillis(delta_ms);
 }
 
 void SubsetState::Remove(size_t c) {
@@ -292,25 +375,29 @@ void SubsetState::Remove(size_t c) {
   // (ascending view_time), or the base table when none survives — the
   // same minimum Evaluate()'s strict-min pass finds, located in
   // expected O(1) instead of a member scan.
-  for (size_t q = 0; q < best_time_.size(); ++q) {
+  const int64_t* base = evaluator_->base_time_ms_data();
+  const int64_t* freq = evaluator_->frequency_data();
+  int64_t delta_ms = 0;
+  size_t m = best_time_ms_.size();
+  for (size_t q = 0; q < m; ++q) {
     if (best_view_[q] != c) continue;
-    Duration best = evaluator_->base_time(q);
-    size_t argmin = kFromBase;
+    int64_t best = base[q];
+    uint32_t argmin = kFromBase;
     for (uint32_t ranked : evaluator_->ranked_candidates(q)) {
       if (member_[ranked]) {
-        best = evaluator_->view_time(q, ranked);
+        best = evaluator_->view_time(q, ranked).millis();
         argmin = ranked;
         break;
       }
     }
-    processing_ += (best - best_time_[q]) * evaluator_->frequency(q);
-    best_time_[q] = best;
+    delta_ms += (best - best_time_ms_[q]) * freq[q];
+    best_time_ms_[q] = best;
     best_view_[q] = argmin;
   }
+  processing_ += Duration::FromMillis(delta_ms);
 }
 
-SubsetTotals SubsetState::PeekToggle(size_t c) const {
-  CV_CHECK(c < member_.size()) << "candidate index out of range";
+SubsetTotals SubsetState::PeekToggleInto(size_t c) const {
   SubsetTotals totals{processing_, materialization_, maintenance_,
                       view_bytes_, hash_ ^ CandidateToken(c)};
   const ViewCandidate& candidate = evaluator_->candidates()[c];
@@ -318,31 +405,58 @@ SubsetTotals SubsetState::PeekToggle(size_t c) const {
     totals.materialization += candidate.materialization_time;
     totals.maintenance += candidate.maintenance_time;
     totals.view_bytes += candidate.size;
-    const Duration* column = evaluator_->view_time_of(c);
-    for (size_t q = 0; q < best_time_.size(); ++q) {
-      if (column[q] < best_time_[q]) {
-        totals.processing +=
-            (column[q] - best_time_[q]) * evaluator_->frequency(q);
+    const int64_t* column = evaluator_->view_time_ms_of(c);
+    const int64_t* best = best_time_ms_.data();
+    const int64_t* freq = evaluator_->frequency_data();
+    size_t m = best_time_ms_.size();
+    int64_t delta_ms = 0;
+    if (m <= kInlineSweepMaxQueries) {
+      for (size_t q = 0; q < m; ++q) {
+        if (column[q] < best[q]) {
+          delta_ms += (column[q] - best[q]) * freq[q];
+        }
       }
+    } else {
+      delta_ms = eval_kernels::PeekAddDelta(column, best, freq, m);
     }
+    totals.processing += Duration::FromMillis(delta_ms);
   } else {
     totals.materialization -= candidate.materialization_time;
     totals.maintenance -= candidate.maintenance_time;
     totals.view_bytes -= candidate.size;
-    for (size_t q = 0; q < best_time_.size(); ++q) {
+    const int64_t* base = evaluator_->base_time_ms_data();
+    const int64_t* freq = evaluator_->frequency_data();
+    int64_t delta_ms = 0;
+    for (size_t q = 0; q < best_time_ms_.size(); ++q) {
       if (best_view_[q] != c) continue;
-      Duration best = evaluator_->base_time(q);
+      int64_t best = base[q];
       for (uint32_t ranked : evaluator_->ranked_candidates(q)) {
         if (ranked != c && member_[ranked]) {
-          best = evaluator_->view_time(q, ranked);
+          best = evaluator_->view_time(q, ranked).millis();
           break;
         }
       }
-      totals.processing +=
-          (best - best_time_[q]) * evaluator_->frequency(q);
+      delta_ms += (best - best_time_ms_[q]) * freq[q];
     }
+    totals.processing += Duration::FromMillis(delta_ms);
   }
   return totals;
+}
+
+SubsetTotals SubsetState::PeekToggle(size_t c) const {
+  CV_CHECK(c < member_.size()) << "candidate index out of range";
+  return PeekToggleInto(c);
+}
+
+void SubsetState::PeekToggleBatch(std::span<const size_t> candidates,
+                                  std::span<SubsetTotals> out) const {
+  CV_CHECK(out.size() >= candidates.size())
+      << "PeekToggleBatch output span too short";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    size_t c = candidates[i];
+    CV_CHECK(c < member_.size()) << "candidate index out of range";
+    out[i] = PeekToggleInto(c);
+  }
 }
 
 std::vector<size_t> SubsetState::Selected() const {

@@ -20,11 +20,13 @@
 #define CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "catalog/lattice.h"
+#include "common/aligned_buffer.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "core/cost/cloud_cost_model.h"
@@ -118,16 +120,28 @@ class SelectionEvaluator {
   const DeploymentSpec& deployment() const { return deployment_; }
 
   /// \brief Query `q` answered from the base table (precomputed).
-  Duration base_time(size_t q) const { return timing_->base_time[q]; }
-  /// \brief Query `q` answered from candidate `c`; a huge sentinel when
-  /// `c` cannot answer `q` (never wins a min against base_time).
-  Duration view_time(size_t q, size_t c) const {
-    return timing_->view_time[q][c];
+  Duration base_time(size_t q) const {
+    return Duration::FromMillis(timing_->base_time_ms[q]);
   }
-  /// \brief Candidate `c`'s timing column, contiguous over queries — the
-  /// cache-friendly layout SubsetState::Add walks on every probe.
-  const Duration* view_time_of(size_t c) const {
-    return timing_->view_time_by_candidate.data() + c * workload_.size();
+  /// \brief Query `q` answered from candidate `c`; a huge sentinel when
+  /// `c` cannot answer `q` (never wins a min against base_time). Indexes
+  /// the candidate-major matrix — the single copy (DESIGN.md §11).
+  Duration view_time(size_t q, size_t c) const {
+    return Duration::FromMillis(
+        timing_->view_time_ms[c * workload_.size() + q]);
+  }
+  /// \brief Candidate `c`'s timing column in raw milliseconds,
+  /// contiguous over queries — what the eval_kernels sweeps stream.
+  const int64_t* view_time_ms_of(size_t c) const {
+    return timing_->view_time_ms.data() + c * workload_.size();
+  }
+  /// \brief Per-query base times / frequency weights as flat aligned
+  /// arrays (the kernels' other operands).
+  const int64_t* base_time_ms_data() const {
+    return timing_->base_time_ms.data();
+  }
+  const int64_t* frequency_data() const {
+    return timing_->frequency.data();
   }
   /// \brief Candidates that can beat the base table for query `q`,
   /// ascending by view_time — SubsetState::Remove's argmin repair walks
@@ -190,22 +204,96 @@ class SelectionEvaluator {
   /// part of an evaluator. Built once, shared read-only across every
   /// Clone() via shared_ptr (parallel portfolio starts, temporal period
   /// clones), so per-task copies never rebuild or duplicate the matrix.
+  ///
+  /// Structure-of-arrays (DESIGN.md §11): every hot-path quantity is a
+  /// flat, 64-byte-aligned int64 array in raw milliseconds, and the
+  /// timing matrix exists in exactly one layout — candidate-major — so
+  /// a probe streams one contiguous column per candidate. The old
+  /// query-major nested-vector duplicate is gone (the matrix was stored
+  /// twice); query-major reads go through view_time(q, c), which just
+  /// strides the candidate-major array.
   struct TimingTable {
-    // base_time[q]: query q answered from the base table.
-    std::vector<Duration> base_time;
+    // base_time_ms[q]: query q answered from the base table.
+    AlignedVector<int64_t> base_time_ms;
     // frequency[q]: per-query frequency weight (hot-path copy).
-    std::vector<int64_t> frequency;
-    // view_time[q][c]: query q answered from candidate c; Duration max
-    // when c cannot answer q.
-    std::vector<std::vector<Duration>> view_time;
-    // The same matrix candidate-major ([c * num_queries + q]), so the
-    // incremental Add scan is a contiguous walk.
-    std::vector<Duration> view_time_by_candidate;
+    AlignedVector<int64_t> frequency;
+    // view_time_ms[c * num_queries + q]: query q answered from
+    // candidate c; a huge sentinel when c cannot answer q.
+    AlignedVector<int64_t> view_time_ms;
     // ranked_candidates[q]: candidates beating base_time[q], ascending
     // by view_time (ties by index, matching Evaluate()'s scan order).
     std::vector<std::vector<uint32_t>> ranked_candidates;
     // result_bytes[q]: logical result volume of query q.
     std::vector<DataSize> result_bytes;
+  };
+
+  /// Open-addressing int64 -> int64 memo for the monetary fast path
+  /// (storage cost by duplicated-byte total, compute cost by billed
+  /// duration). Replaces std::unordered_map on the probe hot path: a
+  /// lookup is a Mix64 and a handful of contiguous loads. Bounded like
+  /// the map it replaced — past kMaxEntries, later keys just recompute.
+  class CostMemo {
+   public:
+    bool Lookup(int64_t key, int64_t* value) const {
+      if (slots_.empty()) return false;
+      size_t mask = slots_.size() - 1;
+      for (size_t i = Mix64(static_cast<uint64_t>(key)) & mask;;
+           i = (i + 1) & mask) {
+        if (slots_[i].key == kEmptyKey) return false;
+        if (slots_[i].key == key) {
+          *value = slots_[i].value;
+          return true;
+        }
+      }
+    }
+
+    void Insert(int64_t key, int64_t value) {
+      if (size_ >= kMaxEntries) return;
+      if (slots_.empty()) slots_.assign(kInitialSlots, Slot{});
+      if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+      size_t mask = slots_.size() - 1;
+      for (size_t i = Mix64(static_cast<uint64_t>(key)) & mask;;
+           i = (i + 1) & mask) {
+        if (slots_[i].key == key) return;
+        if (slots_[i].key == kEmptyKey) {
+          slots_[i] = Slot{key, value};
+          ++size_;
+          return;
+        }
+      }
+    }
+
+   private:
+    // Byte totals and billed millis are never negative, so INT64_MIN is
+    // a safe empty marker (key 0 — the empty subset — stays valid).
+    static constexpr int64_t kEmptyKey =
+        std::numeric_limits<int64_t>::min();
+    static constexpr size_t kInitialSlots = 1u << 6;
+    static constexpr size_t kMaxEntries = 1u << 16;
+
+    struct Slot {
+      int64_t key = kEmptyKey;
+      int64_t value = 0;
+    };
+
+    void Grow() {
+      std::vector<Slot> old = std::move(slots_);
+      slots_.assign(old.size() * 2, Slot{});
+      size_t mask = slots_.size() - 1;
+      for (const Slot& slot : old) {
+        if (slot.key == kEmptyKey) continue;
+        for (size_t i = Mix64(static_cast<uint64_t>(slot.key)) & mask;;
+             i = (i + 1) & mask) {
+          if (slots_[i].key == kEmptyKey) {
+            slots_[i] = slot;
+            break;
+          }
+        }
+      }
+    }
+
+    std::vector<Slot> slots_;
+    size_t size_ = 0;
   };
 
   SelectionEvaluator(const CubeLattice& lattice, const Workload& workload,
@@ -227,7 +315,8 @@ class SelectionEvaluator {
         deployment_(other.deployment_),
         candidates_(other.candidates_),
         timing_(other.timing_),
-        baseline_(other.baseline_) {}
+        baseline_(other.baseline_),
+        base_storage_events_(other.base_storage_events_) {}
 
   const CubeLattice* lattice_;
   Workload workload_;
@@ -240,12 +329,37 @@ class SelectionEvaluator {
 
   SubsetEvaluation baseline_;
 
-  // Storage cost by duplicated-byte total: distinct subsets share few
-  // distinct totals, and the tiered Formula 5 walk is the only
-  // non-trivial arithmetic left on the fast path. Per-instance (never
-  // shared across Clone()s): this memo is why one instance must not be
-  // probed from two threads — and why a clone per task is enough.
-  mutable std::unordered_map<int64_t, Money> storage_cost_memo_;
+  /// One coalesced size-change event of the base storage timeline,
+  /// pre-filtered to the deployment's storage period.
+  struct StorageEvent {
+    Months at;
+    DataSize delta;
+  };
+  /// deployment_.base_storage flattened once at construction: the
+  /// coalesced (month, delta) events below storage_period, time-ordered.
+  /// A storage-memo miss replays StorageTimeline::Intervals() over this
+  /// tiny flat vector with the subset's duplicated bytes folded in at
+  /// month 0 — the identical interval walk and StorageCost calls, minus
+  /// the per-probe std::map copy and interval-vector allocation.
+  std::vector<StorageEvent> base_storage_events_;
+
+  /// Compute bill for `busy` time, memoized by the billed (granularity-
+  /// rounded) duration — rounding collapses the ~2^n distinct raw time
+  /// totals onto few distinct billed spans, so the exact-rational
+  /// ScaleBy division leaves the probe hot path after warm-up.
+  Money ComputeBill(Duration busy) const;
+
+  // Fast-path memos, keyed by duplicated-byte total (storage: the
+  // tiered Formula 5 walk) and billed millis (compute: the __int128
+  // rational scaling). Per-instance (never shared across Clone()s):
+  // these memos are why one instance must not be probed from two
+  // threads — and why a clone per task is enough. Contents only affect
+  // speed, never values.
+  mutable CostMemo storage_cost_memo_;
+  mutable CostMemo compute_cost_memo_;
+  // One-slot front cache over compute_cost_memo_ (see ComputeBill).
+  mutable int64_t compute_last_key_ = std::numeric_limits<int64_t>::min();
+  mutable int64_t compute_last_micros_ = 0;
 };
 
 /// \brief Incrementally maintained evaluation of one evolving subset.
@@ -268,6 +382,12 @@ class SubsetState {
   /// outlive the state.
   explicit SubsetState(const SelectionEvaluator& evaluator);
 
+  /// \brief Back to the empty selection — equivalent to a freshly
+  /// constructed state but without reallocating, for callers that score
+  /// many subsets from scratch (the genetic solver's per-individual
+  /// rebuild).
+  void Reset();
+
   /// \brief Adds candidate `c` (must not be a member).
   void Add(size_t c);
   /// \brief Removes candidate `c` (must be a member).
@@ -279,6 +399,15 @@ class SubsetState {
   /// read-only — the move-scoring primitive search loops probe
   /// neighborhoods with (no commit, no revert, no writes).
   SubsetTotals PeekToggle(size_t c) const;
+
+  /// \brief PeekToggle for many candidates in one pass over the timing
+  /// matrix: out[i] = PeekToggle(candidates[i]), bit-for-bit. The
+  /// batched neighborhood-scan primitive (DESIGN.md §11): consecutive
+  /// candidate columns stream sequentially through the dispatched
+  /// eval_kernels sweep instead of paying per-call setup per toggle.
+  /// `out` must be at least candidates.size() long.
+  void PeekToggleBatch(std::span<const size_t> candidates,
+                       std::span<SubsetTotals> out) const;
 
   /// \brief This state's current totals.
   SubsetTotals totals() const {
@@ -309,14 +438,20 @@ class SubsetState {
   const SelectionEvaluator& evaluator() const { return *evaluator_; }
 
  private:
+  /// PeekToggle body shared with PeekToggleBatch.
+  SubsetTotals PeekToggleInto(size_t c) const;
+
   const SelectionEvaluator* evaluator_;
   // kFromBase in best_view_[q] means the base table answers q best.
-  static constexpr size_t kFromBase = static_cast<size_t>(-1);
+  static constexpr uint32_t kFromBase =
+      std::numeric_limits<uint32_t>::max();
 
   std::vector<uint8_t> member_;
   size_t count_ = 0;
-  std::vector<size_t> best_view_;
-  std::vector<Duration> best_time_;
+  // SoA hot state (DESIGN.md §11): the per-query argmin as two flat
+  // aligned arrays the vectorized sweeps read and write directly.
+  AlignedVector<uint32_t> best_view_;
+  AlignedVector<int64_t> best_time_ms_;
   Duration processing_;
   Duration materialization_;
   Duration maintenance_;
@@ -355,7 +490,15 @@ class EvaluationCache {
     DataSize view_bytes;
   };
 
-  EvaluationCache() { Rehash(1 << 12); }
+  /// Starts small and doubles on load: solvers build one cache per run
+  /// (and fan-out solvers one per start/task), so the initial footprint
+  /// is per-solve setup cost on the hot path — a 2^12-slot start cost
+  /// ~200KB of zeroing per solve, which dominated the short gate-row
+  /// solves (greedy, knapsack-dp) and every portfolio/pareto task. 2^8
+  /// keeps that setup at ~8KB while skipping the first two growth
+  /// rehashes of the annealing/local-search runs (a few thousand
+  /// distinct subsets each).
+  EvaluationCache() { Rehash(1 << 8); }
 
   /// \brief Returns the entry for `key`, or nullptr on a miss.
   const Entry* Find(uint64_t key) const {

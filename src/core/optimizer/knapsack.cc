@@ -59,23 +59,31 @@ Result<KnapsackSolution> MaximizeValue(const std::vector<KnapsackItem>& items,
         1, ScaleUp(capacity, options.max_buckets));
     int64_t cap_buckets = capacity / scale;  // Floor: stays sound.
     size_t n = dp_items.size();
-    // dp[i][b]: best value using items [0, i) within b weight buckets.
-    std::vector<std::vector<int64_t>> dp(
-        n + 1, std::vector<int64_t>(cap_buckets + 1, 0));
+    size_t width = static_cast<size_t>(cap_buckets) + 1;
+    // Two rolling rows instead of an (n+1)-row table — the full table
+    // cost more to zero than the DP itself on small item sets — plus a
+    // byte per cell recording "item i improved bucket b" for the
+    // reconstruction walk. Same recurrence, same picks.
+    std::vector<int64_t> prev(width, 0);
+    std::vector<int64_t> cur(width, 0);
+    std::vector<uint8_t> took(n * width, 0);
     for (size_t i = 0; i < n; ++i) {
       const KnapsackItem& item = items[dp_items[i]];
       int64_t w = ScaleUp(item.weight, scale);  // Round up: stays sound.
+      uint8_t* took_row = took.data() + i * width;
       for (int64_t b = 0; b <= cap_buckets; ++b) {
-        dp[i + 1][b] = dp[i][b];
-        if (w <= b && dp[i][b - w] + item.value > dp[i + 1][b]) {
-          dp[i + 1][b] = dp[i][b - w] + item.value;
+        cur[b] = prev[b];
+        if (w <= b && prev[b - w] + item.value > cur[b]) {
+          cur[b] = prev[b - w] + item.value;
+          took_row[b] = 1;
         }
       }
+      prev.swap(cur);
     }
     // Reconstruct.
     int64_t b = cap_buckets;
     for (size_t i = n; i-- > 0;) {
-      if (dp[i + 1][b] != dp[i][b]) {
+      if (took[i * width + b]) {
         solution.selected.push_back(dp_items[i]);
         b -= ScaleUp(items[dp_items[i]].weight, scale);
       }
@@ -118,31 +126,37 @@ Result<KnapsackSolution> MinimizeWeightForValue(
     // Rounding values down keeps "value >= target" sound.
     int64_t target_buckets = ScaleUp(remaining_target, scale);
     size_t n = dp_items.size();
-    // dp[i][j]: min weight using items [0, i) reaching >= j value buckets
-    // (j saturates at target_buckets).
-    std::vector<std::vector<int64_t>> dp(
-        n + 1, std::vector<int64_t>(target_buckets + 1, kPosInf));
-    dp[0][0] = 0;
+    size_t width = static_cast<size_t>(target_buckets) + 1;
+    // dp row j: min weight reaching >= j value buckets (j saturates at
+    // target_buckets). Two rolling rows plus a took-byte per cell (see
+    // MaximizeValue) — identical recurrence and picks, far less memory
+    // traffic than the full (n+1)-row table.
+    std::vector<int64_t> prev(width, kPosInf);
+    std::vector<int64_t> cur(width, kPosInf);
+    std::vector<uint8_t> took(n * width, 0);
+    prev[0] = 0;
     for (size_t i = 0; i < n; ++i) {
       const KnapsackItem& item = items[dp_items[i]];
       int64_t v = item.value / scale;  // Round down: stays sound.
+      uint8_t* took_row = took.data() + i * width;
       for (int64_t j = 0; j <= target_buckets; ++j) {
-        dp[i + 1][j] = dp[i][j];
+        cur[j] = prev[j];
         int64_t from = std::max<int64_t>(0, j - v);
-        if (dp[i][from] != kPosInf &&
-            dp[i][from] + item.weight < dp[i + 1][j]) {
-          dp[i + 1][j] = dp[i][from] + item.weight;
+        if (prev[from] != kPosInf && prev[from] + item.weight < cur[j]) {
+          cur[j] = prev[from] + item.weight;
+          took_row[j] = 1;
         }
       }
+      prev.swap(cur);
     }
-    if (dp[n][target_buckets] == kPosInf) {
+    if (prev[target_buckets] == kPosInf) {
       return Status::NotFound(
           "no item subset reaches the required value");
     }
     // Reconstruct.
     int64_t j = target_buckets;
     for (size_t i = n; i-- > 0;) {
-      if (dp[i + 1][j] != dp[i][j]) {
+      if (took[i * width + j]) {
         const KnapsackItem& item = items[dp_items[i]];
         solution.selected.push_back(dp_items[i]);
         j = std::max<int64_t>(0, j - item.value / scale);

@@ -158,18 +158,18 @@ SolverContext::Score SolverContext::ScenarioScore(Duration time,
 
 Result<SolverContext::Probe> SolverContext::ProbeTotals(
     const SubsetTotals& totals) {
-  bool cached = cache_ != nullptr && use_cache_;
-  if (cached) {
-    if (const EvaluationCache::Entry* entry = cache_->Find(totals.hash)) {
-      ++counters_.cache_hits;
-      return Probe{TimeMetric(entry->processing_time, entry->makespan),
-                   entry->makespan, entry->total_cost,
-                   entry->view_bytes};
-    }
+  if (const EvaluationCache::Entry* entry = CachedEntry(totals.hash)) {
+    ++counters_.cache_hits;
+    return ProbeOfEntry(*entry);
   }
+  return ProbeTotalsMiss(totals);
+}
+
+Result<SolverContext::Probe> SolverContext::ProbeTotalsMiss(
+    const SubsetTotals& totals) {
   ++counters_.incremental_probes;
   CV_ASSIGN_OR_RETURN(Money cost, evaluator_->FastTotalCost(totals));
-  if (cached) {
+  if (cache_ != nullptr && use_cache_) {
     cache_->Insert(totals.hash, {totals.processing, totals.makespan(),
                                  cost, totals.view_bytes});
   }
@@ -202,7 +202,48 @@ Result<SolverContext::Probe> SolverContext::ProbeToggle(
                         evaluator_->Evaluate(selected));
     return ProbeOf(eval);
   }
-  return ProbeTotals(state.PeekToggle(c));
+  // Hash-first: the toggled subset's memo key is one XOR away, so a
+  // cache hit never pays the O(queries) peek.
+  if (const EvaluationCache::Entry* entry =
+          CachedEntry(state.hash() ^ CandidateToken(c))) {
+    ++counters_.cache_hits;
+    return ProbeOfEntry(*entry);
+  }
+  return ProbeTotalsMiss(state.PeekToggle(c));
+}
+
+Status SolverContext::ProbeToggleBatch(const SubsetState& state,
+                                       std::span<const size_t> candidates,
+                                       std::vector<Probe>& out) {
+  out.resize(candidates.size());
+  if (!use_incremental_) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      CV_ASSIGN_OR_RETURN(out[i], ProbeToggle(state, candidates[i]));
+    }
+    return Status::OK();
+  }
+  // Split the batch by memo state: hits resolve in O(1) each, misses
+  // stream through one PeekToggleBatch matrix pass.
+  scratch_cands_.clear();
+  scratch_miss_.clear();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (const EvaluationCache::Entry* entry =
+            CachedEntry(state.hash() ^ CandidateToken(candidates[i]))) {
+      ++counters_.cache_hits;
+      out[i] = ProbeOfEntry(*entry);
+    } else {
+      scratch_miss_.push_back(i);
+      scratch_cands_.push_back(candidates[i]);
+    }
+  }
+  if (scratch_cands_.empty()) return Status::OK();
+  scratch_totals_.resize(scratch_cands_.size());
+  state.PeekToggleBatch(scratch_cands_, scratch_totals_);
+  for (size_t j = 0; j < scratch_cands_.size(); ++j) {
+    CV_ASSIGN_OR_RETURN(out[scratch_miss_[j]],
+                        ProbeTotalsMiss(scratch_totals_[j]));
+  }
+  return Status::OK();
 }
 
 Result<SubsetEvaluation> SolverContext::Evaluate(
@@ -216,6 +257,11 @@ Status SolverContext::HillClimb(SubsetState& state, bool with_swaps) {
   CV_RETURN_IF_ERROR(current.status());
   Score current_score = current.value();
 
+  if (scratch_iota_.size() != num_candidates()) {
+    scratch_iota_.resize(num_candidates());
+    for (size_t c = 0; c < num_candidates(); ++c) scratch_iota_[c] = c;
+  }
+
   bool improved = true;
   while (improved) {
     improved = false;
@@ -223,12 +269,15 @@ Status SolverContext::HillClimb(SubsetState& state, bool with_swaps) {
     size_t best_add = kNoMove;
     size_t best_remove = kNoMove;
 
-    // Single add/remove moves, probed read-only.
+    // Single add/remove moves, probed read-only in one batched pass.
+    // Scanning the probes in ascending candidate order with a strict <
+    // keeps the chosen move identical to the old one-at-a-time loop.
+    CV_RETURN_IF_ERROR(
+        ProbeToggleBatch(state, scratch_iota_, scratch_probes_));
     for (size_t c = 0; c < num_candidates(); ++c) {
-      Result<Score> trial = ScoreToggle(state, c);
-      CV_RETURN_IF_ERROR(trial.status());
-      if (trial.value() < best_score) {
-        best_score = trial.value();
+      Score trial = ScoreOf(scratch_probes_[c]);
+      if (trial < best_score) {
+        best_score = trial;
         best_add = state.contains(c) ? kNoMove : c;
         best_remove = state.contains(c) ? c : kNoMove;
         improved = true;
@@ -238,21 +287,27 @@ Status SolverContext::HillClimb(SubsetState& state, bool with_swaps) {
     // Swap moves (remove one member, add one non-member): the
     // neighborhood that escapes same-size plateaus single toggles
     // cannot cross (arXiv 2606.03772). One committed removal per
-    // member; the adds are read-only peeks.
+    // member; the adds are one batched read-only peek per member.
     if (with_swaps) {
       std::vector<size_t> members = state.Selected();
       for (size_t out : members) {
         state.Remove(out);
+        scratch_swap_ins_.clear();
         for (size_t in = 0; in < num_candidates(); ++in) {
           if (in == out || state.contains(in)) continue;
-          Result<Score> trial = ScoreToggle(state, in);
-          if (!trial.ok()) {
-            state.Add(out);
-            return trial.status();
-          }
-          if (trial.value() < best_score) {
-            best_score = trial.value();
-            best_add = in;
+          scratch_swap_ins_.push_back(in);
+        }
+        Status batch =
+            ProbeToggleBatch(state, scratch_swap_ins_, scratch_probes_);
+        if (!batch.ok()) {
+          state.Add(out);
+          return batch;
+        }
+        for (size_t j = 0; j < scratch_swap_ins_.size(); ++j) {
+          Score trial = ScoreOf(scratch_probes_[j]);
+          if (trial < best_score) {
+            best_score = trial;
+            best_add = scratch_swap_ins_[j];
             best_remove = out;
             improved = true;
           }

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -164,11 +165,24 @@ class SolverContext {
   /// \brief Scores the subset `state` would become after Toggle(c),
   /// WITHOUT mutating it (SubsetState::PeekToggle) — the move-probing
   /// primitive of every neighborhood loop: no commit, no revert.
+  /// Hash-first: the toggled subset's memo key is one XOR away from
+  /// state.hash(), so a cache hit costs O(1) and skips the O(queries)
+  /// peek entirely.
   Result<Probe> ProbeToggle(const SubsetState& state, size_t c);
   Result<Score> ScoreToggle(const SubsetState& state, size_t c) {
     CV_ASSIGN_OR_RETURN(Probe probe, ProbeToggle(state, c));
     return ScoreOf(probe);
   }
+
+  /// \brief ProbeToggle over many candidates in one batched pass — the
+  /// neighborhood-scan primitive (DESIGN.md §11). Hash-first cache
+  /// probes split the batch into hits and misses; the misses go through
+  /// one SubsetState::PeekToggleBatch matrix pass. `out` is resized to
+  /// candidates.size(); out[i] equals ProbeToggle(state, candidates[i])
+  /// bit-for-bit, counters included.
+  Status ProbeToggleBatch(const SubsetState& state,
+                          std::span<const size_t> candidates,
+                          std::vector<Probe>& out);
 
   /// \brief Exact ground-truth evaluation (counted as a full eval).
   Result<SubsetEvaluation> Evaluate(const std::vector<size_t>& selected);
@@ -221,6 +235,18 @@ class SolverContext {
 
   /// Memo-or-compute for a peeked/committed totals bundle.
   Result<Probe> ProbeTotals(const SubsetTotals& totals);
+  /// The compute leg of ProbeTotals, after the memo already missed.
+  Result<Probe> ProbeTotalsMiss(const SubsetTotals& totals);
+  /// Memo entry for `hash`, or nullptr (also when the cache is off).
+  /// Does not bump counters — callers count the hit.
+  const EvaluationCache::Entry* CachedEntry(uint64_t hash) const {
+    if (cache_ == nullptr || !use_cache_) return nullptr;
+    return cache_->Find(hash);
+  }
+  Probe ProbeOfEntry(const EvaluationCache::Entry& entry) const {
+    return Probe{TimeMetric(entry.processing_time, entry.makespan),
+                 entry.makespan, entry.total_cost, entry.view_bytes};
+  }
 
   const SelectionEvaluator* evaluator_;
   const ObjectiveSpec* spec_;
@@ -231,6 +257,15 @@ class SolverContext {
   bool use_incremental_ = true;
   bool use_cache_ = true;
   Counters counters_;
+
+  // Batch scratch (ProbeToggleBatch / HillClimb), reused across calls
+  // so neighborhood scans only allocate on growth.
+  std::vector<size_t> scratch_iota_;
+  std::vector<size_t> scratch_swap_ins_;
+  std::vector<size_t> scratch_cands_;
+  std::vector<size_t> scratch_miss_;
+  std::vector<SubsetTotals> scratch_totals_;
+  std::vector<Probe> scratch_probes_;
 };
 
 /// \brief One search strategy over the subset space.

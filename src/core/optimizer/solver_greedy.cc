@@ -1,7 +1,9 @@
 // "greedy": best-improvement hill climbing from the empty set — the
 // baseline the paper's knapsack seeding is measured against. Each round
 // applies the single add/remove move that improves the lexicographic
-// score the most, until no move does.
+// score the most, until no move does. The marginal-gain round is one
+// SolverContext::ProbeToggleBatch over all candidates (DESIGN.md §11),
+// not n separate probes.
 
 #include "core/optimizer/solver.h"
 

@@ -70,12 +70,27 @@ bool TournamentLess(const Individual& a, const Individual& b) {
   return a.genes < b.genes;
 }
 
+/// Reused allocation scratch for RankPopulation: the sort runs twice per
+/// generation, and re-growing its dominance lists, front lists, and sort
+/// orders each call dominated the (tiny-instance) solve wall.
+struct RankScratch {
+  std::vector<std::vector<size_t>> dominates;
+  std::vector<size_t> dominated_by;
+  std::vector<std::vector<size_t>> fronts;
+  std::vector<size_t> order;
+};
+
 /// Fast non-dominated sort + per-front crowding distances (in place).
-void RankPopulation(std::vector<Individual>& pop) {
+void RankPopulation(std::vector<Individual>& pop, RankScratch& scratch) {
   size_t n = pop.size();
-  std::vector<std::vector<size_t>> dominates(n);
-  std::vector<size_t> dominated_by(n, 0);
-  std::vector<std::vector<size_t>> fronts(1);
+  std::vector<std::vector<size_t>>& dominates = scratch.dominates;
+  if (dominates.size() < n) dominates.resize(n);
+  for (size_t i = 0; i < n; ++i) dominates[i].clear();
+  std::vector<size_t>& dominated_by = scratch.dominated_by;
+  dominated_by.assign(n, 0);
+  std::vector<std::vector<size_t>>& fronts = scratch.fronts;
+  for (std::vector<size_t>& front : fronts) front.clear();
+  if (fronts.empty()) fronts.emplace_back();
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
@@ -91,7 +106,7 @@ void RankPopulation(std::vector<Individual>& pop) {
     }
   }
   for (size_t f = 0; !fronts[f].empty(); ++f) {
-    fronts.emplace_back();
+    if (f + 1 >= fronts.size()) fronts.emplace_back();
     for (size_t i : fronts[f]) {
       for (size_t j : dominates[i]) {
         if (--dominated_by[j] == 0) {
@@ -111,7 +126,8 @@ void RankPopulation(std::vector<Individual>& pop) {
       continue;
     }
     for (size_t k = 0; k < 3; ++k) {
-      std::vector<size_t> order(front);
+      std::vector<size_t>& order = scratch.order;
+      order.assign(front.begin(), front.end());
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         if (pop[a].objectives[k] != pop[b].objectives[k]) {
           return pop[a].objectives[k] < pop[b].objectives[k];
@@ -160,9 +176,12 @@ class ParetoGeneticSolver : public Solver {
 
     // Evaluates `genes`, archives it when feasible, tracks the
     // lexicographic best. All probes run through the caller's context
-    // (memo hits make re-visited genomes free).
+    // (memo hits make re-visited genomes free). One reused SubsetState:
+    // Reset() + the genes' Adds instead of a fresh allocation per
+    // individual.
+    SubsetState state(context.evaluator());
     auto evaluate = [&](Individual& ind) -> Status {
-      SubsetState state(context.evaluator());
+      state.Reset();
       for (size_t c = 0; c < ind.genes.size(); ++c) {
         if (ind.genes[c]) state.Add(c);
       }
@@ -208,8 +227,9 @@ class ParetoGeneticSolver : public Solver {
       }
       pop.push_back(std::move(ind));
     }
+    RankScratch scratch;
     for (Individual& ind : pop) CV_RETURN_IF_ERROR(evaluate(ind));
-    RankPopulation(pop);
+    RankPopulation(pop, scratch);
 
     double mutation = 1.0 / static_cast<double>(n);
     for (int gen = 0; gen < kGenerations; ++gen) {
@@ -244,7 +264,7 @@ class ParetoGeneticSolver : public Solver {
 
       // (mu + lambda) environmental selection.
       for (Individual& ind : offspring) pop.push_back(std::move(ind));
-      RankPopulation(pop);
+      RankPopulation(pop, scratch);
       std::sort(pop.begin(), pop.end(), TournamentLess);
       pop.resize(kPopulation);
     }

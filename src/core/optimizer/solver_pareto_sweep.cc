@@ -21,7 +21,10 @@
 // SelectionEvaluator::Clone() with its own cache and context; results
 // are reduced and inserted into the ParetoFront in task-index order —
 // so the frontier is bit-identical at any thread count (same rules as
-// the portfolio solver; pinned by pareto_property_test).
+// the portfolio solver; pinned by pareto_property_test). The roster
+// solvers' neighborhood scans go through the batched ProbeToggleBatch
+// path (DESIGN.md §11), and batch order is fixed, so batching does not
+// perturb any task's pick.
 
 #include <algorithm>
 #include <set>

@@ -10,10 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <numeric>
 #include <set>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/random.h"
+#include "core/optimizer/eval_kernels.h"
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/solver.h"
 #include "engine/sales_generator.h"
@@ -140,6 +143,129 @@ TEST_P(SubsetStatePropertyTest, PeekToggleMatchesCommittedToggle) {
       EXPECT_EQ(peeked.view_bytes, committed.view_bytes());
       EXPECT_EQ(evaluator_->FastTotalCost(peeked).MoveValue(),
                 evaluator_->FastTotalCost(committed).MoveValue());
+    }
+  }
+}
+
+TEST_P(SubsetStatePropertyTest, PeekToggleBatchMatchesSequentialPeeks) {
+  // The batched neighborhood scan (DESIGN.md §11) must be a pure
+  // vectorization of the one-at-a-time probes: for random rosters,
+  // out[i] == PeekToggle(candidates[i]) field for field, and the
+  // totals it reports match the from-scratch Evaluate() of the
+  // toggled subset.
+  size_t n = evaluator_->num_candidates();
+  Rng rng(17);
+  SubsetState state(*evaluator_);
+  std::vector<size_t> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  std::vector<SubsetTotals> batch(n);
+  for (int move = 0; move < 25; ++move) {
+    state.Toggle(static_cast<size_t>(rng.Uniform(n)));
+    state.PeekToggleBatch(candidates, batch);
+    for (size_t c = 0; c < n; ++c) {
+      SubsetTotals one = state.PeekToggle(c);
+      EXPECT_EQ(batch[c].hash, one.hash);
+      EXPECT_EQ(batch[c].processing, one.processing);
+      EXPECT_EQ(batch[c].materialization, one.materialization);
+      EXPECT_EQ(batch[c].maintenance, one.maintenance);
+      EXPECT_EQ(batch[c].view_bytes, one.view_bytes);
+
+      SubsetState committed = state;
+      committed.Toggle(c);
+      SubsetEvaluation full =
+          evaluator_->Evaluate(committed.Selected()).MoveValue();
+      EXPECT_EQ(batch[c].processing, full.processing_time);
+      EXPECT_EQ(evaluator_->FastTotalCost(batch[c]).MoveValue(),
+                full.cost.total());
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(SubsetStatePropertyTest, ContextProbeBatchMatchesSequential) {
+  // SolverContext::ProbeToggleBatch — the solver-facing wrapper that
+  // splits a batch into memo hits and one matrix pass — must agree
+  // probe for probe with sequential ProbeToggle, with and without a
+  // cache, including the counter semantics solvers assert on.
+  size_t n = evaluator_->num_candidates();
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV3Tradeoff;
+  EvaluationCache batch_cache;
+  EvaluationCache seq_cache;
+  SolverContext batched(*evaluator_, spec, &batch_cache);
+  SolverContext sequential(*evaluator_, spec, &seq_cache);
+  SolverContext uncached(*evaluator_, spec);
+
+  Rng rng(19);
+  SubsetState state(*evaluator_);
+  std::vector<size_t> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  std::vector<SolverContext::Probe> probes;
+  for (int move = 0; move < 25; ++move) {
+    state.Toggle(static_cast<size_t>(rng.Uniform(n)));
+    ASSERT_TRUE(batched.ProbeToggleBatch(state, candidates, probes).ok());
+    std::vector<SolverContext::Probe> no_cache_probes;
+    ASSERT_TRUE(
+        uncached.ProbeToggleBatch(state, candidates, no_cache_probes)
+            .ok());
+    for (size_t c = 0; c < n; ++c) {
+      SolverContext::Probe one =
+          sequential.ProbeToggle(state, c).MoveValue();
+      EXPECT_EQ(probes[c].time, one.time);
+      EXPECT_EQ(probes[c].cost, one.cost);
+      EXPECT_EQ(probes[c].makespan, one.makespan);
+      EXPECT_EQ(probes[c].storage, one.storage);
+      EXPECT_EQ(no_cache_probes[c].time, one.time);
+      EXPECT_EQ(no_cache_probes[c].cost, one.cost);
+    }
+  }
+  // Batched and sequential scans visit identical subsets in identical
+  // order, so the memo behaves identically: same hit and miss counts.
+  EXPECT_EQ(batched.counters().cache_hits,
+            sequential.counters().cache_hits);
+  EXPECT_EQ(batched.counters().incremental_probes,
+            sequential.counters().incremental_probes);
+  EXPECT_GT(batched.counters().cache_hits, 0u);
+}
+
+TEST(EvalKernelDispatchTest, DispatchedKernelsMatchScalarReference) {
+  // The dispatched (possibly AVX2) kernels must be bit-identical to the
+  // scalar references on random arrays, across lengths straddling every
+  // vector-width boundary — including the masked tails.
+  Rng rng(23);
+  for (size_t m : {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64}) {
+    for (int trial = 0; trial < 16; ++trial) {
+      AlignedVector<int64_t> col(m), best(m), freq(m);
+      for (size_t q = 0; q < m; ++q) {
+        col[q] = static_cast<int64_t>(rng.Uniform(1'000'000));
+        best[q] = static_cast<int64_t>(rng.Uniform(1'000'000));
+        freq[q] = static_cast<int64_t>(rng.Uniform(1'000)) + 1;
+      }
+      EXPECT_EQ(eval_kernels::PeekAddDelta(col.data(), best.data(),
+                                           freq.data(), m),
+                eval_kernels::PeekAddDeltaScalar(col.data(), best.data(),
+                                                 freq.data(), m))
+          << "PeekAddDelta(" << eval_kernels::DispatchName()
+          << ") diverges at m=" << m;
+
+      AlignedVector<int64_t> best_scalar(best), best_dispatch(best);
+      AlignedVector<uint32_t> view_scalar(m), view_dispatch(m);
+      for (size_t q = 0; q < m; ++q) {
+        view_scalar[q] = static_cast<uint32_t>(rng.Uniform(32));
+        view_dispatch[q] = view_scalar[q];
+      }
+      EXPECT_EQ(
+          eval_kernels::AddSweep(col.data(), best_dispatch.data(),
+                                 view_dispatch.data(), freq.data(), m, 7),
+          eval_kernels::AddSweepScalar(col.data(), best_scalar.data(),
+                                       view_scalar.data(), freq.data(), m,
+                                       7))
+          << "AddSweep(" << eval_kernels::DispatchName()
+          << ") delta diverges at m=" << m;
+      for (size_t q = 0; q < m; ++q) {
+        EXPECT_EQ(best_dispatch[q], best_scalar[q]) << "m=" << m;
+        EXPECT_EQ(view_dispatch[q], view_scalar[q]) << "m=" << m;
+      }
     }
   }
 }
