@@ -7,8 +7,7 @@
 // Emit rows with JsonLine; string fields are escaped, numeric fields
 // print as plain JSON numbers (NaN/inf become null).
 
-#ifndef CLOUDVIEW_BENCH_BENCH_UTIL_H_
-#define CLOUDVIEW_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -165,4 +164,3 @@ class JsonLine {
 }  // namespace bench
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_BENCH_BENCH_UTIL_H_

@@ -6,8 +6,7 @@
 // Levels are ordered finest-first; an implicit ALL level (cardinality 1)
 // closes every hierarchy so the full data-cube lattice is well-formed.
 
-#ifndef CLOUDVIEW_CATALOG_DIMENSION_H_
-#define CLOUDVIEW_CATALOG_DIMENSION_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -58,4 +57,3 @@ class Dimension {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CATALOG_DIMENSION_H_

@@ -7,8 +7,7 @@
 // codec construction (the sales schema needs 24 bits; the 4-dimensional
 // SSB-like schema fits comfortably).
 
-#ifndef CLOUDVIEW_CATALOG_KEY_CODEC_H_
-#define CLOUDVIEW_CATALOG_KEY_CODEC_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -72,4 +71,3 @@ class KeyCodec {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CATALOG_KEY_CODEC_H_

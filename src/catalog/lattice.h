@@ -9,8 +9,7 @@
 // Row counts per cuboid are estimated with Cardenas' formula
 // (expected distinct groups among `n` facts over `d` possible keys).
 
-#ifndef CLOUDVIEW_CATALOG_LATTICE_H_
-#define CLOUDVIEW_CATALOG_LATTICE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -110,4 +109,3 @@ class CubeLattice {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CATALOG_LATTICE_H_

@@ -1,8 +1,7 @@
 // StarSchema: a fact table with dimension hierarchies and measures,
 // plus the physical statistics the cost models need (row counts, widths).
 
-#ifndef CLOUDVIEW_CATALOG_SCHEMA_H_
-#define CLOUDVIEW_CATALOG_SCHEMA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -82,4 +81,3 @@ class StarSchema {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CATALOG_SCHEMA_H_

@@ -9,8 +9,7 @@
 // semantics (copy, move, resize) are untouched vector behavior, which
 // SubsetState's copyability depends on.
 
-#ifndef CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_
-#define CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_
+#pragma once
 
 #include <cstddef>
 #include <new>
@@ -56,4 +55,3 @@ using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_ALIGNED_BUFFER_H_

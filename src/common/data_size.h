@@ -4,8 +4,7 @@
 // multiples: 1 GB = 2^30 bytes, 1 TB = 1024 GB. DataSize stores bytes in a
 // signed 64-bit integer (deltas may be negative during timeline algebra).
 
-#ifndef CLOUDVIEW_COMMON_DATA_SIZE_H_
-#define CLOUDVIEW_COMMON_DATA_SIZE_H_
+#pragma once
 
 #include <cmath>
 #include <compare>
@@ -104,4 +103,3 @@ inline std::ostream& operator<<(std::ostream& os, DataSize s) {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_DATA_SIZE_H_

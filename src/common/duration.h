@@ -4,8 +4,7 @@
 // *started* hour ("we must use a function to round processing time up"), so
 // Duration exposes BillableHours() alongside exact accessors.
 
-#ifndef CLOUDVIEW_COMMON_DURATION_H_
-#define CLOUDVIEW_COMMON_DURATION_H_
+#pragma once
 
 #include <cmath>
 #include <compare>
@@ -99,4 +98,3 @@ inline std::ostream& operator<<(std::ostream& os, Duration d) {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_DURATION_H_

@@ -1,7 +1,6 @@
 // Hashing utilities for aggregation keys and container mixing.
 
-#ifndef CLOUDVIEW_COMMON_HASH_H_
-#define CLOUDVIEW_COMMON_HASH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -39,4 +38,3 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_HASH_H_

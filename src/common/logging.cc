@@ -1,7 +1,8 @@
 #include "common/logging.h"
 
-#include <chrono>
 #include <cstdio>
+
+#include "common/mutex.h"
 
 namespace cloudview {
 namespace internal {
@@ -22,7 +23,23 @@ const char* SeverityTag(LogSeverity severity) {
   return "?";
 }
 
+// Serializes sink writes: pool workers log concurrently (DESIGN.md §9)
+// and a fwrite to stderr is not guaranteed atomic across platforms, so
+// every complete line goes out under this mutex — no interleaved
+// characters. Both are constant-initialized (no static-init-order
+// hazard for registrars that CV_CHECK during startup).
+Mutex g_sink_mu;
+// The redirect target; nullptr means stderr (stderr is not
+// constant-initializable on all libcs, so the default is encoded as
+// null rather than captured here).
+std::FILE* g_sink CLOUDVIEW_GUARDED_BY(g_sink_mu) = nullptr;
+
 }  // namespace
+
+void SetLogSink(std::FILE* sink) {
+  MutexLock lock(&g_sink_mu);
+  g_sink = sink;
+}
 
 LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
     : severity_(severity) {
@@ -36,11 +53,14 @@ LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
-  if (severity_ == LogSeverity::kFatal) {
-    std::cerr.flush();
-    std::abort();
+  const std::string line = stream_.str();
+  {
+    MutexLock lock(&g_sink_mu);
+    std::FILE* sink = g_sink != nullptr ? g_sink : stderr;
+    std::fwrite(line.data(), 1, line.size(), sink);
+    if (severity_ == LogSeverity::kFatal) std::fflush(sink);
   }
+  if (severity_ == LogSeverity::kFatal) std::abort();
 }
 
 }  // namespace internal

@@ -4,11 +4,11 @@
 // condition is false. CV_DCHECK does not evaluate its condition in NDEBUG
 // builds. CV_LOG_* write a tagged line to stderr.
 
-#ifndef CLOUDVIEW_COMMON_LOGGING_H_
-#define CLOUDVIEW_COMMON_LOGGING_H_
+#pragma once
 
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -17,8 +17,16 @@ namespace internal {
 
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
 
-/// \brief Accumulates a log line and emits it (to stderr) on destruction.
-/// Fatal severity aborts the process after emitting.
+/// \brief Redirects log output (stderr by default) — a test seam.
+/// Pass nullptr to restore stderr. The sink is written under the
+/// logging mutex, so it is safe to swap between (not during) parallel
+/// regions.
+void SetLogSink(std::FILE* sink);
+
+/// \brief Accumulates a log line and emits it (to the sink, stderr by
+/// default) on destruction. Lines are written whole under one mutex,
+/// so concurrent pool workers never interleave characters. Fatal
+/// severity aborts the process after emitting.
 class LogMessage {
  public:
   LogMessage(const char* file, int line, LogSeverity severity);
@@ -67,5 +75,3 @@ class LogMessageVoidify {
 #else
 #define CV_DCHECK(cond) CV_CHECK(cond)
 #endif
-
-#endif  // CLOUDVIEW_COMMON_LOGGING_H_

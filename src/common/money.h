@@ -5,8 +5,7 @@
 // representation, and the cost models never round through floating point:
 // rate x quantity products are evaluated in 128-bit intermediate precision.
 
-#ifndef CLOUDVIEW_COMMON_MONEY_H_
-#define CLOUDVIEW_COMMON_MONEY_H_
+#pragma once
 
 #include <cmath>
 #include <compare>
@@ -110,4 +109,3 @@ inline std::ostream& operator<<(std::ostream& os, Money m) {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_MONEY_H_

@@ -5,8 +5,7 @@
 // exact and pro-rata billing over hours is well-defined. Conversion from
 // wall-clock uses the 730 h/month convention (8760 h / 12).
 
-#ifndef CLOUDVIEW_COMMON_MONTHS_H_
-#define CLOUDVIEW_COMMON_MONTHS_H_
+#pragma once
 
 #include <cmath>
 #include <compare>
@@ -86,4 +85,3 @@ inline std::ostream& operator<<(std::ostream& os, Months m) {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_MONTHS_H_

@@ -1,0 +1,95 @@
+// Annotated mutex primitives: std::mutex/std::condition_variable with
+// Clang thread-safety capabilities attached (common/thread_annotations.h,
+// DESIGN.md §12).
+//
+// The analysis cannot see through raw std::mutex (libstdc++ carries no
+// capability attributes), so every mutex-protected member in cloudview
+// is guarded by a `Mutex` and accessed under a `MutexLock`; the clang
+// CI leg then proves, at compile time, that no CLOUDVIEW_GUARDED_BY
+// member is touched without its lock. The wrappers are zero-cost:
+// every method is an inline forward to the std primitive.
+//
+// CondVar wraps std::condition_variable_any so waits can release a
+// `Mutex` directly (it is BasicLockable via lock()/unlock()). Waits
+// keep the REQUIRES contract: the capability is held at entry and at
+// return, exactly like std::condition_variable::wait.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace cloudview {
+
+/// \brief An annotated std::mutex — the capability type every
+/// CLOUDVIEW_GUARDED_BY member in the repo is guarded by.
+class CLOUDVIEW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CLOUDVIEW_ACQUIRE() { mu_.lock(); }
+  void Unlock() CLOUDVIEW_RELEASE() { mu_.unlock(); }
+  bool TryLock() CLOUDVIEW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings, so CondVar (condition_variable_any) can
+  /// release and reacquire this mutex inside a wait. Prefer
+  /// Lock()/Unlock() (or better, MutexLock) everywhere else.
+  void lock() CLOUDVIEW_ACQUIRE() { mu_.lock(); }
+  void unlock() CLOUDVIEW_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex: acquires on construction, releases
+/// on destruction. The annotated replacement for std::lock_guard.
+class CLOUDVIEW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CLOUDVIEW_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~MutexLock() CLOUDVIEW_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable over Mutex. All waits require the mutex
+/// held at entry (and hold it again at return); the release/reacquire
+/// inside the wait is internal to the primitive, as with
+/// std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// \brief Blocks until notified (spurious wakeups possible; callers
+  /// loop on their predicate under the lock).
+  void Wait(Mutex& mu) CLOUDVIEW_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// \brief Blocks until `pred()` holds or `timeout` elapses; returns
+  /// pred(). The predicate runs with `mu` held.
+  template <typename Duration, typename Pred>
+  bool WaitFor(Mutex& mu, Duration timeout, Pred pred)
+      CLOUDVIEW_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, pred);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cloudview

@@ -5,8 +5,7 @@
 // experiment is bit-reproducible. The core generator is xoshiro256**,
 // seeded via SplitMix64 (Blackman & Vigna).
 
-#ifndef CLOUDVIEW_COMMON_RANDOM_H_
-#define CLOUDVIEW_COMMON_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -63,4 +62,3 @@ class ZipfDistribution {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_RANDOM_H_

@@ -1,7 +1,6 @@
 // Result<T>: value-or-Status, the return type of fallible factories.
 
-#ifndef CLOUDVIEW_COMMON_RESULT_H_
-#define CLOUDVIEW_COMMON_RESULT_H_
+#pragma once
 
 #include <optional>
 #include <utility>
@@ -20,11 +19,15 @@ template <typename T>
 class Result {
  public:
   /// \brief Implicit construction from a value (OK result).
-  Result(T value)  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit value->Result
+  // conversion is the API (mirrors arrow::Result; `return value;`).
+  Result(T value)
       : value_(std::move(value)) {}
 
   /// \brief Implicit construction from an error status.
-  Result(Status status)  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit error->Result
+  // conversion is the API (CV_RETURN_IF_ERROR forwards statuses).
+  Result(Status status)
       : status_(std::move(status)) {
     CV_CHECK(!status_.ok()) << "Result constructed from OK Status";
   }
@@ -77,4 +80,3 @@ class Result {
   if (!tmp.ok()) return tmp.status();              \
   lhs = tmp.MoveValue()
 
-#endif  // CLOUDVIEW_COMMON_RESULT_H_

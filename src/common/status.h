@@ -5,8 +5,7 @@
 // inspect the returned object, and `CV_RETURN_IF_ERROR` keeps call sites
 // terse.
 
-#ifndef CLOUDVIEW_COMMON_STATUS_H_
-#define CLOUDVIEW_COMMON_STATUS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -117,4 +116,3 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
     if (!_cv_status.ok()) return _cv_status;        \
   } while (false)
 
-#endif  // CLOUDVIEW_COMMON_STATUS_H_

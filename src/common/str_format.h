@@ -1,7 +1,6 @@
 // Small string helpers (GCC 12 lacks std::format; we wrap snprintf).
 
-#ifndef CLOUDVIEW_COMMON_STR_FORMAT_H_
-#define CLOUDVIEW_COMMON_STR_FORMAT_H_
+#pragma once
 
 #include <cstdarg>
 #include <string>
@@ -39,4 +38,3 @@ std::string FormatPercent(double ratio, int decimals = 1);
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_STR_FORMAT_H_

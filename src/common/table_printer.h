@@ -7,8 +7,7 @@
 //   t.AddRow({"3", "$0.80", "25%"});
 //   t.Print(std::cout);
 
-#ifndef CLOUDVIEW_COMMON_TABLE_PRINTER_H_
-#define CLOUDVIEW_COMMON_TABLE_PRINTER_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -44,4 +43,3 @@ class TablePrinter {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,80 @@
+// Clang thread-safety annotation macros (DESIGN.md §12).
+//
+// These wrap Clang's `-Wthread-safety` attributes so shared mutable
+// state can declare its locking contract in the type system: a member
+// tagged CLOUDVIEW_GUARDED_BY(mu) cannot be touched without holding
+// `mu`, a function tagged CLOUDVIEW_REQUIRES(mu) cannot be called
+// without it, and the clang CI leg turns violations into hard build
+// errors (-Wthread-safety -Werror). On compilers without the
+// attributes (gcc, MSVC) every macro expands to nothing, so annotated
+// code stays portable.
+//
+// The annotations attach to capability types: `cloudview::Mutex`
+// (common/mutex.h) is the repo's annotated mutex — a raw `std::mutex`
+// is invisible to the analysis, so guarded state must be protected by
+// a `Mutex`. See DESIGN.md §12 for the macro guide and the
+// tests/static/ negative-compile suite for the enforced semantics.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CLOUDVIEW_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CLOUDVIEW_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (e.g. "mutex"). Instances can
+/// then appear in the acquire/require/guard annotations below.
+#define CLOUDVIEW_CAPABILITY(x) \
+  CLOUDVIEW_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its
+/// constructor and releases it in its destructor (MutexLock).
+#define CLOUDVIEW_SCOPED_CAPABILITY \
+  CLOUDVIEW_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member `x` may only be read or written while holding `mu`:
+///   std::deque<Task> tasks CLOUDVIEW_GUARDED_BY(mu);
+#define CLOUDVIEW_GUARDED_BY(mu) \
+  CLOUDVIEW_THREAD_ANNOTATION_(guarded_by(mu))
+
+/// Pointer member `p` may be dereferenced only while holding `mu`
+/// (the pointer itself is not guarded).
+#define CLOUDVIEW_PT_GUARDED_BY(mu) \
+  CLOUDVIEW_THREAD_ANNOTATION_(pt_guarded_by(mu))
+
+/// The function may only be called while holding every listed
+/// capability; it neither acquires nor releases them.
+#define CLOUDVIEW_REQUIRES(...) \
+  CLOUDVIEW_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the listed
+/// capabilities (deadlock guard for functions that acquire them).
+#define CLOUDVIEW_EXCLUDES(...) \
+  CLOUDVIEW_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on
+/// return (Mutex::Lock, MutexLock's constructor).
+#define CLOUDVIEW_ACQUIRE(...) \
+  CLOUDVIEW_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (Mutex::Unlock,
+/// MutexLock's destructor).
+#define CLOUDVIEW_RELEASE(...) \
+  CLOUDVIEW_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`
+/// (Mutex::TryLock).
+#define CLOUDVIEW_TRY_ACQUIRE(result, ...) \
+  CLOUDVIEW_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its
+/// result (accessor seam for wrapper types).
+#define CLOUDVIEW_RETURN_CAPABILITY(x) \
+  CLOUDVIEW_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Use only for
+/// code the analysis cannot model (init-once seams), with a comment
+/// saying why.
+#define CLOUDVIEW_NO_THREAD_SAFETY_ANALYSIS \
+  CLOUDVIEW_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -39,6 +39,8 @@ size_t ParseThreadCount(const char* value, size_t fallback) {
 size_t DefaultConcurrency() {
   size_t hardware = std::thread::hardware_concurrency();
   if (hardware == 0) hardware = 1;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv before any
+  // pool exists; nothing in-process calls setenv.
   return internal::ParseThreadCount(std::getenv("CLOUDVIEW_THREADS"),
                                     hardware);
 }
@@ -56,10 +58,10 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
   // Drain anything submitted after the workers left (callers that
   // Submit during teardown still get their tasks run, serially).
@@ -86,7 +88,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   // pushed — only costs a worker one empty TakeTask scan.
   pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(queues_[home]->mu);
+    MutexLock lock(&queues_[home]->mu);
     queues_[home]->tasks.push_back(std::move(task));
   }
   // Notify under wake_mu_: a worker that read pending_ == 0 holds the
@@ -94,8 +96,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   // submit after that read — the notify cannot land in the window
   // between a worker's predicate check and its block (lost wakeup).
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
-    wake_.notify_one();
+    MutexLock lock(&wake_mu_);
+    wake_.NotifyOne();
   }
 }
 
@@ -107,7 +109,7 @@ std::function<void()> ThreadPool::TakeTask(size_t home) {
   // this core's cache.
   {
     WorkerQueue& own = *queues_[home];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(&own.mu);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -119,7 +121,7 @@ std::function<void()> ThreadPool::TakeTask(size_t home) {
   // and owners rarely contend on the same task.
   for (size_t step = 1; step < n; ++step) {
     WorkerQueue& victim = *queues_[(home + step) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(&victim.mu);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -146,13 +148,13 @@ void ThreadPool::WorkerLoop(size_t self) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    if (stopping_) return;
-    if (pending_.load(std::memory_order_acquire) > 0) continue;
-    wake_.wait(lock, [this] {
-      return stopping_ ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lock(&wake_mu_);
+    // Explicit predicate loop (not a wait-with-lambda): the analysis
+    // checks stopping_'s guard here, where wake_mu_ is visibly held.
+    while (!stopping_ &&
+           pending_.load(std::memory_order_acquire) == 0) {
+      wake_.Wait(wake_mu_);
+    }
     if (stopping_) return;
   }
 }
@@ -172,9 +174,9 @@ void ParallelForImpl(ThreadPool& pool, size_t n,
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    std::condition_variable all_done;
-    std::exception_ptr error;  // Guarded by mu.
+    Mutex mu;
+    CondVar all_done;
+    std::exception_ptr error CLOUDVIEW_GUARDED_BY(mu);
     size_t total = 0;
     const std::function<void(size_t)>* body = nullptr;
   };
@@ -194,7 +196,7 @@ void ParallelForImpl(ThreadPool& pool, size_t n,
         try {
           (*join->body)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(join->mu);
+          MutexLock lock(&join->mu);
           if (!join->failed.exchange(true)) {
             join->error = std::current_exception();
           }
@@ -202,8 +204,8 @@ void ParallelForImpl(ThreadPool& pool, size_t n,
       }
       if (join->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           join->total) {
-        std::lock_guard<std::mutex> lock(join->mu);
-        join->all_done.notify_all();
+        MutexLock lock(&join->mu);
+        join->all_done.NotifyAll();
       }
     }
   };
@@ -215,26 +217,28 @@ void ParallelForImpl(ThreadPool& pool, size_t n,
   for (size_t h = 0; h < helpers; ++h) pool.Submit(drain);
   drain();  // The caller participates; never parks while work remains.
 
-  std::unique_lock<std::mutex> lock(join->mu);
   while (join->done.load(std::memory_order_acquire) != join->total) {
     // In-flight helpers are running on pool threads; lend a hand with
     // unrelated queued work (e.g. a sibling region's tasks) instead of
-    // sleeping the whole wait away.
-    lock.unlock();
-    if (!pool.TryRunOne()) {
-      lock.lock();
-      join->all_done.wait_for(
-          lock, std::chrono::milliseconds(1), [&] {
-            return join->done.load(std::memory_order_acquire) ==
-                   join->total;
-          });
-    } else {
-      lock.lock();
-    }
+    // sleeping the whole wait away. The lock is only held across the
+    // short timed waits between help attempts (the predicate reads an
+    // atomic, never guarded state).
+    if (pool.TryRunOne()) continue;
+    MutexLock lock(&join->mu);
+    join->all_done.WaitFor(join->mu, std::chrono::milliseconds(1),
+                           [&join] {
+                             return join->done.load(
+                                        std::memory_order_acquire) ==
+                                    join->total;
+                           });
   }
-  lock.unlock();
   if (join->failed.load(std::memory_order_acquire)) {
-    std::rethrow_exception(join->error);
+    std::exception_ptr error;
+    {
+      MutexLock lock(&join->mu);
+      error = join->error;
+    }
+    std::rethrow_exception(error);
   }
 }
 

@@ -30,21 +30,20 @@
 // exception is rethrown on the calling thread once in-flight
 // iterations finish.
 
-#ifndef CLOUDVIEW_COMMON_THREAD_POOL_H_
-#define CLOUDVIEW_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cloudview {
 
@@ -83,8 +82,9 @@ class ThreadPool {
 
   /// \brief Enqueues `task`. When called from a pool worker the task
   /// goes on that worker's own deque (LIFO, cache-warm); otherwise
-  /// deques are fed round-robin.
-  void Submit(std::function<void()> task);
+  /// deques are fed round-robin. Excludes wake_mu_: Submit briefly
+  /// takes it to publish the wakeup, so callers must not hold it.
+  void Submit(std::function<void()> task) CLOUDVIEW_EXCLUDES(wake_mu_);
 
   /// \brief Runs one queued task on the calling thread if any is
   /// available (own deque first, then stealing). Returns false when
@@ -104,8 +104,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks CLOUDVIEW_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -116,11 +116,11 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_;
+  Mutex wake_mu_;
+  CondVar wake_;
   std::atomic<size_t> pending_{0};
   std::atomic<size_t> next_queue_{0};
-  bool stopping_ = false;  // Guarded by wake_mu_.
+  bool stopping_ CLOUDVIEW_GUARDED_BY(wake_mu_) = false;
 };
 
 namespace internal {
@@ -193,5 +193,3 @@ Status ParallelForStatus(size_t n, Fn&& body) {
 }
 
 }  // namespace cloudview
-
-#endif  // CLOUDVIEW_COMMON_THREAD_POOL_H_

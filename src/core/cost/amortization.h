@@ -6,8 +6,7 @@
 // compute (and each maintenance cycle charges upkeep). The break-even
 // point is where cumulative savings cross the up-front cost.
 
-#ifndef CLOUDVIEW_CORE_COST_AMORTIZATION_H_
-#define CLOUDVIEW_CORE_COST_AMORTIZATION_H_
+#pragma once
 
 #include <cstdint>
 
@@ -48,4 +47,3 @@ Result<AmortizationReport> ComputeAmortization(
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_AMORTIZATION_H_

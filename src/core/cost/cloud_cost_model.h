@@ -7,8 +7,7 @@
 //   - storage cost additionally covers the views' duplicated bytes for
 //     the whole storage period (§4.3).
 
-#ifndef CLOUDVIEW_CORE_COST_CLOUD_COST_MODEL_H_
-#define CLOUDVIEW_CORE_COST_CLOUD_COST_MODEL_H_
+#pragma once
 
 #include <cstdint>
 
@@ -88,4 +87,3 @@ class CloudCostModel {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_CLOUD_COST_MODEL_H_

@@ -5,8 +5,7 @@
 // hour is charged", Example 2). They differ only in *which* time is
 // billed: query processing, view materialization, or view maintenance.
 
-#ifndef CLOUDVIEW_CORE_COST_COMPUTE_COST_H_
-#define CLOUDVIEW_CORE_COST_COMPUTE_COST_H_
+#pragma once
 
 #include <cstdint>
 
@@ -53,4 +52,3 @@ class ComputeCostModel {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_COMPUTE_COST_H_

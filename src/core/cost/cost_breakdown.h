@@ -1,7 +1,6 @@
 // CostBreakdown: itemized result of the cost models (Formula 1 and 6).
 
-#ifndef CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_
-#define CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_
+#pragma once
 
 #include <ostream>
 
@@ -63,4 +62,3 @@ struct CostBreakdown {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_COST_BREAKDOWN_H_

@@ -5,8 +5,7 @@
 // paper's worked examples) or from the simulated engine (Section 6
 // reproduction) — see core/scenario.h for the latter.
 
-#ifndef CLOUDVIEW_CORE_COST_COST_INPUTS_H_
-#define CLOUDVIEW_CORE_COST_COST_INPUTS_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -107,4 +106,3 @@ struct ViewSetCostInput {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_COST_INPUTS_H_

@@ -9,8 +9,7 @@
 // arithmetic is covered (with the paper's $30 slip documented) in
 // tests/cost_examples_test.cc and EXPERIMENTS.md.
 
-#ifndef CLOUDVIEW_CORE_COST_STORAGE_COST_H_
-#define CLOUDVIEW_CORE_COST_STORAGE_COST_H_
+#pragma once
 
 #include "common/money.h"
 #include "common/months.h"
@@ -41,4 +40,3 @@ class StorageCostModel {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_STORAGE_COST_H_

@@ -6,8 +6,7 @@
 // view materialization) at month timestamps and yields the constant-size
 // intervals the storage cost model integrates over.
 
-#ifndef CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
-#define CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -69,4 +68,3 @@ class StorageTimeline {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_STORAGE_TIMELINE_H_

@@ -7,8 +7,7 @@
 // Formula 2 automatically when ingress is free — we expose both for
 // fidelity to the paper and for CSPs that do charge ingress.
 
-#ifndef CLOUDVIEW_CORE_COST_TRANSFER_COST_H_
-#define CLOUDVIEW_CORE_COST_TRANSFER_COST_H_
+#pragma once
 
 #include "common/data_size.h"
 #include "common/money.h"
@@ -55,4 +54,3 @@ class TransferCostModel {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_COST_TRANSFER_COST_H_

@@ -12,8 +12,7 @@
 //   RunMV3(alpha) -> Table 8 + Figures 5(c)/(d): the normalized tradeoff
 //               objective with/without views for alpha = 0.3 / 0.65 / 0.7.
 
-#ifndef CLOUDVIEW_CORE_EXPERIMENTS_H_
-#define CLOUDVIEW_CORE_EXPERIMENTS_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -137,4 +136,3 @@ class ExperimentRunner {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_EXPERIMENTS_H_

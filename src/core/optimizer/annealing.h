@@ -8,8 +8,7 @@
 // stepwise hour billing). Proposals are O(queries) incremental
 // SubsetState moves. Deterministic in AnnealingOptions::seed.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_
+#pragma once
 
 #include <cstdint>
 
@@ -54,4 +53,3 @@ Result<SelectionResult> AnnealWithContext(SolverContext& context,
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_ANNEALING_H_

@@ -7,8 +7,7 @@
 // benefit (time saved across the workload if materialized alone), and
 // the top candidates under a size cap are kept.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_CANDIDATE_GENERATION_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_CANDIDATE_GENERATION_H_
+#pragma once
 
 #include <vector>
 
@@ -49,4 +48,3 @@ Result<std::vector<ViewCandidate>> GenerateCandidates(
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_CANDIDATE_GENERATION_H_

@@ -26,8 +26,7 @@
 // dependencies — and picks it at startup iff the CPU reports AVX2.
 // Non-x86 or non-GNU builds compile the scalar kernels only.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -77,4 +76,3 @@ const char* DispatchName();
 }  // namespace eval_kernels
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_EVAL_KERNELS_H_

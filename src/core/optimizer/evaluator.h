@@ -16,8 +16,7 @@
 //    monetary total is recomputed from those totals alone. The property
 //    tests assert the two paths agree bit-for-bit.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -355,9 +354,12 @@ class SelectionEvaluator {
   // these memos are why one instance must not be probed from two
   // threads — and why a clone per task is enough. Contents only affect
   // speed, never values.
+  // thread-compat: unsynchronized memo — one instance (or Clone())
+  // per task, per DESIGN.md §9.2.
   mutable CostMemo storage_cost_memo_;
   mutable CostMemo compute_cost_memo_;
   // One-slot front cache over compute_cost_memo_ (see ComputeBill).
+  // thread-compat: unsynchronized memo — one instance per task.
   mutable int64_t compute_last_key_ = std::numeric_limits<int64_t>::min();
   mutable int64_t compute_last_micros_ = 0;
 };
@@ -569,10 +571,12 @@ class EvaluationCache {
   size_t size_ = 0;
   bool has_empty_ = false;
   Entry empty_entry_;
+  // Telemetry bumped by const Find().
+  // thread-compat: unsynchronized counters — one cache per task/solver
+  // run, per DESIGN.md §9.2.
   mutable uint64_t lookups_ = 0;
   mutable uint64_t hits_ = 0;
 };
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_EVALUATOR_H_

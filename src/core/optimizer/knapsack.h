@@ -8,8 +8,7 @@
 //  * MinimizeWeightForValue: min total weight with total value >= target
 //    (MV2: cheapest view set achieving the required time saving).
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,4 +55,3 @@ Result<KnapsackSolution> MinimizeWeightForValue(
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_KNAPSACK_H_

@@ -15,8 +15,7 @@
 // This header is deliberately free of evaluator/solver dependencies so
 // both the spec layer (selector.h) and the strategies can use it.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_PARETO_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_PARETO_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -125,4 +124,3 @@ class ParetoFront {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_PARETO_H_

@@ -19,8 +19,7 @@
 // baseline-normalized terms (T/T0, C/C0) so alpha is a unit-free
 // preference weight (DESIGN.md §5.8). The raw blend is also reported.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_SELECTOR_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_SELECTOR_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -142,9 +141,10 @@ class ViewSelector {
  private:
   const SelectionEvaluator* evaluator_;
   /// Subset evaluations are spec-independent; share them across runs.
+  /// thread-compat: unsynchronized memo — one selector per thread
+  /// (DESIGN.md §9.2); parallel fan-outs build per-task contexts.
   mutable EvaluationCache cache_;
 };
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_SELECTOR_H_

@@ -20,8 +20,7 @@
 // return the (monthly cost, time, storage) Pareto frontier
 // (DESIGN.md §10). See DESIGN.md §5.11.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -337,4 +336,3 @@ struct SolverRegistrar {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_SOLVER_H_

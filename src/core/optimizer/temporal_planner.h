@@ -47,8 +47,7 @@
 // See DESIGN.md §8. CloudScenario::RunTimeline is the wired-up entry
 // point.
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_TEMPORAL_PLANNER_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_TEMPORAL_PLANNER_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -214,4 +213,3 @@ class TemporalPlanner {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_TEMPORAL_PLANNER_H_

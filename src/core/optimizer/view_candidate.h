@@ -3,8 +3,7 @@
 // set of candidate materialized views output by any existing selection
 // technique").
 
-#ifndef CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_
-#define CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_
+#pragma once
 
 #include <string>
 
@@ -30,4 +29,3 @@ struct ViewCandidate {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_OPTIMIZER_VIEW_CANDIDATE_H_

@@ -2,8 +2,7 @@
 // cluster, pricing — against which workloads are costed and view sets
 // selected. This is the library's main entry point.
 
-#ifndef CLOUDVIEW_CORE_SCENARIO_H_
-#define CLOUDVIEW_CORE_SCENARIO_H_
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -235,4 +234,3 @@ class CloudScenario {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_CORE_SCENARIO_H_

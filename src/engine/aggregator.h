@@ -1,8 +1,7 @@
 // Hash aggregation: compute a cuboid from the fact sample or by rolling
 // up a finer cuboid (the operation a materialized view saves).
 
-#ifndef CLOUDVIEW_ENGINE_AGGREGATOR_H_
-#define CLOUDVIEW_ENGINE_AGGREGATOR_H_
+#pragma once
 
 #include "catalog/lattice.h"
 #include "common/result.h"
@@ -32,4 +31,3 @@ Status MergeCuboidTables(const StarSchema& schema, CuboidTable* into,
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_AGGREGATOR_H_

@@ -14,8 +14,7 @@
 // so a full scan of the paper's 10 GB dataset on five 1-ECU instances
 // takes ~0.2 h, the paper's per-query scale.
 
-#ifndef CLOUDVIEW_ENGINE_CLUSTER_H_
-#define CLOUDVIEW_ENGINE_CLUSTER_H_
+#pragma once
 
 #include <cstdint>
 
@@ -101,4 +100,3 @@ class MapReduceSimulator {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_CLUSTER_H_

@@ -1,8 +1,7 @@
 // CuboidTable: a materialized group-by result (one row per distinct key
 // combination, one aggregate column per measure plus a row count).
 
-#ifndef CLOUDVIEW_ENGINE_CUBOID_TABLE_H_
-#define CLOUDVIEW_ENGINE_CUBOID_TABLE_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -80,6 +79,9 @@ class CuboidTable {
   std::vector<uint32_t> keys_;
   std::vector<std::vector<int64_t>> aggregates_;
   std::vector<uint64_t> counts_;
+  /// Lazily built by const KeyIndex().
+  /// thread-compat: unsynchronized memo — tables are built and queried
+  /// single-threaded (the engine simulator is sequential).
   mutable std::unordered_map<uint64_t, uint64_t> key_index_;
   mutable bool index_valid_ = false;
 };
@@ -90,4 +92,3 @@ bool CuboidTablesEqual(const CuboidTable& a, const CuboidTable& b);
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_CUBOID_TABLE_H_

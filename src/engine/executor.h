@@ -1,8 +1,7 @@
 // QueryExecutor: plans and executes roll-up queries against the base
 // table or the best materialized view.
 
-#ifndef CLOUDVIEW_ENGINE_EXECUTOR_H_
-#define CLOUDVIEW_ENGINE_EXECUTOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -56,4 +55,3 @@ class QueryExecutor {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_EXECUTOR_H_

@@ -4,8 +4,7 @@
 // them to actual parent pointers (e.g. day 371 -> month 12 -> year 1 ->
 // ALL 0), so the engine can roll any finest-level id up to any level.
 
-#ifndef CLOUDVIEW_ENGINE_HIERARCHY_H_
-#define CLOUDVIEW_ENGINE_HIERARCHY_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,4 +51,3 @@ class HierarchyMap {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_HIERARCHY_H_

@@ -7,8 +7,7 @@
 // the same query for free; the cost models see that as a zero-time,
 // zero-transfer query execution.
 
-#ifndef CLOUDVIEW_ENGINE_RESULT_CACHE_H_
-#define CLOUDVIEW_ENGINE_RESULT_CACHE_H_
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -77,4 +76,3 @@ class ResultCache {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_RESULT_CACHE_H_

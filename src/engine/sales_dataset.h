@@ -6,8 +6,7 @@
 // drives correctness (real aggregation results), the logical statistics
 // drive timing and cost. scale_factor() relates the two.
 
-#ifndef CLOUDVIEW_ENGINE_SALES_DATASET_H_
-#define CLOUDVIEW_ENGINE_SALES_DATASET_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -91,4 +90,3 @@ class SalesDataset {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_SALES_DATASET_H_

@@ -7,8 +7,7 @@
 // its 10 GB experimental subset): seeded, reproducible, with the logical
 // dataset size configured independently of the in-memory sample.
 
-#ifndef CLOUDVIEW_ENGINE_SALES_GENERATOR_H_
-#define CLOUDVIEW_ENGINE_SALES_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -85,4 +84,3 @@ Result<SalesDataset> GenerateSalesDelta(const SalesConfig& config,
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_SALES_GENERATOR_H_

@@ -1,8 +1,7 @@
 // ViewStore: the set of materialized cuboids living in the cloud, with
 // best-source lookup for query answering.
 
-#ifndef CLOUDVIEW_ENGINE_VIEW_STORE_H_
-#define CLOUDVIEW_ENGINE_VIEW_STORE_H_
+#pragma once
 
 #include <map>
 #include <optional>
@@ -60,4 +59,3 @@ class ViewStore {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_ENGINE_VIEW_STORE_H_

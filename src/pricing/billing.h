@@ -5,8 +5,7 @@
 // recorded event. Out-bound transfer is billed against the *cumulative*
 // monthly volume, so tier discounts apply across events, as AWS does.
 
-#ifndef CLOUDVIEW_PRICING_BILLING_H_
-#define CLOUDVIEW_PRICING_BILLING_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -88,4 +87,3 @@ class BillingMeter {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_BILLING_H_

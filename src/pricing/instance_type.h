@@ -1,8 +1,7 @@
 // InstanceType and InstanceCatalog: the compute side of a CSP's offer
 // (paper Table 2: EC2 micro/small/large/extra-large).
 
-#ifndef CLOUDVIEW_PRICING_INSTANCE_TYPE_H_
-#define CLOUDVIEW_PRICING_INSTANCE_TYPE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -68,4 +67,3 @@ class InstanceCatalog {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_INSTANCE_TYPE_H_

@@ -9,8 +9,7 @@
 // with CLOUDVIEW_REGISTER_PROVIDER become selectable by name everywhere
 // (see pricing/provider_registry.h and DESIGN.md §7).
 
-#ifndef CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_
-#define CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -74,4 +73,3 @@ struct PriceSheetSpec {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_PRICE_SHEET_SPEC_H_

@@ -4,8 +4,7 @@
 // (per instance-hour, Table 2), bandwidth (tiered per GB out, in free,
 // Table 3), and storage (tiered per GB-month, Table 4).
 
-#ifndef CLOUDVIEW_PRICING_PRICING_MODEL_H_
-#define CLOUDVIEW_PRICING_PRICING_MODEL_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -190,4 +189,3 @@ const char* ToString(StorageBilling b);
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_PRICING_MODEL_H_

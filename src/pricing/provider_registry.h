@@ -12,8 +12,7 @@
 // CloudScenario::CompareProviders, benches, examples) and never link
 // against a specific sheet. See DESIGN.md §7.
 
-#ifndef CLOUDVIEW_PRICING_PROVIDER_REGISTRY_H_
-#define CLOUDVIEW_PRICING_PROVIDER_REGISTRY_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -80,4 +79,3 @@ struct ProviderRegistrar {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_PROVIDER_REGISTRY_H_

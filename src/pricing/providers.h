@@ -20,8 +20,7 @@
 // The free functions below predate the registry and forward to it;
 // prefer ProviderRegistry::Global().Model(name) in new code.
 
-#ifndef CLOUDVIEW_PRICING_PROVIDERS_H_
-#define CLOUDVIEW_PRICING_PROVIDERS_H_
+#pragma once
 
 #include <vector>
 
@@ -64,4 +63,3 @@ std::vector<PricingModel> AllProviders();
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_PROVIDERS_H_

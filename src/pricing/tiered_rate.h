@@ -12,8 +12,7 @@
 // EXPERIMENTS.md discusses where the two diverge; bench_ablation_pricing
 // quantifies it.
 
-#ifndef CLOUDVIEW_PRICING_TIERED_RATE_H_
-#define CLOUDVIEW_PRICING_TIERED_RATE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -75,4 +74,3 @@ class TieredRate {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_PRICING_TIERED_RATE_H_

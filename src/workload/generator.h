@@ -1,8 +1,7 @@
 // Random workload generation: parameterized query mixes beyond the
 // paper's fixed ten, for property tests and sensitivity benches.
 
-#ifndef CLOUDVIEW_WORKLOAD_GENERATOR_H_
-#define CLOUDVIEW_WORKLOAD_GENERATOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -35,4 +34,3 @@ Result<Workload> GenerateWorkload(const CubeLattice& lattice,
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_WORKLOAD_GENERATOR_H_

@@ -8,8 +8,7 @@
 // roll-up granularity, not filter predicates; see DESIGN.md). It
 // exercises the >2-dimension key codec and a 256-cuboid lattice.
 
-#ifndef CLOUDVIEW_WORKLOAD_SSB_H_
-#define CLOUDVIEW_WORKLOAD_SSB_H_
+#pragma once
 
 #include <cstdint>
 
@@ -89,4 +88,3 @@ Result<Workload> MakeSsbWorkload(const CubeLattice& lattice);
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_WORKLOAD_SSB_H_

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "common/str_format.h"
@@ -158,8 +158,11 @@ const TimelinePeriod& WorkloadTimeline::period(size_t p) const {
 }
 
 double WorkloadTimeline::Drift(const Workload& a, const Workload& b) {
-  std::unordered_map<CuboidId, double> share_a;
-  std::unordered_map<CuboidId, double> share_b;
+  // Ordered maps: the L1 reduction below accumulates doubles in
+  // iteration order, and unordered_map order varies across standard
+  // libraries — the sum must not (cloudview-lint rule D2).
+  std::map<CuboidId, double> share_a;
+  std::map<CuboidId, double> share_b;
   double total_a = 0.0;
   double total_b = 0.0;
   for (const QuerySpec& q : a.queries()) {
@@ -169,7 +172,10 @@ double WorkloadTimeline::Drift(const Workload& a, const Workload& b) {
     total_b += static_cast<double>(q.frequency);
   }
   if (total_a <= 0.0 || total_b <= 0.0) {
-    return total_a == total_b ? 0.0 : 1.0;
+    // Both totals empty -> identical (drift 0); exactly one empty ->
+    // maximal drift. Spelled as sign tests, not double equality
+    // (cloudview-lint rule D3).
+    return (total_a <= 0.0 && total_b <= 0.0) ? 0.0 : 1.0;
   }
   for (const QuerySpec& q : a.queries()) {
     share_a[q.target] += static_cast<double>(q.frequency) / total_a;

@@ -22,8 +22,7 @@
 // (core/optimizer/temporal_planner.h) walks it and re-decides the view
 // selection as the mix drifts.
 
-#ifndef CLOUDVIEW_WORKLOAD_TIMELINE_H_
-#define CLOUDVIEW_WORKLOAD_TIMELINE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -200,4 +199,3 @@ class WorkloadTimeline {
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_WORKLOAD_TIMELINE_H_

@@ -6,8 +6,7 @@
 // lists only nine combinations for its ten queries, see DESIGN.md §5.10).
 // Experiments use deterministic prefixes of 3, 5 and 10 queries.
 
-#ifndef CLOUDVIEW_WORKLOAD_WORKLOAD_H_
-#define CLOUDVIEW_WORKLOAD_WORKLOAD_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -61,4 +60,3 @@ Result<Workload> MakePaperWorkload(const CubeLattice& lattice);
 
 }  // namespace cloudview
 
-#endif  // CLOUDVIEW_WORKLOAD_WORKLOAD_H_

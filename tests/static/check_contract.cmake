@@ -1,0 +1,38 @@
+# Compiles one tests/static fixture with clang's thread-safety
+# analysis promoted to an error and checks the outcome against the
+# fixture's expectation. Invoked by the static_contract_* ctest cases
+# registered in tests/static/CMakeLists.txt:
+#
+#   cmake -DCOMPILER=... -DSOURCE=... -DINCLUDE_DIR=... \
+#         -DEXPECT_FAIL=ON|OFF -P check_contract.cmake
+#
+# A fail-fixture must not merely fail — it must fail *because of* the
+# thread-safety analysis (diagnostic text mentions the required mutex /
+# -Wthread-safety), so an unrelated syntax error cannot masquerade as a
+# passing negative test.
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -Wthread-safety -Werror
+          -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE compile_result
+  OUTPUT_VARIABLE compile_out
+  ERROR_VARIABLE compile_err)
+
+if(EXPECT_FAIL)
+  if(compile_result EQUAL 0)
+    message(FATAL_ERROR
+            "${SOURCE} compiled cleanly but is a negative fixture: the "
+            "thread-safety contract it violates is no longer enforced.")
+  endif()
+  if(NOT compile_err MATCHES "thread-safety|requires holding")
+    message(FATAL_ERROR
+            "${SOURCE} failed to compile, but not from the thread-safety "
+            "analysis. Diagnostics:\n${compile_err}")
+  endif()
+else()
+  if(NOT compile_result EQUAL 0)
+    message(FATAL_ERROR
+            "${SOURCE} is a positive fixture and must compile under "
+            "-Wthread-safety -Werror. Diagnostics:\n${compile_err}")
+  endif()
+endif()

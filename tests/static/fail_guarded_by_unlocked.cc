@@ -1,0 +1,25 @@
+// Negative-compile fixture (tests/static): reading a
+// CLOUDVIEW_GUARDED_BY member without holding its mutex MUST fail to
+// build under clang -Wthread-safety -Werror. If this file ever
+// compiles there, the annotation layer has lost its teeth.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cloudview_static_test {
+
+class Counter {
+ public:
+  // BAD: value_ is guarded by mu_, and no lock is held here.
+  int Read() const { return value_; }
+
+ private:
+  mutable cloudview::Mutex mu_;
+  int value_ CLOUDVIEW_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter counter;
+  return counter.Read();
+}
+
+}  // namespace cloudview_static_test

@@ -1,0 +1,23 @@
+// Negative-compile fixture (tests/static): calling a
+// CLOUDVIEW_REQUIRES(mu) function without holding mu MUST fail to
+// build under clang -Wthread-safety -Werror.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cloudview_static_test {
+
+class Queue {
+ public:
+  // BAD: PushLocked requires mu_, which BadPush never acquires.
+  void BadPush(int v) { PushLocked(v); }
+
+ private:
+  void PushLocked(int v) CLOUDVIEW_REQUIRES(mu_) { size_ += v; }
+
+  cloudview::Mutex mu_;
+  int size_ CLOUDVIEW_GUARDED_BY(mu_) = 0;
+};
+
+void Use(Queue& queue) { queue.BadPush(1); }
+
+}  // namespace cloudview_static_test

@@ -1,0 +1,35 @@
+// Positive fixture (tests/static): the correct locking discipline —
+// MutexLock scopes, REQUIRES calls made under the lock — MUST compile
+// cleanly under clang -Wthread-safety -Werror. Guards against the
+// annotations becoming so strict that legitimate code stops building.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace cloudview_static_test {
+
+class Queue {
+ public:
+  void Push(int v) CLOUDVIEW_EXCLUDES(mu_) {
+    cloudview::MutexLock lock(&mu_);
+    PushLocked(v);
+  }
+
+  int size() const CLOUDVIEW_EXCLUDES(mu_) {
+    cloudview::MutexLock lock(&mu_);
+    return size_;
+  }
+
+ private:
+  void PushLocked(int v) CLOUDVIEW_REQUIRES(mu_) { size_ += v; }
+
+  mutable cloudview::Mutex mu_;
+  int size_ CLOUDVIEW_GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Queue queue;
+  queue.Push(1);
+  return queue.size();
+}
+
+}  // namespace cloudview_static_test

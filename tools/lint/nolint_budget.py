@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""NOLINT budget gate (DESIGN.md SS12).
+
+clang-tidy suppressions are a debt ledger, not a convenience: every
+`NOLINT` must name its check, justify itself, and be accounted for in
+the checked-in budget (tools/lint/nolint_budget.json). CI fails when
+
+  * a NOLINT is bare (no check name) or unjustified (no `: reason`
+    text after the check list),
+  * a check's suppression count exceeds its budgeted cap,
+  * a check is suppressed that has no budget entry at all, or
+  * the repo-wide total exceeds the budgeted total.
+
+Counts can only be *lowered* silently; raising a cap is a reviewed
+change to the budget file. When suppressions are removed, the stale
+budget headroom is reported (informational) so the budget can follow
+the debt down.
+
+Usage:
+    nolint_budget.py [--root REPO] [--budget tools/lint/nolint_budget.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+NOLINT_RE = re.compile(
+    r"//\s*(NOLINT(?:NEXTLINE|BEGIN|END)?)\s*(\(([^)]*)\))?(.*)")
+
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+CPP_EXTENSIONS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def iter_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirs, names in os.walk(base):
+            dirs.sort()
+            for name in sorted(names):
+                if name.endswith(CPP_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def scan(root):
+    """Returns (counts_by_check, errors)."""
+    counts = {}
+    errors = []
+    for path in iter_files(root):
+        rel = os.path.relpath(path, root)
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            for line_no, line in enumerate(f, start=1):
+                m = NOLINT_RE.search(line)
+                if not m:
+                    continue
+                kind, paren, checks, trailer = (m.group(1), m.group(2),
+                                                m.group(3), m.group(4))
+                where = "%s:%d" % (rel, line_no)
+                if kind == "NOLINTEND":
+                    continue  # counted at its NOLINTBEGIN
+                if not paren or not checks or not checks.strip():
+                    errors.append(
+                        "%s: bare %s — name the check: "
+                        "// %s(<check>): <why>" % (where, kind, kind))
+                    continue
+                justification = trailer.split(":", 1)
+                if len(justification) < 2 or \
+                        len(justification[1].strip()) < 10:
+                    errors.append(
+                        "%s: unjustified %s(%s) — append ': <why this "
+                        "is safe>' (>= 10 chars)"
+                        % (where, kind, checks.strip()))
+                for check in checks.split(","):
+                    check = check.strip()
+                    if check:
+                        counts[check] = counts.get(check, 0) + 1
+    return counts, errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description="NOLINT budget gate")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--budget",
+                        default="tools/lint/nolint_budget.json")
+    args = parser.parse_args(argv)
+
+    budget_path = os.path.join(args.root, args.budget)
+    try:
+        with open(budget_path, "r", encoding="utf-8") as f:
+            budget = json.load(f)
+    except (OSError, ValueError) as e:
+        print("nolint-budget: cannot read %s: %s" % (budget_path, e))
+        return 1
+
+    counts, errors = scan(args.root)
+    total = sum(counts.values())
+    per_check_budget = budget.get("per_check", {})
+
+    for check in sorted(counts):
+        cap = per_check_budget.get(check)
+        if cap is None:
+            errors.append(
+                "check '%s' is suppressed %d time(s) but has no entry in "
+                "%s — a new suppression needs a budget entry"
+                % (check, counts[check], args.budget))
+        elif counts[check] > cap:
+            errors.append(
+                "check '%s': %d suppression(s) exceed the budgeted %d"
+                % (check, counts[check], cap))
+    budget_total = budget.get("total", 0)
+    if total > budget_total:
+        errors.append("repo-wide NOLINT count %d exceeds the budgeted %d"
+                      % (total, budget_total))
+
+    for check in sorted(per_check_budget):
+        used = counts.get(check, 0)
+        if used < per_check_budget[check]:
+            print("nolint-budget: note: '%s' uses %d of %d budgeted — "
+                  "the budget can come down"
+                  % (check, used, per_check_budget[check]))
+
+    if errors:
+        for error in errors:
+            print("nolint-budget: FAIL: %s" % error)
+        return 1
+    print("nolint-budget: OK (%d suppression(s) across %d check(s), "
+          "budget %d)" % (total, len(counts), budget_total))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
