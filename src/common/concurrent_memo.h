@@ -1,0 +1,158 @@
+// ConcurrentMemo: a fixed-capacity, insert-once concurrent hash table
+// from 64-bit keys to small trivially-copyable values — the shared memo
+// the branch-and-bound search workers publish subset bounds into
+// (core/optimizer/memo_search.h, DESIGN.md §13).
+//
+// Design constraints, in order:
+//  * Value-determinism: entries must be pure functions of their key.
+//    Concurrent publishers of the same key write identical bytes, and a
+//    reader either sees a fully-published entry or a miss — so memo
+//    contents can only ever change *speed*, never results.
+//  * Lock-free reads on the probe hot path: a lookup is a handful of
+//    contiguous atomic loads (open addressing, linear probing over a
+//    power-of-two slot array), no mutex, no node walk.
+//  * Bounded memory: capacity is fixed at construction. When the table
+//    passes its load cap the memo stops accepting new keys and counts
+//    the drops (full_drops()) instead of silently degrading — the
+//    telemetry the EvaluationCache bugfix sweep added everywhere
+//    (bench rows surface hit/miss/full counters; DESIGN.md §13.4).
+//
+// Publication protocol per slot (TSan-clean):
+//  * Publish: CAS the key atomic from kEmpty to the key (acq_rel). The
+//    winner writes the value bytes, then sets the ready flag (release).
+//    Losers on the same key return without writing (first writer wins;
+//    any writer would have written the same bytes).
+//  * Lookup: load the key (acquire); on a match, load the ready flag
+//    (acquire). A set flag happens-after the value write, so the value
+//    bytes are safe to read. An unset flag is reported as a miss (the
+//    entry is mid-publication; the caller just recomputes).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace cloudview {
+
+/// \brief Insert-once concurrent memo keyed by pre-mixed 64-bit hashes
+/// (Zobrist subset hashes index well raw). `Value` must be trivially
+/// copyable; entries for one key must always carry identical bytes.
+///
+/// Thread-safe for concurrent Lookup/Publish from any number of
+/// threads; all synchronization is per-slot atomics (no Mutex, so
+/// readers never serialize). The counters are relaxed atomics —
+/// telemetry, not synchronization.
+template <typename Value>
+class ConcurrentMemo {
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "ConcurrentMemo values are published as raw bytes");
+
+ public:
+  /// \brief Rounds `min_slots` up to a power of two and allocates the
+  /// slot array once; no rehashing ever happens (growth under
+  /// concurrent readers would need epochs — bounded-and-counted beats
+  /// complex here, exactly like EvaluationCache's eviction design).
+  explicit ConcurrentMemo(size_t min_slots) {
+    size_t slots = 1;
+    while (slots < min_slots) slots <<= 1;
+    slots_ = std::make_unique<Slot[]>(slots);
+    num_slots_ = slots;
+    // Leave headroom so linear probes stay short near the load cap.
+    max_entries_ = slots - slots / 4;
+  }
+
+  /// \brief Copies the entry for `key` into `*out` and returns true;
+  /// false on a miss (absent, mid-publication, or table full when it
+  /// was offered).
+  bool Lookup(uint64_t key, Value* out) const {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t stored = StoredKey(key);
+    size_t mask = num_slots_ - 1;
+    for (size_t i = stored & mask;; i = (i + 1) & mask) {
+      uint64_t slot_key = slots_[i].key.load(std::memory_order_acquire);
+      if (slot_key == kEmpty) return false;
+      if (slot_key == stored) {
+        if (!slots_[i].ready.load(std::memory_order_acquire)) {
+          return false;  // Mid-publication; caller recomputes.
+        }
+        *out = slots_[i].value;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// \brief Publishes `value` under `key`. First writer wins; repeat
+  /// publications of a present key are no-ops. Past the load cap the
+  /// offer is dropped and counted (the memo never evicts: entries are
+  /// shared across racing workers, and eviction under readers would
+  /// cost a lock on every lookup).
+  void Publish(uint64_t key, const Value& value) {
+    if (size_.load(std::memory_order_relaxed) >= max_entries_) {
+      full_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    uint64_t stored = StoredKey(key);
+    size_t mask = num_slots_ - 1;
+    for (size_t i = stored & mask;; i = (i + 1) & mask) {
+      uint64_t expected = kEmpty;
+      if (slots_[i].key.compare_exchange_strong(
+              expected, stored, std::memory_order_acq_rel)) {
+        slots_[i].value = value;
+        slots_[i].ready.store(true, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (expected == stored) return;  // Already (being) published.
+    }
+  }
+
+  size_t capacity() const { return max_entries_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// \brief Publications dropped because the table was at capacity —
+  /// nonzero means a bigger memo would have helped (surfaced in the
+  /// bench rows; never affects correctness).
+  uint64_t full_drops() const {
+    return full_drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// kEmpty marks unused slots; a real key equal to it (the empty
+  /// subset hashes to 0) is remapped through Mix64 so it stays
+  /// storable. The remap is injective on the reserved value only — for
+  /// every other key the identity is kept, preserving the pre-mixed
+  /// distribution.
+  static constexpr uint64_t kEmpty = 0;
+  static uint64_t StoredKey(uint64_t key) {
+    return key == kEmpty ? Mix64(0x426E426F756E6473ULL) : key;
+  }
+
+  struct Slot {
+    std::atomic<uint64_t> key{kEmpty};
+    std::atomic<bool> ready{false};
+    Value value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t num_slots_ = 0;
+  size_t max_entries_ = 0;
+  std::atomic<size_t> size_{0};
+  // Telemetry only (relaxed): bumped by const Lookup().
+  // thread-compat: atomic counters — safe from any thread by
+  // construction; relaxed ordering because they gate nothing.
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> full_drops_{0};
+};
+
+}  // namespace cloudview

@@ -229,8 +229,10 @@ class SelectionEvaluator {
   /// Open-addressing int64 -> int64 memo for the monetary fast path
   /// (storage cost by duplicated-byte total, compute cost by billed
   /// duration). Replaces std::unordered_map on the probe hot path: a
-  /// lookup is a Mix64 and a handful of contiguous loads. Bounded like
-  /// the map it replaced — past kMaxEntries, later keys just recompute.
+  /// lookup is a Mix64 and a handful of contiguous loads. Bounded:
+  /// reaching kMaxEntries drops the epoch and re-memoizes, so long
+  /// solves keep their working set cached instead of silently
+  /// degrading to recompute-everything.
   class CostMemo {
    public:
     bool Lookup(int64_t key, int64_t* value) const {
@@ -247,7 +249,15 @@ class SelectionEvaluator {
     }
 
     void Insert(int64_t key, int64_t value) {
-      if (size_ >= kMaxEntries) return;
+      if (size_ >= kMaxEntries) {
+        // Epoch reset instead of the old silent `return`: refusing new
+        // keys forever degraded long solves to recompute-everything
+        // with no signal. Dropping the epoch keeps memory bounded while
+        // the working set re-memoizes within a few probes.
+        slots_.assign(slots_.size(), Slot{});
+        size_ = 0;
+        ++epoch_resets_;
+      }
       if (slots_.empty()) slots_.assign(kInitialSlots, Slot{});
       if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
       size_t mask = slots_.size() - 1;
@@ -293,6 +303,7 @@ class SelectionEvaluator {
 
     std::vector<Slot> slots_;
     size_t size_ = 0;
+    uint64_t epoch_resets_ = 0;
   };
 
   SelectionEvaluator(const CubeLattice& lattice, const Workload& workload,
@@ -492,6 +503,12 @@ class EvaluationCache {
     DataSize view_bytes;
   };
 
+  /// Default entry cap (~40MB of slots at full load). Long solves used
+  /// to grow the table without bound; now reaching the cap drops the
+  /// epoch (see Insert) and counts it, so memory stays bounded and the
+  /// degradation is visible in telemetry instead of silent.
+  static constexpr size_t kDefaultMaxEntries = size_t{1} << 20;
+
   /// Starts small and doubles on load: solvers build one cache per run
   /// (and fan-out solvers one per start/task), so the initial footprint
   /// is per-solve setup cost on the hot path — a 2^12-slot start cost
@@ -500,7 +517,10 @@ class EvaluationCache {
   /// keeps that setup at ~8KB while skipping the first two growth
   /// rehashes of the annealing/local-search runs (a few thousand
   /// distinct subsets each).
-  EvaluationCache() { Rehash(1 << 8); }
+  explicit EvaluationCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries > 0 ? max_entries : 1) {
+    Rehash(1 << 8);
+  }
 
   /// \brief Returns the entry for `key`, or nullptr on a miss.
   const Entry* Find(uint64_t key) const {
@@ -526,6 +546,16 @@ class EvaluationCache {
       has_empty_ = true;
       return;
     }
+    if (size_ >= max_entries_) {
+      // Epoch eviction (was: unbounded growth; and the sibling CostMemo
+      // silently stopped caching when full): drop every entry, keep the
+      // slot array, count the eviction. Entries are pure functions of
+      // their key, so re-misses just recompute — results never change,
+      // only speed (DESIGN.md §13.4).
+      slots_.assign(slots_.size(), Slot{});
+      size_ = 0;
+      ++evictions_;
+    }
     if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
     size_t mask = slots_.size() - 1;
     for (size_t i = key & mask;; i = (i + 1) & mask) {
@@ -539,8 +569,14 @@ class EvaluationCache {
   }
 
   size_t size() const { return size_ + (has_empty_ ? 1 : 0); }
+  size_t max_entries() const { return max_entries_; }
   uint64_t lookups() const { return lookups_; }
   uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return lookups_ - hits_; }
+  /// \brief Epoch evictions performed (full-cache drops). Nonzero means
+  /// the solve's distinct-subset working set exceeded max_entries —
+  /// surfaced in the BENCH_JSON cache columns.
+  uint64_t evictions() const { return evictions_; }
 
  private:
   /// SubsetHash({}) == 0; the zero key marks empty slots instead and the
@@ -569,6 +605,8 @@ class EvaluationCache {
 
   std::vector<Slot> slots_;
   size_t size_ = 0;
+  size_t max_entries_ = kDefaultMaxEntries;
+  uint64_t evictions_ = 0;
   bool has_empty_ = false;
   Entry empty_entry_;
   // Telemetry bumped by const Find().

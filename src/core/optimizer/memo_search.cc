@@ -1,0 +1,428 @@
+// Memo-based parallel branch-and-bound (see memo_search.h and
+// DESIGN.md §13 for the design; this file is the mechanics).
+//
+// Layout:
+//   * BnbWorker — one depth-first walker over include/exclude decisions,
+//     holding the committed/relaxed SubsetState pair, the incumbent, and
+//     the bound plumbing. The same walker runs the sequential job-roster
+//     enumeration (emit mode: stop at split_depth and record a job) and
+//     each parallel job's subtree search.
+//   * SolveBranchAndBound — candidate ordering, greedy warm start,
+//     roster enumeration, best-first ParallelFor fan-out over
+//     shared-nothing clones, and the index-ordered deterministic
+//     reduction.
+
+#include "core/optimizer/memo_search.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace cloudview {
+namespace {
+
+using Probe = SolverContext::Probe;
+using Score = SolverContext::Score;
+
+/// Salt mixed into node keys so a (committed, relaxed) pair can never
+/// alias a plain SubsetHash in some future shared table.
+constexpr uint64_t kNodeKeySalt = 0x51B6C4E8A92D37F1ULL;
+
+/// Memo key of a search node. Both inputs are Zobrist subset hashes;
+/// the extra Mix64 keeps the pair's XOR structure from cancelling
+/// (committed == relaxed at leaves, and both evolve by single-token
+/// XORs along the walk).
+uint64_t NodeKey(uint64_t committed_hash, uint64_t relaxed_hash) {
+  return Mix64(committed_hash ^ Mix64(relaxed_hash ^ kNodeKeySalt));
+}
+
+/// The best (score, subset) seen so far. Ties resolve to the
+/// lexicographically smallest selected-index vector — the project-wide
+/// tie-break rule exact solvers share (solver_exhaustive.cc applies the
+/// same one), which is what makes "bit-identical at any thread count"
+/// well-defined even when distinct subsets score equal.
+struct Incumbent {
+  Score score{};
+  std::vector<size_t> selected;
+
+  /// Folds a scored subset in; `state` is only materialized to an index
+  /// vector when it actually improves or ties the score.
+  void Offer(const Score& offered, const SubsetState& state) {
+    if (offered > score) return;
+    std::vector<size_t> sel = state.Selected();
+    if (offered < score || sel < selected) {
+      score = offered;
+      selected = std::move(sel);
+    }
+  }
+
+  /// Reduction flavor: folds another incumbent in (by value, already
+  /// materialized).
+  void Offer(const Score& offered, std::vector<size_t> sel) {
+    if (offered > score) return;
+    if (offered < score || sel < selected) {
+      score = offered;
+      selected = std::move(sel);
+    }
+  }
+};
+
+/// One pruned decision prefix, scheduled as a parallel job. `decisions`
+/// has exactly split_depth entries; decisions[d] == 1 commits
+/// order[d], 0 excludes it.
+struct RootJob {
+  std::vector<uint8_t> decisions;
+  Score bound{};
+};
+
+/// What one job reports to the reduction. `incumbent` starts from the
+/// shared warm start, so it is always populated, improved or not.
+struct JobOutcome {
+  Status status = Status::OK();
+  Incumbent incumbent;
+  SolverContext::Counters counters;
+  uint64_t nodes = 0;
+  uint64_t pruned = 0;
+  uint64_t bound_evaluations = 0;
+  uint64_t memo_hits = 0;
+  bool out_of_budget = false;
+  bool have_unexplored = false;
+  Score min_unexplored{};
+};
+
+/// The depth-first walker. All state is confined to one thread; the
+/// only shared object it touches is the insert-once SubsetBoundMemo,
+/// whose entries are pure functions of their key (DESIGN.md §13.3).
+class BnbWorker {
+ public:
+  BnbWorker(SolverContext& context, const std::vector<uint32_t>& order,
+            SubsetBoundMemo* memo, uint64_t node_budget)
+      : context_(context),
+        order_(order),
+        memo_(memo),
+        node_budget_(node_budget),
+        committed_(context.evaluator()),
+        relaxed_(context.evaluator()) {
+    // The root relaxation includes every candidate: relaxed processing
+    // is the per-query best-achievable time over all undecided views.
+    for (size_t c = 0; c < context.num_candidates(); ++c) {
+      relaxed_.Add(c);
+    }
+  }
+
+  void set_incumbent(Incumbent incumbent) {
+    incumbent_ = std::move(incumbent);
+  }
+  const Incumbent& incumbent() const { return incumbent_; }
+
+  /// Switches the walker into roster-enumeration mode: Visit() stops at
+  /// `emit_depth` and records a RootJob instead of expanding further.
+  void EmitJobsInto(size_t emit_depth, std::vector<RootJob>* jobs) {
+    emit_depth_ = emit_depth;
+    jobs_ = jobs;
+  }
+
+  /// Replays a job's decision prefix onto the committed/relaxed pair.
+  void ApplyPrefix(const std::vector<uint8_t>& decisions) {
+    for (size_t d = 0; d < decisions.size(); ++d) {
+      if (decisions[d] != 0) {
+        committed_.Add(order_[d]);
+      } else {
+        relaxed_.Remove(order_[d]);
+      }
+    }
+  }
+
+  /// Visits the node whose first `depth` decisions are applied.
+  /// `committed_changed` marks edges that grew the committed set (the
+  /// include branch and the job root), whose subset is the one new
+  /// complete solution this node contributes.
+  Status Visit(size_t depth, bool committed_changed) {
+    CV_ASSIGN_OR_RETURN(Probe lb_probe, Bound());
+    Score lb = context_.ScoreOf(lb_probe);
+    // Bound pruning: lb underestimates every completion in this
+    // subtree, so a strictly worse bound proves the subtree cannot beat
+    // the incumbent. Strict — equal-scoring subsets survive so the
+    // lex-smallest tie-break stays exact.
+    if (lb > incumbent_.score) {
+      ++pruned_;
+      return Status::OK();
+    }
+    if (committed_changed) {
+      CV_ASSIGN_OR_RETURN(Score score, context_.ScoreState(committed_));
+      incumbent_.Offer(score, committed_);
+    }
+    if (depth == order_.size()) return Status::OK();
+    if (jobs_ != nullptr && depth == emit_depth_) {
+      jobs_->push_back(RootJob{decisions_, lb});
+      return Status::OK();
+    }
+    if (out_of_budget_ || nodes_ >= node_budget_) {
+      // Budget cutoff: the subtree stays unexplored; its bound becomes
+      // part of the gap certificate. Deterministic — the budget counts
+      // this walker's own nodes, nothing shared.
+      out_of_budget_ = true;
+      NoteUnexplored(lb);
+      return Status::OK();
+    }
+    ++nodes_;
+    size_t c = order_[depth];
+    decisions_.push_back(1);
+    committed_.Add(c);
+    Status include = Visit(depth + 1, /*committed_changed=*/true);
+    committed_.Remove(c);
+    decisions_.back() = 0;
+    CV_RETURN_IF_ERROR(include);
+    relaxed_.Remove(c);
+    Status exclude = Visit(depth + 1, /*committed_changed=*/false);
+    relaxed_.Add(c);
+    decisions_.pop_back();
+    return exclude;
+  }
+
+  uint64_t nodes() const { return nodes_; }
+  uint64_t pruned() const { return pruned_; }
+  uint64_t bound_evaluations() const { return bound_evaluations_; }
+  uint64_t memo_hits() const { return memo_hits_; }
+  bool out_of_budget() const { return out_of_budget_; }
+  bool have_unexplored() const { return have_unexplored_; }
+  const Score& min_unexplored() const { return min_unexplored_; }
+
+ private:
+  /// The admissible lower-bound probe of the current node: best-
+  /// achievable processing from the relaxation, committed-only
+  /// materialization / maintenance / bytes, pushed through the monetary
+  /// fast path (monotone in every total; DESIGN.md §13.2). Memoized in
+  /// the shared table — sibling jobs reach equal (C, R) nodes through
+  /// different decision orders.
+  Result<Probe> Bound() {
+    uint64_t key = NodeKey(committed_.hash(), relaxed_.hash());
+    SubsetBoundValue cached;
+    if (memo_ != nullptr && memo_->Lookup(key, &cached)) {
+      ++memo_hits_;
+      return Probe{Duration::FromMillis(cached.time_ms),
+                   Duration::FromMillis(cached.makespan_ms),
+                   Money::FromMicros(cached.cost_micros),
+                   DataSize::FromBytes(cached.view_bytes)};
+    }
+    ++bound_evaluations_;
+    SubsetTotals totals;
+    totals.processing = relaxed_.processing_time();
+    totals.materialization = committed_.materialization_time();
+    totals.maintenance = committed_.maintenance_time();
+    totals.view_bytes = committed_.view_bytes();
+    totals.hash = key;
+    CV_ASSIGN_OR_RETURN(Money cost,
+                        context_.evaluator().FastTotalCost(totals));
+    Probe probe{context_.TimeMetric(totals.processing, totals.makespan()),
+                totals.makespan(), cost, totals.view_bytes};
+    if (memo_ != nullptr) {
+      memo_->Publish(key, SubsetBoundValue{probe.time.millis(),
+                                           probe.makespan.millis(),
+                                           probe.cost.micros(),
+                                           probe.storage.bytes()});
+    }
+    return probe;
+  }
+
+  void NoteUnexplored(const Score& lb) {
+    if (!have_unexplored_ || lb < min_unexplored_) {
+      min_unexplored_ = lb;
+      have_unexplored_ = true;
+    }
+  }
+
+  SolverContext& context_;
+  const std::vector<uint32_t>& order_;
+  SubsetBoundMemo* memo_;
+  uint64_t node_budget_;
+  SubsetState committed_;
+  SubsetState relaxed_;
+  Incumbent incumbent_;
+  std::vector<uint8_t> decisions_;
+  size_t emit_depth_ = std::numeric_limits<size_t>::max();
+  std::vector<RootJob>* jobs_ = nullptr;
+  uint64_t nodes_ = 0;
+  uint64_t pruned_ = 0;
+  uint64_t bound_evaluations_ = 0;
+  uint64_t memo_hits_ = 0;
+  bool out_of_budget_ = false;
+  bool have_unexplored_ = false;
+  Score min_unexplored_{};
+};
+
+/// One shared-nothing job: clone the evaluator, rebuild the job's node,
+/// search its subtree against the frozen warm incumbent. Mirrors the
+/// portfolio's RunStart — everything downstream of (job, warm) is
+/// deterministic; the shared memo only changes speed.
+JobOutcome RunJob(const SelectionEvaluator& shared,
+                  const ObjectiveSpec& spec, const RootJob& job,
+                  const std::vector<uint32_t>& order,
+                  const Incumbent& warm, SubsetBoundMemo* memo,
+                  uint64_t node_budget) {
+  JobOutcome out;
+  SelectionEvaluator evaluator = shared.Clone();
+  EvaluationCache cache;
+  SolverContext local(evaluator, spec, &cache);
+  BnbWorker worker(local, order, memo, node_budget);
+  worker.set_incumbent(warm);
+  worker.ApplyPrefix(job.decisions);
+  out.status =
+      worker.Visit(job.decisions.size(), /*committed_changed=*/true);
+  out.incumbent = worker.incumbent();
+  out.counters = local.counters();
+  out.nodes = worker.nodes();
+  out.pruned = worker.pruned();
+  out.bound_evaluations = worker.bound_evaluations();
+  out.memo_hits = worker.memo_hits();
+  out.out_of_budget = worker.out_of_budget();
+  out.have_unexplored = worker.have_unexplored();
+  out.min_unexplored = worker.min_unexplored();
+  return out;
+}
+
+/// Branch order: descending standalone processing saving, ties by
+/// index — the strongest single-view decisions first, so committed
+/// materialization costs and relaxation collapses show up at shallow
+/// depths and the bound bites early. A pure function of the evaluator.
+std::vector<uint32_t> BranchOrder(const SelectionEvaluator& evaluator) {
+  std::vector<uint32_t> order(evaluator.num_candidates());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<int64_t> saving_ms(order.size());
+  for (size_t c = 0; c < order.size(); ++c) {
+    saving_ms[c] = evaluator.StandaloneProcessingSaving(c).millis();
+  }
+  std::sort(order.begin(), order.end(),
+            [&saving_ms](uint32_t a, uint32_t b) {
+              if (saving_ms[a] != saving_ms[b]) {
+                return saving_ms[a] > saving_ms[b];
+              }
+              return a < b;
+            });
+  return order;
+}
+
+/// The relative optimality gap the incumbent is certified to, from the
+/// smallest unexplored bound. 0 when nothing unexplored can beat the
+/// incumbent; 1 ("no certificate") when the two disagree on the
+/// violation term, where relative distance on the primary objective
+/// means nothing.
+double GapFraction(const Score& best, const Score& min_unexplored) {
+  if (min_unexplored >= best) return 0.0;
+  if (min_unexplored[0] != best[0]) return 1.0;
+  double incumbent = static_cast<double>(best[1]);
+  double bound = static_cast<double>(min_unexplored[1]);
+  if (incumbent < 1.0) return 1.0;
+  double gap = (incumbent - bound) / incumbent;
+  return std::min(1.0, std::max(0.0, gap));
+}
+
+}  // namespace
+
+Result<SelectionResult> SolveBranchAndBound(
+    SolverContext& context, const BranchAndBoundOptions& options) {
+  SearchStats local_stats;
+  SearchStats& stats =
+      options.stats != nullptr ? *options.stats : local_stats;
+  stats = SearchStats{};
+
+  const size_t n = context.num_candidates();
+  const std::vector<uint32_t> order = BranchOrder(context.evaluator());
+
+  // Warm upper bound: the greedy swap climb from the empty set (the
+  // portfolio's first start), run sequentially before any fan-out so
+  // every job prunes against the same frozen incumbent regardless of
+  // thread count (DESIGN.md §13.3).
+  SubsetState warm_state(context.evaluator());
+  CV_RETURN_IF_ERROR(context.HillClimb(warm_state, /*with_swaps=*/true));
+  Incumbent warm;
+  CV_ASSIGN_OR_RETURN(warm.score, context.ScoreState(warm_state));
+  warm.selected = warm_state.Selected();
+
+  if (n == 0) {
+    stats.proven_optimal = true;
+    return context.Finalize(warm.selected);
+  }
+
+  SubsetBoundMemo memo(options.memo_slots);
+
+  // Sequential roster enumeration: expand the first split_depth
+  // decision levels, pruning prefixes against the incumbent and
+  // improving it along the way (include-edge subsets are complete
+  // solutions). Depth is clamped so the sequential part stays bounded
+  // even on degenerate option values.
+  constexpr size_t kMaxSplitDepth = 16;
+  const size_t split_depth =
+      std::min({options.split_depth, n, kMaxSplitDepth});
+  std::vector<RootJob> jobs;
+  BnbWorker enumerator(context, order, &memo,
+                       std::numeric_limits<uint64_t>::max());
+  enumerator.set_incumbent(std::move(warm));
+  enumerator.EmitJobsInto(split_depth, &jobs);
+  CV_RETURN_IF_ERROR(enumerator.Visit(0, /*committed_changed=*/true));
+  warm = enumerator.incumbent();
+
+  // Best-first scheduling: jobs sorted by (bound, decision prefix), so
+  // the most promising subtrees are claimed by the pool first — and so
+  // the roster order (which the reduction walks) is a pure function of
+  // the instance, never of arrival.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const RootJob& a, const RootJob& b) {
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return a.decisions < b.decisions;
+            });
+  stats.jobs = jobs.size();
+
+  std::vector<JobOutcome> outcomes(jobs.size());
+  const SelectionEvaluator& shared = context.evaluator();
+  const ObjectiveSpec& spec = context.spec();
+  ParallelFor(jobs.size(), [&](size_t i) {
+    outcomes[i] = RunJob(shared, spec, jobs[i], order, warm, &memo,
+                         options.max_nodes_per_job);
+  });
+
+  // Deterministic reduction: walk outcomes in roster order, fold by
+  // (score, subset). Telemetry merges in the same pass.
+  Incumbent best = std::move(warm);
+  stats.nodes_expanded = enumerator.nodes();
+  stats.pruned_by_bound = enumerator.pruned();
+  stats.bound_evaluations = enumerator.bound_evaluations();
+  stats.memo_bound_hits = enumerator.memo_hits();
+  context.MergeCounters({0, enumerator.bound_evaluations(),
+                         enumerator.memo_hits()});
+  bool out_of_budget = enumerator.out_of_budget();
+  bool have_unexplored = enumerator.have_unexplored();
+  Score min_unexplored = enumerator.min_unexplored();
+  for (JobOutcome& outcome : outcomes) {
+    CV_RETURN_IF_ERROR(outcome.status);
+    best.Offer(outcome.incumbent.score,
+               std::move(outcome.incumbent.selected));
+    stats.nodes_expanded += outcome.nodes;
+    stats.pruned_by_bound += outcome.pruned;
+    stats.bound_evaluations += outcome.bound_evaluations;
+    stats.memo_bound_hits += outcome.memo_hits;
+    context.MergeCounters(outcome.counters);
+    context.MergeCounters(
+        {0, outcome.bound_evaluations, outcome.memo_hits});
+    out_of_budget = out_of_budget || outcome.out_of_budget;
+    if (outcome.have_unexplored &&
+        (!have_unexplored || outcome.min_unexplored < min_unexplored)) {
+      min_unexplored = outcome.min_unexplored;
+      have_unexplored = true;
+    }
+  }
+
+  stats.proven_optimal = !out_of_budget;
+  stats.gap_fraction = (stats.proven_optimal || !have_unexplored)
+                           ? 0.0
+                           : GapFraction(best.score, min_unexplored);
+  return context.Finalize(best.selected);
+}
+
+}  // namespace cloudview

@@ -1,0 +1,124 @@
+// Memo-based parallel branch-and-bound over the candidate subset space —
+// the exact search that scales past exhaustive's 2^n wall (ROADMAP item
+// 1, DESIGN.md §13), in the spirit of Orca/Cascades memoized exploration:
+// a shared memo of explored subproblems with admissible lower bounds,
+// best-first job scheduling on the ThreadPool, and bound + dominance
+// pruning against a greedy warm-start incumbent.
+//
+// The search tree: candidates are ordered once (descending standalone
+// benefit) and each node decides the next candidate in or out, so a node
+// is the pair (committed set C, relaxed set R) with C ⊆ S ⊆ R for every
+// subset S in its subtree. Both sets are maintained incrementally as
+// SubsetStates (O(queries) per move, like every other solver).
+//
+// The admissible bound (§13.2): every component of the lexicographic
+// score is monotone in the probe components (time, makespan, cost,
+// storage), and each probe component is bounded below by mixing the two
+// states — processing from R (adding views never slows a query),
+// materialization / maintenance / duplicated bytes from C (completions
+// only add views to C). Pushing those component bounds through the
+// monetary fast path (FastTotalCost is monotone in each total) and
+// ScoreOf yields a lexicographic lower bound on every completion, so
+// pruning `bound > incumbent` never discards an optimum — ties survive
+// the strict compare, which is what makes the lex-smallest tie-break
+// exact.
+//
+// Determinism (§13.3): the job roster is a pure function of the
+// instance; every job runs shared-nothing (cloned evaluator, private
+// cache/context/states) against the *frozen* warm-start incumbent —
+// improvements found inside one job never leak into another, so each
+// job's outcome is independent of scheduling — and the reduction walks
+// jobs in their (bound, decision-prefix) sort order. The shared memo
+// only ever caches values that are pure functions of their key, so
+// results are bit-identical at any thread count, including under the
+// per-job node budget.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/concurrent_memo.h"
+#include "common/result.h"
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+
+/// \brief What one explored subproblem's bound memo entry carries: the
+/// component-wise lower-bound probe for the (committed, relaxed) node,
+/// in raw units. Entries are pure functions of the node key, so racing
+/// publishers always write identical bytes (ConcurrentMemo's contract).
+struct SubsetBoundValue {
+  int64_t time_ms = 0;
+  int64_t makespan_ms = 0;
+  int64_t cost_micros = 0;
+  int64_t view_bytes = 0;
+};
+
+/// \brief The shared concurrent memo branch-and-bound workers publish
+/// node bounds into, keyed by a Zobrist-derived node hash (committed
+/// and relaxed subset hashes mixed; see memo_search.cc). Different jobs
+/// reach equal (C, R) pairs through different decision orders — e.g.
+/// excluding {a} then {b} vs {b} then {a} — and the memo lets the
+/// second arrival skip the monetary fast path entirely.
+using SubsetBoundMemo = ConcurrentMemo<SubsetBoundValue>;
+
+/// \brief Per-solve search telemetry (reported by bench_solvers).
+struct SearchStats {
+  /// Nodes expanded (both branches generated), across all jobs plus the
+  /// sequential job-roster enumeration.
+  uint64_t nodes_expanded = 0;
+  /// Subtrees discarded because their bound exceeded the incumbent.
+  uint64_t pruned_by_bound = 0;
+  /// Bound computations resolved from the shared memo. (Timing-
+  /// dependent across runs — a telemetry counter, never an input to
+  /// any decision; see DESIGN.md §13.3.)
+  uint64_t memo_bound_hits = 0;
+  /// Bound computations that went to the monetary fast path.
+  uint64_t bound_evaluations = 0;
+  /// Root jobs scheduled after prefix pruning.
+  uint64_t jobs = 0;
+  /// True when every job ran to completion within its node budget: the
+  /// returned selection is the proven lexicographic optimum.
+  bool proven_optimal = false;
+  /// When not proven: the relative gap between the incumbent's primary
+  /// objective and the smallest unexplored lower bound (0 when proven;
+  /// 1 when the bound says nothing, e.g. a feasibility mismatch).
+  double gap_fraction = 0.0;
+};
+
+/// \brief Branch-and-bound knobs. The defaults are what the registered
+/// "branch-and-bound" strategy runs with; tests and benches tighten
+/// them (the knobs trade proof completeness for time, never
+/// correctness of the returned incumbent).
+struct BranchAndBoundOptions {
+  /// The first `split_depth` decision levels are enumerated
+  /// sequentially into up to 2^split_depth root jobs (pruned against
+  /// the warm-start incumbent before scheduling). Independent of the
+  /// thread count by design — the roster must not change when the pool
+  /// grows.
+  size_t split_depth = 6;
+  /// Node budget per root job. A job that exhausts it reports the best
+  /// incumbent found plus the smallest lower bound among its unexplored
+  /// subtrees (the gap certificate). Deterministic: the budget is
+  /// per-job and jobs share nothing mutable.
+  uint64_t max_nodes_per_job = 250'000;
+  /// Slot count for the shared bound memo (rounded up to a power of
+  /// two; the memo is bounded and counts drops once full).
+  size_t memo_slots = size_t{1} << 16;
+  /// When non-null, filled with this solve's search telemetry.
+  SearchStats* stats = nullptr;
+};
+
+/// \brief Runs memoized parallel branch-and-bound on `context` and
+/// returns the exact lexicographic optimum (proven when
+/// stats->proven_optimal; otherwise the best incumbent with a gap
+/// certificate). Ties between equal-scoring subsets resolve to the
+/// lexicographically smallest selected-index vector — the same rule the
+/// "exhaustive" solver applies, so the two agree bit-for-bit wherever
+/// both run. Convenience wrapper: the registered "branch-and-bound"
+/// strategy calls this with default options.
+Result<SelectionResult> SolveBranchAndBound(
+    SolverContext& context, const BranchAndBoundOptions& options = {});
+
+}  // namespace cloudview

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -286,6 +287,17 @@ class Solver {
   /// true — including downstream registrations — so two frontier
   /// builders can never recurse into each other.
   virtual bool multi_objective() const { return false; }
+
+  /// \brief Largest candidate count this strategy accepts (SIZE_MAX =
+  /// unbounded). The registry paths degrade gracefully on it: the
+  /// selector reports an actionable Status naming a strategy that does
+  /// scale, and registry-enumerating sweeps skip the strategy instead
+  /// of failing mid-fan-out — including for downstream registrations,
+  /// which previously required name-matching hacks ("exhaustive" was
+  /// special-cased by string).
+  virtual size_t max_candidates() const {
+    return std::numeric_limits<size_t>::max();
+  }
 
   /// \brief Searches the subset space for `spec`'s objective. The
   /// returned result must come from SolverContext::Finalize (exact

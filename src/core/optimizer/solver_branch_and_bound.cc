@@ -1,0 +1,34 @@
+// "branch-and-bound": memoized parallel branch-and-bound — the exact
+// solver past the exhaustive enumerator's 20-candidate wall (ROADMAP
+// item 1, DESIGN.md §13). All mechanics live in memo_search.{h,cc};
+// this translation unit is just the registry seam, so the frontier,
+// temporal and provider machinery pick the strategy up by name like
+// any other.
+
+#include "core/optimizer/memo_search.h"
+#include "core/optimizer/solver.h"
+
+namespace cloudview {
+namespace {
+
+class BranchAndBoundSolver : public Solver {
+ public:
+  std::string_view name() const override { return "branch-and-bound"; }
+  std::string_view description() const override {
+    return "memoized parallel branch-and-bound; exact (or certified-gap) "
+           "optimum beyond the exhaustive 20-candidate wall";
+  }
+
+  Result<SelectionResult> Solve(const ObjectiveSpec&,
+                                SolverContext& context) const override {
+    // Default knobs; tests and benches that need tighter budgets or
+    // telemetry call SolveBranchAndBound directly, like annealing's
+    // AnnealWithContext seam.
+    return SolveBranchAndBound(context);
+  }
+};
+
+CLOUDVIEW_REGISTER_SOLVER(BranchAndBoundSolver)
+
+}  // namespace
+}  // namespace cloudview

@@ -5,9 +5,15 @@
 // toggle: each probe is an O(queries) incremental SubsetState move
 // instead of a from-scratch rebuild, which is what makes 2^20 subsets
 // tractable. The winner is re-evaluated exactly by Finalize().
+//
+// Ties resolve to the lexicographically smallest selected-index vector
+// — the project-wide exact-solver tie-break (DESIGN.md §13.3), shared
+// with "branch-and-bound" so the two agree bit-for-bit wherever both
+// run, not just score-for-score.
 
 #include <vector>
 
+#include "common/str_format.h"
 #include "core/optimizer/solver.h"
 
 namespace cloudview {
@@ -15,18 +21,26 @@ namespace {
 
 class ExhaustiveSolver : public Solver {
  public:
+  static constexpr size_t kMaxCandidates = 20;
+
   std::string_view name() const override { return "exhaustive"; }
   std::string_view description() const override {
     return "full enumeration (<= 20 candidates); ground truth";
   }
+  size_t max_candidates() const override { return kMaxCandidates; }
 
   Result<SelectionResult> Solve(const ObjectiveSpec& spec,
                                 SolverContext& context) const override {
     (void)spec;
     size_t n = context.num_candidates();
-    if (n > 20) {
+    if (n > kMaxCandidates) {
+      // Direct callers that bypassed the registry's max_candidates()
+      // check still get an actionable message, not a bare failure.
       return Status::InvalidArgument(
-          "exhaustive search supports at most 20 candidates");
+          StrFormat("exhaustive search supports at most %zu candidates, "
+                    "got %zu; use \"branch-and-bound\" for exact solves "
+                    "past that wall",
+                    kMaxCandidates, n));
     }
     // The walk visits each subset exactly once; memoizing 2^n
     // single-use entries would only bloat the shared cache.
@@ -43,10 +57,16 @@ class ExhaustiveSolver : public Solver {
       state.Toggle(static_cast<size_t>(__builtin_ctzll(i)));
       CV_ASSIGN_OR_RETURN(SolverContext::Score score,
                           context.ScoreState(state));
+      if (score > best_score) continue;
       if (score < best_score) {
         best_score = score;
         best = state.Selected();
+        continue;
       }
+      // Equal score: keep the lexicographically smallest subset. The
+      // Selected() materialization only happens on exact ties.
+      std::vector<size_t> selected = state.Selected();
+      if (selected < best) best = std::move(selected);
     }
     return context.Finalize(best);
   }

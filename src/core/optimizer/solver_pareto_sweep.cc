@@ -50,7 +50,7 @@ bool IsMultiObjective(const std::string& name) {
 /// anchor the frontier with one solve on the caller's spec.
 bool IsSweepRosterMember(const std::string& name) {
   return !IsMultiObjective(name) && name != "exhaustive" &&
-         name != "portfolio";
+         name != "branch-and-bound" && name != "portfolio";
 }
 
 /// The alpha grid the roster re-solves MV3 on (endpoints included:
@@ -153,8 +153,15 @@ class ParetoSweepSolver : public Solver {
     std::vector<std::string> names = SolverRegistry::Global().Names();
     for (const std::string& name : names) {
       if (IsMultiObjective(name)) continue;
-      // Enumeration is only an anchor where it is tractable.
-      if (name == "exhaustive" && num_candidates > 20) continue;
+      // Capacity-capped strategies (Solver::max_candidates) anchor only
+      // where they are tractable — the registry-wide contract that
+      // replaced the old `name == "exhaustive" && n > 20` hack, so
+      // downstream capped registrations degrade the same way.
+      Result<const Solver*> solver = SolverRegistry::Global().Find(name);
+      if (solver.ok() &&
+          num_candidates > solver.value()->max_candidates()) {
+        continue;
+      }
       tasks.push_back(SweepTask{name, spec, name});
     }
     for (const std::string& name : names) {

@@ -157,6 +157,139 @@ TEST_F(CandidateGenTest, Validation) {
                                  cluster_, bad)
                   .status()
                   .IsInvalidArgument());
+  // Clustering knobs (DESIGN.md §13.5).
+  bad = CandidateGenOptions{};
+  bad.cluster_similarity = -0.1;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = CandidateGenOptions{};
+  bad.cluster_similarity = 1.5;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad = CandidateGenOptions{};
+  bad.cluster_similarity = 0.5;
+  bad.cluster_size_ratio = 0.5;
+  EXPECT_TRUE(GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Ranking is a total order; truncation is a deterministic prefix ---------
+//
+// Regression for the resize(max_candidates) cliff: with only a
+// float-benefit comparator, equal-benefit candidates straddling the cap
+// made the kept roster an artifact of std::sort's tie order. The
+// comparator now breaks benefit ties by CuboidId (lint D3: paired `>`
+// compares, no float equality), so any cap keeps a reproducible prefix.
+
+TEST_F(CandidateGenTest, TruncationKeepsADeterministicPrefix) {
+  CandidateGenOptions wide;
+  wide.max_candidates = 1000;  // Effectively uncapped.
+  auto full = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, wide)
+                  .MoveValue();
+  ASSERT_GT(full.size(), 6u);
+
+  for (size_t cap : {size_t{1}, size_t{6}, full.size() - 1}) {
+    CandidateGenOptions capped;
+    capped.max_candidates = cap;
+    auto truncated = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                        cluster_, capped)
+                         .MoveValue();
+    ASSERT_EQ(truncated.size(), cap);
+    for (size_t i = 0; i < cap; ++i) {
+      EXPECT_EQ(truncated[i].view, full[i].view) << "cap=" << cap;
+    }
+  }
+
+  // Repeat generation is byte-identical, cap or no cap.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto again = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                    cluster_, wide)
+                     .MoveValue();
+    ASSERT_EQ(again.size(), full.size());
+    for (size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(again[i].view, full[i].view);
+      EXPECT_EQ(again[i].size.bytes(), full[i].size.bytes());
+    }
+  }
+}
+
+// --- Near-duplicate clustering (DESIGN.md §13.5) ----------------------------
+
+TEST_F(CandidateGenTest, ClusteringSelectsRepresentativesInRankOrder) {
+  CandidateGenOptions plain;
+  plain.max_candidates = 1000;
+  auto unclustered = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                        cluster_, plain)
+                         .MoveValue();
+
+  CandidateGenOptions clustered = plain;
+  clustered.cluster_similarity = 0.8;
+  clustered.cluster_size_ratio = 1e9;  // Similarity alone decides.
+  auto kept = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                 cluster_, clustered)
+                  .MoveValue();
+
+  // Merging only ever shrinks the roster, and every representative is
+  // drawn from the unclustered ranking in its original order (the scan
+  // walks the total benefit order, so representatives are each
+  // cluster's best-benefit member).
+  ASSERT_FALSE(kept.empty());
+  EXPECT_LE(kept.size(), unclustered.size());
+  size_t cursor = 0;
+  for (const ViewCandidate& candidate : kept) {
+    while (cursor < unclustered.size() &&
+           !(unclustered[cursor].view == candidate.view)) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, unclustered.size())
+        << "clustered roster is not a subsequence of the ranking";
+    ++cursor;
+  }
+  // The top-ranked candidate always survives as its own representative.
+  EXPECT_EQ(kept.front().view, unclustered.front().view);
+
+  // Deterministic: the pass is a pure function of the ranking.
+  auto again = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                  cluster_, clustered)
+                   .MoveValue();
+  ASSERT_EQ(again.size(), kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(again[i].view, kept[i].view);
+  }
+}
+
+TEST_F(CandidateGenTest, ExactSimilarityMergesOnlyIdenticalCoverage) {
+  // similarity 1.0: |A∩B| >= |A∪B| holds only for identical coverage
+  // sets, so loosening to 0.8 can only merge more.
+  CandidateGenOptions exact;
+  exact.max_candidates = 1000;
+  exact.cluster_similarity = 1.0;
+  exact.cluster_size_ratio = 1e9;
+  auto strict = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                   cluster_, exact)
+                    .MoveValue();
+  CandidateGenOptions loose = exact;
+  loose.cluster_similarity = 0.8;
+  auto merged = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                   cluster_, loose)
+                    .MoveValue();
+  EXPECT_LE(merged.size(), strict.size());
+
+  // A size-ratio of 1 additionally requires (near-)equal sizes, which
+  // can only keep more candidates distinct.
+  CandidateGenOptions tight = loose;
+  tight.cluster_size_ratio = 1.0;
+  auto ratio_bound = GenerateCandidates(*lattice_, workload_, *simulator_,
+                                        cluster_, tight)
+                         .MoveValue();
+  EXPECT_GE(ratio_bound.size(), merged.size());
 }
 
 }  // namespace

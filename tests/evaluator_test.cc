@@ -221,5 +221,74 @@ TEST_F(EvaluatorTest, CloneWithSunkBuildsZeroesMaterialization) {
                   .IsInvalidArgument());
 }
 
+// --- EvaluationCache: bounded with epoch eviction (DESIGN.md §13.4) ---------
+//
+// Regression for the silent-degradation family of bugs: the cache used
+// to grow without bound (and its CostMemo sibling stopped caching
+// forever once full). Now reaching the cap drops the epoch, counts it,
+// and keeps caching.
+
+EvaluationCache::Entry CacheEntry(uint64_t i) {
+  return EvaluationCache::Entry{
+      Duration::FromMillis(static_cast<int64_t>(i)),
+      Duration::FromMillis(static_cast<int64_t>(i * 2)),
+      Money::FromCents(static_cast<int64_t>(i % 1000)),
+      DataSize::FromBytes(static_cast<int64_t>(i * 64))};
+}
+
+TEST(EvaluationCacheTest, FillingPastTheCapEvictsInsteadOfStalling) {
+  constexpr size_t kCap = size_t{1} << 16;
+  EvaluationCache cache(kCap);
+  EXPECT_EQ(cache.max_entries(), kCap);
+
+  // Fill well past the old wall. Keys start at 1: key 0 is the empty
+  // subset's dedicated side slot.
+  const uint64_t total = kCap + 4096;
+  for (uint64_t i = 1; i <= total; ++i) cache.Insert(i, CacheEntry(i));
+
+  // The cap held and the overflow was an epoch drop, not a refusal.
+  EXPECT_LE(cache.size(), kCap + 1);
+  EXPECT_GE(cache.evictions(), 1u);
+
+  // Post-eviction inserts land and are findable — the old bug was that
+  // nothing inserted after the wall could ever hit.
+  const EvaluationCache::Entry* entry = cache.Find(total);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->processing_time.millis(), static_cast<int64_t>(total));
+  EXPECT_EQ(entry->view_bytes.bytes(), static_cast<int64_t>(total * 64));
+
+  // Counter coherence for the BENCH_JSON surfacing.
+  uint64_t lookups_before = cache.lookups();
+  EXPECT_EQ(cache.misses(), cache.lookups() - cache.hits());
+  cache.Find(total);      // hit
+  cache.Find(total + 1);  // miss (never inserted)
+  EXPECT_EQ(cache.lookups(), lookups_before + 2);
+  EXPECT_EQ(cache.misses(), cache.lookups() - cache.hits());
+}
+
+TEST(EvaluationCacheTest, EmptySubsetSideEntrySurvivesEviction) {
+  EvaluationCache cache(/*max_entries=*/8);
+  cache.Insert(0, CacheEntry(7));  // SubsetHash({}) == 0.
+  for (uint64_t i = 1; i <= 64; ++i) cache.Insert(i, CacheEntry(i));
+  EXPECT_GE(cache.evictions(), 1u);
+  // The empty-subset entry lives outside the slot array and outside the
+  // eviction policy — the baseline probe never pays a re-miss.
+  const EvaluationCache::Entry* entry = cache.Find(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->processing_time.millis(), 7);
+}
+
+TEST(EvaluationCacheTest, DefaultsAreBoundedAndZeroCapIsClamped) {
+  EvaluationCache cache;
+  EXPECT_EQ(cache.max_entries(), size_t{1} << 20);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EvaluationCache degenerate(/*max_entries=*/0);
+  EXPECT_EQ(degenerate.max_entries(), 1u);
+  degenerate.Insert(1, CacheEntry(1));
+  degenerate.Insert(2, CacheEntry(2));
+  EXPECT_GE(degenerate.evictions(), 1u);
+  ASSERT_NE(degenerate.Find(2), nullptr);
+}
+
 }  // namespace
 }  // namespace cloudview
