@@ -1,0 +1,185 @@
+// Serving-path benchmark (DESIGN.md §14): AdvisorService in-process on
+// the 20-candidate SSB smoke config, measuring
+//
+//   cold_solve     sessionless Dispatch — candidate generation + a
+//                  fresh evaluator every request (no warm slot),
+//   warm_solve     session Dispatch against a hot warm slot — the
+//                  steady-state request the service is built around,
+//   async_sessions SubmitAsync round-robin over S live sessions, the
+//                  concurrent-session sweep.
+//
+// Rows feed the CI regression gate via BENCH_JSON; the gated metric
+// (`subsets_per_sec`) is requests/sec here. The PR 9 acceptance bar —
+// >= 1000 warm req/sec and warm p99 <= 10x cold p50 — prints as a
+// PASS/FAIL line but never fails the binary (the gate owns thresholds).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "serving/advisor_service.h"
+
+using namespace cloudview;
+using bench::JsonLine;
+using bench::MeasureBudgetMs;
+using bench::Unwrap;
+
+namespace {
+
+ScenarioConfig SmokeConfig() {
+  ScenarioConfig config;
+  config.schema = "ssb";
+  config.candidates.max_candidates = 20;
+  config.candidates.max_rows_fraction = 0.05;
+  return config;
+}
+
+AdvisorRequest SolveRequest(const std::string& session) {
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.session = session;
+  return request;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index =
+      static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+struct LoopResult {
+  std::vector<double> latencies_ms;  // sorted
+  double requests_per_sec = 0.0;
+};
+
+// Serves `request` repeatedly until the wall budget runs out.
+LoopResult TimedLoop(AdvisorService& service, const AdvisorRequest& request,
+                     double budget_ms) {
+  LoopResult result;
+  const double start = NowMs();
+  double now = start;
+  while (now - start < budget_ms || result.latencies_ms.empty()) {
+    const double before = NowMs();
+    ServeOutcome outcome = service.Serve(request);
+    now = NowMs();
+    if (!outcome.status.ok()) {
+      std::cerr << "serve failed: " << outcome.status << "\n";
+      std::exit(1);
+    }
+    result.latencies_ms.push_back(now - before);
+  }
+  std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
+  result.requests_per_sec =
+      static_cast<double>(result.latencies_ms.size()) / (now - start) *
+      1000.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseSmoke(argc, argv);
+  std::cout << "=== Advisor serving path (SSB, 20 candidates) ===\n\n";
+
+  AdvisorService::Options options;
+  options.default_config = SmokeConfig();
+  std::unique_ptr<AdvisorService> service =
+      Unwrap(AdvisorService::Create(std::move(options)), "service");
+  Unwrap(service->sessions().Create("warm", SmokeConfig()), "session");
+
+  const double cold_budget_ms = MeasureBudgetMs(1500.0);
+  const double warm_budget_ms = MeasureBudgetMs(1500.0);
+
+  // Cold: the sessionless path rebuilds candidates + evaluator per
+  // request (no warm slot is wired through the default scenario).
+  LoopResult cold =
+      TimedLoop(*service, SolveRequest(/*session=*/""), cold_budget_ms);
+  const double cold_p50 = Percentile(cold.latencies_ms, 0.5);
+  std::cout << "cold solve:  p50 " << cold_p50 << " ms over "
+            << cold.latencies_ms.size() << " requests\n";
+  JsonLine("serving")
+      .Str("op", "cold_solve")
+      .Num("subsets_per_sec", cold.requests_per_sec)
+      .Num("p50_ms", cold_p50)
+      .Emit();
+
+  // Warm: one priming request builds the slot, then steady state.
+  (void)service->Serve(SolveRequest("warm"));
+  LoopResult warm =
+      TimedLoop(*service, SolveRequest("warm"), warm_budget_ms);
+  const double warm_p50 = Percentile(warm.latencies_ms, 0.5);
+  const double warm_p99 = Percentile(warm.latencies_ms, 0.99);
+  std::cout << "warm solve:  p50 " << warm_p50 << " ms, p99 " << warm_p99
+            << " ms, " << warm.requests_per_sec << " req/sec over "
+            << warm.latencies_ms.size() << " requests\n";
+  JsonLine("serving")
+      .Str("op", "warm_solve")
+      .Num("subsets_per_sec", warm.requests_per_sec)
+      .Num("p50_ms", warm_p50)
+      .Num("p99_ms", warm_p99)
+      .Emit();
+
+  const bool throughput_ok = warm.requests_per_sec >= 1000.0;
+  const bool tail_ok = warm_p99 <= 10.0 * cold_p50;
+  std::cout << "acceptance:  warm >= 1000 req/sec: "
+            << (throughput_ok ? "PASS" : "FAIL")
+            << "; warm p99 <= 10x cold p50: " << (tail_ok ? "PASS" : "FAIL")
+            << "\n\n";
+
+  // Concurrent-session sweep: S sessions, async round-robin. Each
+  // session serializes its own solves; the queue drains on the global
+  // pool.
+  for (int sessions : {1, 4, 8}) {
+    std::vector<std::string> names;
+    for (int s = 0; s < sessions; ++s) {
+      std::string name = "sweep-" + std::to_string(sessions) + "-" +
+                         std::to_string(s);
+      Unwrap(service->sessions().Create(name, SmokeConfig()), "session");
+      (void)service->Serve(SolveRequest(name));  // Prime the slot.
+      names.push_back(std::move(name));
+    }
+    const int total = bench::SmokeMode() ? 8 * sessions : 64 * sessions;
+    std::vector<std::shared_ptr<PendingResponse>> pending;
+    pending.reserve(static_cast<size_t>(total));
+    const double start = NowMs();
+    for (int i = 0; i < total; ++i) {
+      pending.push_back(service->SubmitAsync(
+          SolveRequest(names[static_cast<size_t>(i % sessions)])));
+    }
+    for (const std::shared_ptr<PendingResponse>& p : pending) {
+      ServeOutcome outcome = p->Wait();
+      if (!outcome.status.ok()) {
+        std::cerr << "async serve failed: " << outcome.status << "\n";
+        return 1;
+      }
+    }
+    const double elapsed_ms = NowMs() - start;
+    const double rps =
+        static_cast<double>(total) / elapsed_ms * 1000.0;
+    std::cout << "async sweep: " << sessions << " session(s), " << total
+              << " requests, " << rps << " req/sec\n";
+    JsonLine("serving")
+        .Str("op", "async_sessions")
+        .Str("sessions", std::to_string(sessions))
+        .Num("subsets_per_sec", rps)
+        .Emit();
+    for (const std::string& name : names) {
+      (void)service->sessions().Drop(name);
+    }
+  }
+
+  return 0;
+}

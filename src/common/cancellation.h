@@ -1,0 +1,82 @@
+// CancelToken: cooperative cancellation and deadlines for long-running
+// solves (DESIGN.md §14).
+//
+// A token is shared between the party that may abort a computation (the
+// serving layer's solve queue, a test) and the computation itself
+// (SolverContext polls it inside HillClimb, annealing and the
+// branch-and-bound node expansion). Cancellation is cooperative and
+// lossless: a solver that observes the token truncates its search
+// exactly like a node-budget cutoff — it keeps its best incumbent and,
+// where it can, a gap certificate — and the caller learns *why* through
+// status(): kCancelled for an explicit Cancel(), kDeadlineExceeded for
+// an expired deadline.
+//
+// Thread-safety: Cancel()/cancelled()/status() are safe from any thread
+// (one atomic flag plus an immutable-after-arm deadline). Arm the
+// deadline before sharing the token; ArmDeadline is not synchronized
+// against concurrent readers.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace cloudview {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// \brief Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// \brief Arms a wall-clock deadline `budget_ms` from now (<= 0 arms
+  /// an already-expired deadline). Call before sharing the token.
+  void ArmDeadlineAfterMillis(int64_t budget_ms) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(budget_ms);
+    has_deadline_ = true;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// \brief True once Cancel() was called or the deadline passed. The
+  /// clock is only consulted while a deadline is armed, so tokens
+  /// without one stay a single relaxed atomic load per poll.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return deadline_expired();
+  }
+
+  /// \brief Why the token fired: OK while live, kDeadlineExceeded when
+  /// the deadline passed, kCancelled for an explicit Cancel(). An
+  /// expired deadline wins the tie — a queue that cancels requests it
+  /// found already past their deadline still reports the deadline.
+  Status status() const {
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool deadline_expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  std::atomic<bool> cancelled_{false};
+  // Immutable after ArmDeadlineAfterMillis (armed before sharing).
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace cloudview

@@ -22,6 +22,10 @@ const char* Status::CodeToString(Code code) {
       return "Unimplemented";
     case Code::kInternal:
       return "Internal";
+    case Code::kCancelled:
+      return "Cancelled";
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -30,6 +30,8 @@ class Status {
     kResourceExhausted,
     kUnimplemented,
     kInternal,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() = default;
@@ -65,6 +67,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   /// \brief True iff this status represents success.
   bool ok() const { return code_ == Code::kOk; }
@@ -84,6 +92,10 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   /// \brief Human-readable rendering, e.g. "InvalidArgument: bad tier".
   std::string ToString() const;

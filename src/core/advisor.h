@@ -1,0 +1,244 @@
+// Advisor API: the one request/response pair every CloudScenario
+// entry point speaks (DESIGN.md §14).
+//
+// Historically the facade grew five parallel method families — solve,
+// frontier, timeline, provider comparison, policy comparison — each
+// with its own result struct and its own plumbing for solver name,
+// deadline, and telemetry. The serving layer (src/serving/) would have
+// multiplied that by transports. Instead, an AdvisorRequest is a tagged
+// variant over the five operations and an AdvisorResponse is a tagged
+// variant over their results plus one shared ResponseMeta (wall time,
+// cache counters, cancellation flag, optimality gap). The legacy
+// facade methods survive as thin shims over CloudScenario::Dispatch,
+// and src/serving/advisor_codec.h gives the pair a JSON form.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/months.h"
+#include "core/optimizer/evaluator.h"
+#include "core/optimizer/selector.h"
+#include "core/optimizer/temporal_planner.h"
+#include "engine/cluster.h"
+#include "pricing/pricing_model.h"
+#include "workload/timeline.h"
+#include "workload/workload.h"
+
+namespace cloudview {
+
+/// \brief The five operations CloudScenario::Dispatch serves.
+/// (CompareProviderFrontiers stays a direct method: it is a diagnostic
+/// sweep, not a serving operation.)
+enum class AdvisorRequestKind {
+  kSolve,
+  kFrontier,
+  kTimeline,
+  kCompareProviders,
+  kComparePolicies,
+};
+
+/// \brief Registry name of a request kind ("solve", "frontier", ...).
+const char* AdvisorRequestKindName(AdvisorRequestKind kind);
+
+/// \brief A workload by value or by reference to the scenario's
+/// default. Serializable — the serving codec round-trips this, unlike
+/// an inline Workload.
+struct WorkloadSpec {
+  /// "default" runs the scenario's DefaultWorkload() (the paper's
+  /// 10-query mix on the sales schema, the SSB 13-query mix on ssb);
+  /// "queries" runs `queries` verbatim.
+  std::string kind = "default";
+  std::vector<QuerySpec> queries;
+};
+
+/// \brief One drift model in a serializable timeline description.
+/// `kind` selects the model; only that model's fields are read.
+struct DriftSpec {
+  /// One of "frequency-decay", "seasonal-spike", "query-churn",
+  /// "dataset-growth" (workload/timeline.h).
+  std::string kind;
+  // frequency-decay: frequencies scale by `factor`, never below `floor`.
+  double factor = 0.9;
+  int64_t floor = 1;
+  // seasonal-spike: spike of `amplitude` when
+  // period % season_length == phase.
+  int64_t season_length = 4;
+  int64_t phase = 0;
+  double amplitude = 0.5;
+  // query-churn: retire probability per query per period, Zipf skew of
+  // the replacement cuboid draw.
+  double rate = 0.1;
+  double cuboid_skew = 0.5;
+  // dataset-growth: fraction of the base fact size ingested per period.
+  double growth_per_period = 0.02;
+};
+
+/// \brief Serializable WorkloadTimeline description: the base workload
+/// (WorkloadSpec) unrolled over `num_periods` under `drifts`.
+struct TimelineSpec {
+  int64_t num_periods = 12;
+  Months period_length = Months::FromMonths(1);
+  uint64_t seed = 7;
+  std::vector<DriftSpec> drifts;
+};
+
+/// \brief One advisor call: a tagged variant over the five operations.
+/// Only the fields of the selected `kind` are read.
+struct AdvisorRequest {
+  AdvisorRequestKind kind = AdvisorRequestKind::kSolve;
+
+  /// Serving-session name; empty for one-shot calls. The library layer
+  /// ignores it — SessionManager routes on it.
+  std::string session;
+
+  /// Registered solver name; empty selects the kind's default
+  /// (kDefaultSolverName, or config().frontier_solver for kFrontier).
+  std::string solver;
+
+  /// The objective every kind solves under (per period for kTimeline /
+  /// kComparePolicies). The embedded `cancel` token, when set, is
+  /// polled by solver inner loops.
+  ObjectiveSpec objective;
+
+  /// The workload (all kinds; the timeline kinds use it as the base
+  /// mix of TimelineSpec).
+  WorkloadSpec workload;
+
+  /// kTimeline / kComparePolicies: horizon shape and drift models.
+  TimelineSpec timeline;
+
+  /// kTimeline: the re-selection policy to walk under.
+  ReselectPolicy policy = ReselectPolicy::Static();
+
+  /// kComparePolicies: the policies to compare (result rows in this
+  /// order).
+  std::vector<ReselectPolicy> policies;
+
+  /// Soft deadline for the serving layer (0 = none): AdvisorService
+  /// arms a CancelToken with it and threads the token through
+  /// `objective.cancel`. The library layer does not read it.
+  int64_t deadline_ms = 0;
+
+  // --- In-process fast paths (not serialized) --------------------------
+  // Borrowed pointers for callers that already hold the objects the
+  // specs above describe; they win over the specs when set and must
+  // outlive the Dispatch call.
+
+  /// Overrides `workload`.
+  const Workload* inline_workload = nullptr;
+  /// Overrides `timeline` + `workload` for the timeline kinds.
+  const WorkloadTimeline* inline_timeline = nullptr;
+  /// kSolve only: replaces the scenario's configured cluster (instance
+  /// tier sweeps).
+  const ClusterSpec* cluster_override = nullptr;
+};
+
+/// \brief Telemetry shared by every response kind.
+struct ResponseMeta {
+  /// Registered solver that ran (after empty-name defaulting).
+  std::string solver;
+  /// Wall-clock time spent inside Dispatch.
+  int64_t wall_ms = 0;
+  /// EvaluationCache family counters for the solve, aggregated across
+  /// every fan-out child (EvaluationCache::aggregate). For warm
+  /// sessions these are cumulative across the session's requests.
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_evictions = 0;
+  /// Optimality-gap certificate of the solve (0 when proven optimal or
+  /// when the solver offers no bound; see SelectionResult).
+  double gap_fraction = 0.0;
+  /// True when the solve was truncated by cancellation or deadline;
+  /// the payload still holds the best incumbent.
+  bool cancelled = false;
+  /// True when the request was served from a warm session slot
+  /// (prepared evaluator + persistent cache).
+  bool warm = false;
+};
+
+/// \brief A selection outcome paired with its no-view baseline
+/// (kSolve; the former ScenarioRun).
+struct SolveRun {
+  SelectionResult selection;
+  SubsetEvaluation baseline;
+
+  /// Improvement of the run's time metric over the baseline, e.g. 0.25
+  /// for the paper's "IP rate 25%".
+  double TimeImprovement(const ObjectiveSpec& spec) const;
+  /// Improvement of total cost over the baseline ("IC rate").
+  double CostImprovement() const;
+};
+
+/// \brief A frontier solve paired with its baseline: the mutually
+/// non-dominated (monthly cost, time, storage) points, plus the spec's
+/// own best selection (kFrontier; DESIGN.md §10).
+struct FrontierRun {
+  /// Non-dominated points in ParetoPoint order (cost, time, storage).
+  std::vector<ParetoPoint> frontier;
+  /// The lexicographic best under the spec itself — always one of the
+  /// frontier's subsets when the spec is satisfiable.
+  SelectionResult best;
+  SubsetEvaluation baseline;
+};
+
+/// \brief A timeline walk (kTimeline / one kComparePolicies row).
+using TimelineRun = TemporalRunResult;
+
+/// \brief One provider's row in a kCompareProviders sweep.
+struct ProviderComparisonRow {
+  /// Registry name of the provider.
+  std::string provider;
+  /// Instance type actually rented under this provider's catalog.
+  std::string instance;
+  /// The sheet's native compute billing granularity.
+  BillingGranularity granularity = BillingGranularity::kHour;
+  SolveRun run;
+};
+
+/// \brief One provider's row in a CompareProviderFrontiers sweep
+/// (direct method; not a Dispatch kind).
+struct ProviderFrontierRow {
+  std::string provider;
+  std::string instance;
+  BillingGranularity granularity = BillingGranularity::kHour;
+  FrontierRun run;
+};
+
+/// \brief The result variant: `kind` says which payload member is
+/// populated; `meta` is always populated.
+struct AdvisorResponse {
+  AdvisorRequestKind kind = AdvisorRequestKind::kSolve;
+  ResponseMeta meta;
+
+  /// kSolve.
+  SolveRun solve;
+  /// kFrontier.
+  FrontierRun frontier;
+  /// kTimeline.
+  TimelineRun timeline;
+  /// kCompareProviders, in sorted provider-name order.
+  std::vector<ProviderComparisonRow> providers;
+  /// kComparePolicies, in request-policy order.
+  std::vector<TimelineRun> policies;
+};
+
+/// \brief A session's warm-start state: the prepared evaluator and the
+/// persistent cross-request EvaluationCache, keyed by a fingerprint of
+/// (workload, cluster, candidate options). Dispatch reuses a matching
+/// slot — skipping candidate generation and evaluator construction —
+/// and repopulates it on mismatch. Owned by the serving session; the
+/// caller serializes access (Dispatch does not lock).
+struct AdvisorWarmSlot {
+  std::shared_ptr<const SelectionEvaluator> evaluator;
+  std::shared_ptr<EvaluationCache> cache;
+  uint64_t fingerprint = 0;
+  /// Requests served from this slot since it was last (re)built.
+  uint64_t warm_hits = 0;
+};
+
+}  // namespace cloudview

@@ -82,6 +82,9 @@ Result<SelectionResult> Anneal(SolverContext& context,
   Rng rng(options.seed);
   double temperature = options.initial_temperature;
   for (int it = 0; it < options.iterations && n > 0; ++it) {
+    // Cancellation poll every 64 proposals (DESIGN.md §14): break out
+    // with the best subset seen; Finalize flags the truncation.
+    if ((it & 63) == 0 && context.Cancelled()) break;
     size_t flip = static_cast<size_t>(rng.Uniform(n));
     CV_ASSIGN_OR_RETURN(probe, context.ProbeToggle(current, flip));
     double trial_score = Scalarize(context, norms, probe);

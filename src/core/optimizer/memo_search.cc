@@ -163,10 +163,15 @@ class BnbWorker {
       jobs_->push_back(RootJob{decisions_, lb});
       return Status::OK();
     }
-    if (out_of_budget_ || nodes_ >= node_budget_) {
-      // Budget cutoff: the subtree stays unexplored; its bound becomes
-      // part of the gap certificate. Deterministic — the budget counts
-      // this walker's own nodes, nothing shared.
+    if (out_of_budget_ || nodes_ >= node_budget_ ||
+        ((nodes_ & 255) == 0 && context_.Cancelled())) {
+      // Budget cutoff — or a cancellation/deadline observed at the
+      // poll, which truncates through the identical path: the subtree
+      // stays unexplored; its bound becomes part of the gap
+      // certificate. Deterministic — the budget counts this walker's
+      // own nodes, nothing shared, and the poll cadence is a pure
+      // function of that count (a pre-fired token truncates every
+      // walker at its first poll regardless of thread count).
       out_of_budget_ = true;
       NoteUnexplored(lb);
       return Status::OK();
@@ -262,13 +267,14 @@ class BnbWorker {
 /// portfolio's RunStart — everything downstream of (job, warm) is
 /// deterministic; the shared memo only changes speed.
 JobOutcome RunJob(const SelectionEvaluator& shared,
-                  const ObjectiveSpec& spec, const RootJob& job,
+                  const ObjectiveSpec& spec,
+                  const SolverContext& parent, const RootJob& job,
                   const std::vector<uint32_t>& order,
                   const Incumbent& warm, SubsetBoundMemo* memo,
                   uint64_t node_budget) {
   JobOutcome out;
   SelectionEvaluator evaluator = shared.Clone();
-  EvaluationCache cache;
+  EvaluationCache cache = parent.NewTaskCache();
   SolverContext local(evaluator, spec, &cache);
   BnbWorker worker(local, order, memo, node_budget);
   worker.set_incumbent(warm);
@@ -383,8 +389,8 @@ Result<SelectionResult> SolveBranchAndBound(
   const SelectionEvaluator& shared = context.evaluator();
   const ObjectiveSpec& spec = context.spec();
   ParallelFor(jobs.size(), [&](size_t i) {
-    outcomes[i] = RunJob(shared, spec, jobs[i], order, warm, &memo,
-                         options.max_nodes_per_job);
+    outcomes[i] = RunJob(shared, spec, context, jobs[i], order, warm,
+                         &memo, options.max_nodes_per_job);
   });
 
   // Deterministic reduction: walk outcomes in roster order, fold by
@@ -422,7 +428,13 @@ Result<SelectionResult> SolveBranchAndBound(
   stats.gap_fraction = (stats.proven_optimal || !have_unexplored)
                            ? 0.0
                            : GapFraction(best.score, min_unexplored);
-  return context.Finalize(best.selected);
+  CV_ASSIGN_OR_RETURN(SelectionResult result,
+                      context.Finalize(best.selected));
+  // The certificate beats Finalize's no-information default: a
+  // cancelled search still reports how far the incumbent is certified
+  // to be from optimal (the kCancelled + incumbent + gap contract).
+  result.gap_fraction = stats.gap_fraction;
+  return result;
 }
 
 }  // namespace cloudview

@@ -43,7 +43,9 @@ Result<SelectionResult> ViewSelector::Solve(const ObjectiveSpec& spec,
         std::string(solver).c_str(), strategy->max_candidates(),
         evaluator_->num_candidates()));
   }
-  SolverContext context(*evaluator_, spec, &cache_);
+  SolverContext context(
+      *evaluator_, spec,
+      external_cache_ != nullptr ? external_cache_ : &cache_);
   CV_ASSIGN_OR_RETURN(SelectionResult result,
                       strategy->Solve(spec, context));
   result.solver = std::string(solver);

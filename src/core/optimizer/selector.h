@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/data_size.h"
 #include "common/duration.h"
 #include "common/money.h"
@@ -82,6 +83,16 @@ struct ObjectiveSpec {
   /// solvers return (see ParetoFront); ignored by single-objective
   /// strategies.
   double frontier_epsilon = 1e-6;
+
+  /// Cooperative cancellation (DESIGN.md §14): when non-null, solvers
+  /// poll the token (SolverContext::Cancelled) in their inner loops and
+  /// truncate the search like a node-budget cutoff — the best incumbent
+  /// found so far is still finalized and SelectionResult::cancelled is
+  /// set. Riding on the spec (not serialized, not compared) means every
+  /// existing fan-out path — portfolio starts, branch-and-bound jobs,
+  /// provider sweeps — forwards it without new plumbing. Borrowed: the
+  /// token must outlive the solve.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief The selected view set and how it scores.
@@ -105,8 +116,20 @@ struct SelectionResult {
 
   /// \brief Multi-objective strategies only ("pareto-sweep",
   /// "pareto-genetic"): the non-dominated frontier discovered during the
-  /// solve, in ParetoFront order. Empty for single-objective solvers.
+  /// solve, in ParetoPoint order. Empty for single-objective solvers.
   std::vector<ParetoPoint> frontier;
+
+  /// \brief True when the solve was truncated by the spec's CancelToken
+  /// (explicit cancel or deadline): `evaluation` then holds the best
+  /// incumbent found before the cutoff, exactly re-evaluated.
+  bool cancelled = false;
+
+  /// \brief Optimality-gap certificate in [0, 1]: 0 when the selection
+  /// is proven optimal (or the solver is heuristic and ran to
+  /// completion), 1 when nothing is certified. Branch-and-bound fills
+  /// this from its smallest unexplored lower bound (SearchStats);
+  /// truncated heuristics report 1.
+  double gap_fraction = 0.0;
 };
 
 /// \brief Solves the three scenarios against a SelectionEvaluator by
@@ -123,8 +146,15 @@ struct SelectionResult {
 class ViewSelector {
  public:
   /// \brief Keeps a reference; `evaluator` must outlive the selector.
-  explicit ViewSelector(const SelectionEvaluator& evaluator)
-      : evaluator_(&evaluator) {}
+  /// `external_cache` (optional) replaces the selector's own memo — the
+  /// serving layer's cross-request warm-start seam: a session hands the
+  /// same cache to every solve on a workload, so repeat tenants hit
+  /// entries earlier requests paid for (DESIGN.md §14). The cache must
+  /// outlive the selector and obeys the same one-task-at-a-time
+  /// contract as the selector itself.
+  explicit ViewSelector(const SelectionEvaluator& evaluator,
+                        EvaluationCache* external_cache = nullptr)
+      : evaluator_(&evaluator), external_cache_(external_cache) {}
 
   /// \brief Runs the scenario with the named solver (see
   /// SolverRegistry::Names() for what is available). NotFound for an
@@ -140,6 +170,7 @@ class ViewSelector {
 
  private:
   const SelectionEvaluator* evaluator_;
+  EvaluationCache* external_cache_ = nullptr;
   /// Subset evaluations are spec-independent; share them across runs.
   /// thread-compat: unsynchronized memo — one selector per thread
   /// (DESIGN.md §9.2); parallel fan-outs build per-task contexts.

@@ -264,6 +264,9 @@ Status SolverContext::HillClimb(SubsetState& state, bool with_swaps) {
 
   bool improved = true;
   while (improved) {
+    // Cancellation poll (DESIGN.md §14): stop improving, keep the state
+    // where it stands — the caller finalizes the incumbent.
+    if (Cancelled()) return Status::OK();
     improved = false;
     Score best_score = current_score;
     size_t best_add = kNoMove;
@@ -335,6 +338,11 @@ Result<SelectionResult> SolverContext::Finalize(
   result.objective_value = TradeoffObjective(probe.time, probe.cost);
   result.multi = MultiScoreOf(probe);
   result.evaluation = std::move(eval);
+  // A truncated solve is still exactly evaluated — but flagged, with no
+  // certificate by default (branch-and-bound overwrites gap_fraction
+  // with its unexplored-bound certificate).
+  result.cancelled = Cancelled();
+  result.gap_fraction = result.cancelled ? 1.0 : 0.0;
   return result;
 }
 

@@ -92,6 +92,26 @@ class SolverContext {
   const ObjectiveSpec& spec() const { return *spec_; }
   size_t num_candidates() const { return evaluator_->num_candidates(); }
 
+  // --- Cooperative cancellation (DESIGN.md §14) ------------------------
+
+  /// \brief True once the spec's CancelToken fired (explicit cancel or
+  /// deadline). Strategies poll this at loop heads — HillClimb's outer
+  /// pass, annealing's iteration loop, branch-and-bound's node
+  /// expansion — and truncate like a budget cutoff: keep the incumbent,
+  /// stop searching. One relaxed atomic load when a token is present;
+  /// free when not.
+  bool Cancelled() const {
+    return spec_->cancel != nullptr && spec_->cancel->cancelled();
+  }
+
+  /// \brief The token's reason once fired (kCancelled or
+  /// kDeadlineExceeded), OK otherwise — for callers that propagate the
+  /// cutoff as a Status instead of finalizing an incumbent.
+  Status CheckCancelled() const {
+    return spec_->cancel != nullptr ? spec_->cancel->status()
+                                    : Status::OK();
+  }
+
   // --- Objective helpers -----------------------------------------------
 
   /// \brief The scenario's time metric for a pair of time totals.
@@ -224,6 +244,15 @@ class SolverContext {
     counters_.full_evaluations += other.full_evaluations;
     counters_.incremental_probes += other.incremental_probes;
     counters_.cache_hits += other.cache_hits;
+  }
+
+  /// \brief An empty cache for one shared-nothing fan-out task, wired
+  /// into this context's cache family so the task's probe telemetry
+  /// aggregates (EvaluationCache::NewChild); a standalone cache when
+  /// this context runs uncached. Safe to call concurrently from pool
+  /// tasks — it only reads the parent cache's shared-stats handle.
+  EvaluationCache NewTaskCache() const {
+    return cache_ != nullptr ? cache_->NewChild() : EvaluationCache();
   }
 
  private:

@@ -94,7 +94,7 @@ class ParetoSweepSolver : public Solver {
     const SelectionEvaluator& shared = context.evaluator();
 
     ParallelFor(tasks.size(), [&](size_t i) {
-      outcomes[i] = RunTask(shared, tasks[i]);
+      outcomes[i] = RunTask(shared, context, tasks[i]);
     });
 
     // Sequential, index-ordered reduction: exact re-evaluation of every
@@ -209,10 +209,11 @@ class ParetoSweepSolver : public Solver {
   /// on a private context, report the pick (scores are recomputed by
   /// the reduction against the caller's context).
   static TaskOutcome RunTask(const SelectionEvaluator& shared,
+                             const SolverContext& parent,
                              const SweepTask& task) {
     TaskOutcome out;
     SelectionEvaluator evaluator = shared.Clone();
-    EvaluationCache cache;
+    EvaluationCache cache = parent.NewTaskCache();
     SolverContext local(evaluator, task.spec, &cache);
     auto run = [&]() -> Status {
       CV_ASSIGN_OR_RETURN(const Solver* solver,

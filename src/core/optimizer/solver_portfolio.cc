@@ -62,7 +62,7 @@ class PortfolioSolver : public Solver {
     const SelectionEvaluator& shared = context.evaluator();
 
     ParallelFor(starts, [&](size_t i) {
-      outcomes[i] = RunStart(shared, spec, i);
+      outcomes[i] = RunStart(shared, spec, context, i);
     });
 
     const StartOutcome* best = nullptr;
@@ -84,10 +84,11 @@ class PortfolioSolver : public Solver {
   /// Everything downstream of the fixed (start index -> seed) mapping
   /// is deterministic.
   static StartOutcome RunStart(const SelectionEvaluator& shared,
-                               const ObjectiveSpec& spec, size_t i) {
+                               const ObjectiveSpec& spec,
+                               const SolverContext& parent, size_t i) {
     StartOutcome out;
     SelectionEvaluator evaluator = shared.Clone();
-    EvaluationCache cache;
+    EvaluationCache cache = parent.NewTaskCache();
     SolverContext local(evaluator, spec, &cache);
 
     auto run = [&]() -> Status {

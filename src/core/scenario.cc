@@ -8,48 +8,33 @@
 
 namespace cloudview {
 
-double ScenarioRun::TimeImprovement(const ObjectiveSpec& spec) const {
-  // The baseline has no views, so its makespan equals its processing
-  // time; either metric reads the same.
-  Duration base = spec.time_includes_materialization
-                      ? baseline.makespan
-                      : baseline.processing_time;
-  if (base.is_zero()) return 0.0;
-  return 1.0 - static_cast<double>(selection.time.millis()) /
-                   static_cast<double>(base.millis());
-}
-
-double ScenarioRun::CostImprovement() const {
-  Money base = baseline.cost.total();
-  if (base.is_zero()) return 0.0;
-  return 1.0 -
-         static_cast<double>(selection.evaluation.cost.total().micros()) /
-             static_cast<double>(base.micros());
-}
-
 Result<CloudScenario> CloudScenario::Create(ScenarioConfig config) {
+  if (config.pricing.has_value()) {
+    return Status::InvalidArgument(
+        "ScenarioConfig::pricing was removed: select the sheet by name "
+        "via ScenarioConfig::provider (registering custom sheets with "
+        "ProviderRegistry) and layer pricing_overrides on top");
+  }
   CloudScenario scenario(std::move(config));
-  CV_ASSIGN_OR_RETURN(StarSchema schema,
-                      MakeSalesSchema(scenario.config_.sales));
+  Result<StarSchema> schema =
+      scenario.config_.schema == "sales"
+          ? MakeSalesSchema(scenario.config_.sales)
+      : scenario.config_.schema == "ssb"
+          ? MakeSsbSchema(scenario.config_.ssb)
+          : Result<StarSchema>(Status::InvalidArgument(
+                "unknown ScenarioConfig::schema \"" +
+                scenario.config_.schema + "\"; expected sales or ssb"));
+  CV_RETURN_IF_ERROR(schema.status());
   CV_ASSIGN_OR_RETURN(CubeLattice lattice,
-                      CubeLattice::Build(std::move(schema)));
+                      CubeLattice::Build(schema.MoveValue()));
   scenario.lattice_ = std::make_unique<CubeLattice>(std::move(lattice));
   scenario.simulator_ = std::make_unique<MapReduceSimulator>(
       *scenario.lattice_, scenario.config_.mapreduce);
-  if (scenario.config_.pricing.has_value()) {
-    // Deprecated shim: an explicit model bypasses the registry lookup,
-    // but the configured overrides still apply — the shim must behave
-    // exactly like selecting the same sheet by name.
-    scenario.pricing_ = std::make_unique<PricingModel>(
-        scenario.config_.pricing->WithOverrides(
-            scenario.config_.pricing_overrides));
-  } else {
-    CV_ASSIGN_OR_RETURN(
-        PricingModel model,
-        ProviderRegistry::Global().Model(scenario.config_.provider));
-    scenario.pricing_ = std::make_unique<PricingModel>(
-        model.WithOverrides(scenario.config_.pricing_overrides));
-  }
+  CV_ASSIGN_OR_RETURN(
+      PricingModel model,
+      ProviderRegistry::Global().Model(scenario.config_.provider));
+  scenario.pricing_ = std::make_unique<PricingModel>(
+      model.WithOverrides(scenario.config_.pricing_overrides));
   scenario.cost_model_ =
       std::make_unique<CloudCostModel>(*scenario.pricing_);
   CV_ASSIGN_OR_RETURN(
@@ -63,7 +48,18 @@ Result<CloudScenario> CloudScenario::Create(ScenarioConfig config) {
 }
 
 Result<Workload> CloudScenario::PaperWorkload() const {
+  if (config_.schema != "sales") {
+    return Status::InvalidArgument(
+        "the paper workload targets the sales schema; this scenario "
+        "uses \"" +
+        config_.schema + "\" (see DefaultWorkload)");
+  }
   return MakePaperWorkload(*lattice_);
+}
+
+Result<Workload> CloudScenario::DefaultWorkload() const {
+  return config_.schema == "ssb" ? MakeSsbWorkload(*lattice_)
+                                 : MakePaperWorkload(*lattice_);
 }
 
 Result<DeploymentSpec> CloudScenario::MakeDeployment(
@@ -95,49 +91,37 @@ Result<DeploymentSpec> CloudScenario::MakeDeployment(
   return deployment;
 }
 
+// The five legacy facade methods are thin shims over Dispatch
+// (core/advisor.cc): each packs its arguments into an AdvisorRequest
+// via the in-process borrowed-pointer fast path and unpacks the
+// matching payload. advisor_dispatch_test pins the bit-identity of the
+// two surfaces.
+
 Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
                                        const ObjectiveSpec& spec,
                                        std::string_view solver,
                                        const ClusterSpec* cluster_override)
     const {
-  if (workload.empty()) {
-    return Status::InvalidArgument("cannot run an empty workload");
-  }
-  const ClusterSpec& cluster =
-      cluster_override != nullptr ? *cluster_override : cluster_;
-  CV_ASSIGN_OR_RETURN(DeploymentSpec deployment,
-                      MakeDeployment(workload, cluster));
-  CV_ASSIGN_OR_RETURN(
-      std::vector<ViewCandidate> candidates,
-      GenerateCandidates(*lattice_, workload, *simulator_, cluster,
-                         config_.candidates));
-  CV_ASSIGN_OR_RETURN(
-      SelectionEvaluator evaluator,
-      SelectionEvaluator::Create(*lattice_, workload, *simulator_,
-                                 cluster, *cost_model_, deployment,
-                                 std::move(candidates)));
-  ViewSelector selector(evaluator);
-  CV_ASSIGN_OR_RETURN(SelectionResult selection,
-                      selector.Solve(spec, solver));
-  ScenarioRun run;
-  run.selection = std::move(selection);
-  run.baseline = evaluator.baseline();
-  return run;
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.inline_workload = &workload;
+  request.cluster_override = cluster_override;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.solve);
 }
 
 Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
     const Workload& workload, const ObjectiveSpec& spec,
     std::string_view solver) const {
-  // One task per registered sheet: each rebuilds its own deployment
-  // (scenario, evaluator, selector) from scratch, so the sweeps share
-  // nothing but the immutable registries. Rows land by name index,
-  // keeping the sorted provider order at any thread count.
-  std::vector<std::string> names = ProviderRegistry::Global().Names();
-  std::vector<ProviderComparisonRow> rows(names.size());
-  CV_RETURN_IF_ERROR(ParallelForStatus(names.size(), [&](size_t i) {
-    return CompareOneProvider(names[i], workload, spec, solver, rows[i]);
-  }));
-  return rows;
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kCompareProviders;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.inline_workload = &workload;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.providers);
 }
 
 Result<CloudScenario> CloudScenario::ForProvider(
@@ -158,7 +142,6 @@ Result<CloudScenario> CloudScenario::ForProvider(
   CV_RETURN_IF_ERROR(type.status());
 
   ScenarioConfig config = config_;
-  config.pricing.reset();
   config.provider = name;
   // Native billing semantics: the comparison is between the sheets as
   // published, not between override combinations.
@@ -185,23 +168,13 @@ Status CloudScenario::CompareOneProvider(const std::string& name,
 Result<FrontierRun> CloudScenario::SolveFrontier(
     const Workload& workload, const ObjectiveSpec& spec,
     std::string_view solver) const {
-  std::string_view frontier_solver =
-      solver.empty() ? std::string_view(config_.frontier_solver) : solver;
-  CV_ASSIGN_OR_RETURN(ScenarioRun run,
-                      Run(workload, spec, frontier_solver));
-  FrontierRun out;
-  out.baseline = std::move(run.baseline);
-  out.best = std::move(run.selection);
-  out.frontier = std::move(out.best.frontier);
-  out.best.frontier.clear();
-  if (out.frontier.empty() && out.best.feasible) {
-    // A single-objective strategy was named: degenerate to its one
-    // operating point rather than returning an empty frontier.
-    out.frontier.push_back(ParetoPoint{out.best.multi,
-                                       out.best.evaluation.selected,
-                                       out.best.solver});
-  }
-  return out;
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kFrontier;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.inline_workload = &workload;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.frontier);
 }
 
 Result<std::vector<ProviderFrontierRow>>
@@ -230,13 +203,20 @@ CloudScenario::CompareProviderFrontiers(const Workload& workload,
 Result<TemporalRunResult> CloudScenario::RunTimeline(
     const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
     const ReselectPolicy& policy, std::string_view solver) const {
-  CV_ASSIGN_OR_RETURN(
-      TemporalPlanner planner,
-      TemporalPlanner::Create(*lattice_, *simulator_, cluster_,
-                              *cost_model_, timeline,
-                              config_.candidates,
-                              config_.maintenance_cycles));
-  return planner.Run(spec, policy, solver);
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kTimeline;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.policy = policy;
+  request.inline_timeline = &timeline;
+  if (timeline.num_periods() == 0) {
+    return Status::InvalidArgument("timeline has no periods");
+  }
+  // Dispatch resolves a workload for every kind; point it at the
+  // timeline's base mix so no spec lookup happens.
+  request.inline_workload = &timeline.period(0).workload;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.timeline);
 }
 
 Result<std::vector<TemporalRunResult>>
@@ -244,13 +224,18 @@ CloudScenario::CompareReselectPolicies(
     const WorkloadTimeline& timeline, const ObjectiveSpec& spec,
     const std::vector<ReselectPolicy>& policies,
     std::string_view solver) const {
-  CV_ASSIGN_OR_RETURN(
-      TemporalPlanner planner,
-      TemporalPlanner::Create(*lattice_, *simulator_, cluster_,
-                              *cost_model_, timeline,
-                              config_.candidates,
-                              config_.maintenance_cycles));
-  return planner.ComparePolicies(spec, policies, solver);
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kComparePolicies;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.policies = policies;
+  request.inline_timeline = &timeline;
+  if (timeline.num_periods() == 0) {
+    return Status::InvalidArgument("timeline has no periods");
+  }
+  request.inline_workload = &timeline.period(0).workload;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.policies);
 }
 
 Result<SubsetEvaluation> CloudScenario::EvaluateWithoutViews(

@@ -12,6 +12,7 @@
 
 #include "catalog/lattice.h"
 #include "common/result.h"
+#include "core/advisor.h"
 #include "core/cost/cloud_cost_model.h"
 #include "core/optimizer/candidate_generation.h"
 #include "core/optimizer/evaluator.h"
@@ -20,14 +21,21 @@
 #include "engine/cluster.h"
 #include "engine/sales_generator.h"
 #include "pricing/pricing_model.h"
+#include "workload/ssb.h"
 #include "workload/workload.h"
 
 namespace cloudview {
 
 /// \brief Everything that defines a deployment.
 struct ScenarioConfig {
+  /// Schema family: "sales" builds the paper's retail star from
+  /// `sales`; "ssb" builds the Star Schema Benchmark lattice from
+  /// `ssb` (workload/ssb.h — the serving benchmarks' smoke config).
+  std::string schema = "sales";
   /// Dataset shape (defaults: the paper's 10 GB experimental subset).
   SalesConfig sales;
+  /// SSB shape, read when schema == "ssb".
+  SsbConfig ssb;
   /// Simulated-cluster timing constants.
   MapReduceParams mapreduce;
   /// CSP selection by ProviderRegistry name (see
@@ -40,11 +48,11 @@ struct ScenarioConfig {
   /// started-hour billing.
   PricingOverrides pricing_overrides =
       PricingOverrides::ComputeGranularityOnly(BillingGranularity::kSecond);
-  /// Deprecated shim for the pre-registry API: when set, this model is
-  /// used instead of looking `provider` up. `pricing_overrides` still
-  /// apply on top — exactly as they do to a registry sheet — so passing
-  /// the registered model through the shim produces a deployment
-  /// identical to selecting it by name. Prefer selecting by name.
+  /// Removed: the pre-registry explicit-model shim. Setting it now
+  /// makes Create() fail with InvalidArgument. Select the sheet by
+  /// name via `provider` (registering custom sheets with
+  /// ProviderRegistry) and layer `pricing_overrides` on top — the
+  /// combination reproduces every deployment the shim could express.
   std::optional<PricingModel> pricing;
   /// Rented configuration (paper Section 6: five identical VMs).
   std::string instance_name = "small";
@@ -67,53 +75,27 @@ struct ScenarioConfig {
   std::string frontier_solver = "pareto-sweep";
 };
 
-/// \brief A selection outcome paired with its no-view baseline.
-struct ScenarioRun {
-  SelectionResult selection;
-  SubsetEvaluation baseline;
-
-  /// Improvement of the run's time metric over the baseline, e.g. 0.25
-  /// for the paper's "IP rate 25%".
-  double TimeImprovement(const ObjectiveSpec& spec) const;
-  /// Improvement of total cost over the baseline ("IC rate").
-  double CostImprovement() const;
-};
-
-/// \brief One provider's row in a CompareProviders sweep.
-struct ProviderComparisonRow {
-  /// Registry name of the provider.
-  std::string provider;
-  /// Instance type actually rented under this provider's catalog.
-  std::string instance;
-  /// The sheet's native compute billing granularity.
-  BillingGranularity granularity = BillingGranularity::kHour;
-  ScenarioRun run;
-};
-
-/// \brief A frontier solve paired with its baseline: the mutually
-/// non-dominated (monthly cost, time, storage) points, plus the spec's
-/// own best selection (DESIGN.md §10).
-struct FrontierRun {
-  /// Non-dominated points in ParetoFront order (cost, time, storage).
-  std::vector<ParetoPoint> frontier;
-  /// The lexicographic best under the spec itself — always one of the
-  /// frontier's subsets when the spec is satisfiable.
-  SelectionResult best;
-  SubsetEvaluation baseline;
-};
-
-/// \brief One provider's row in a CompareProviderFrontiers sweep.
-struct ProviderFrontierRow {
-  std::string provider;
-  std::string instance;
-  BillingGranularity granularity = BillingGranularity::kHour;
-  FrontierRun run;
-};
+/// \brief Legacy name for the kSolve payload; the struct itself (and
+/// its sweep-row siblings FrontierRun / ProviderComparisonRow /
+/// ProviderFrontierRow) moved to core/advisor.h with the API redesign.
+/// Alias kept for one release.
+using ScenarioRun = SolveRun;
 
 /// \brief A wired-up deployment; build once, run many workloads.
 class CloudScenario {
  public:
   static Result<CloudScenario> Create(ScenarioConfig config);
+
+  /// \brief The one entry point behind every facade method below: a
+  /// tagged AdvisorRequest in, a tagged AdvisorResponse (payload +
+  /// ResponseMeta telemetry) out. `warm` (optional) is a session's
+  /// warm-start slot — a matching slot skips candidate generation and
+  /// evaluator construction and accumulates cache telemetry across
+  /// requests; the caller serializes access to it. The facades and
+  /// Dispatch produce bit-identical payloads (pinned by
+  /// advisor_dispatch_test).
+  Result<AdvisorResponse> Dispatch(const AdvisorRequest& request,
+                                   AdvisorWarmSlot* warm = nullptr) const;
 
   const ScenarioConfig& config() const { return config_; }
   const CubeLattice& lattice() const { return *lattice_; }
@@ -123,7 +105,13 @@ class CloudScenario {
   const CloudCostModel& cost_model() const { return *cost_model_; }
 
   /// \brief The paper's 10-query workload on this scenario's lattice.
+  /// Fails on non-"sales" schemas; prefer DefaultWorkload().
   Result<Workload> PaperWorkload() const;
+
+  /// \brief The schema family's canonical workload: the paper's
+  /// 10-query mix ("sales") or the SSB 13-query flights ("ssb") — what
+  /// a WorkloadSpec of kind "default" resolves to.
+  Result<Workload> DefaultWorkload() const;
 
   /// \brief Selects views for `workload` under `spec` with the named
   /// registered solver (see SolverRegistry::Names()), returning the
@@ -221,6 +209,33 @@ class CloudScenario {
                             const ObjectiveSpec& spec,
                             std::string_view solver,
                             ProviderComparisonRow& row) const;
+
+  // --- Dispatch impl bodies (core/advisor.cc) --------------------------
+
+  /// The request's workload: inline pointer first, then the
+  /// WorkloadSpec ("default" -> DefaultWorkload(), "queries" ->
+  /// validated verbatim list).
+  Result<Workload> ResolveWorkload(const AdvisorRequest& request) const;
+  /// The request's timeline: inline pointer first, then generated from
+  /// the TimelineSpec over `base`.
+  Result<WorkloadTimeline> ResolveTimeline(const AdvisorRequest& request,
+                                           const Workload& base) const;
+  /// The kSolve body (candidates -> evaluator -> solver), optionally
+  /// reusing / repopulating a session warm slot and reporting cache
+  /// telemetry into `meta`.
+  Result<SolveRun> SolveImpl(const Workload& workload,
+                             const ObjectiveSpec& spec,
+                             std::string_view solver,
+                             const ClusterSpec* cluster_override,
+                             AdvisorWarmSlot* warm,
+                             ResponseMeta* meta) const;
+  /// The kFrontier body: SolveImpl under a multi-objective strategy,
+  /// repackaged as frontier + best.
+  Result<FrontierRun> FrontierImpl(const Workload& workload,
+                                   const ObjectiveSpec& spec,
+                                   std::string_view solver,
+                                   AdvisorWarmSlot* warm,
+                                   ResponseMeta* meta) const;
 
   ScenarioConfig config_;
   // Heap-held so CloudScenario stays movable while internal references

@@ -1,0 +1,134 @@
+// Minimal JSON document model for the advisor serving layer
+// (DESIGN.md §14): a tagged JsonValue tree, a recursive-descent parser
+// with line/column errors, and a compact writer.
+//
+// Deliberately dependency-free — the container bakes no JSON library,
+// and the wire format is small enough that hand-rolling beats gating a
+// dependency. Design points:
+//
+//   - Integers and doubles are distinct: the codec round-trips exact
+//     unit types (Money micros, Duration millis, DataSize bytes,
+//     Months milli-months) as int64 fields, which a doubles-only model
+//     would corrupt past 2^53.
+//   - Objects are ordered vectors of (key, value), not hash maps:
+//     writes are deterministic (D2's reproducibility rule), and the
+//     handful of keys per object makes linear Find cheaper than
+//     hashing anyway.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudview {
+
+/// \brief One JSON value: null, bool, int64, double, string, array, or
+/// object (ordered key/value list).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.type_ = Type::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.type_ = Type::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+  /// \brief Numeric value as a double regardless of int/double tag.
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// \brief Appends to an array value.
+  void Push(JsonValue v) { items_.push_back(std::move(v)); }
+  /// \brief Appends a member to an object value (no dedup; the writer
+  /// emits members in insertion order).
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// \brief First member with `key`, or nullptr. Null on non-objects.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// \brief Parses one JSON document (whole input; trailing non-space is
+/// an error). Errors are InvalidArgument with 1-based line:column and
+/// what was expected. Nesting beyond 64 levels is rejected.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Compact single-line serialization (no spaces, members in
+/// insertion order). Doubles render round-trippably; non-finite
+/// doubles render as null (JSON has no NaN/Inf).
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace cloudview

@@ -1,0 +1,121 @@
+#include "serving/session_manager.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cloudview {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<AdvisorResponse> AdvisorSession::Serve(
+    const AdvisorRequest& request) {
+  MutexLock lock(&mu_);
+  ++requests_served_;
+  return scenario_.Dispatch(request, &warm_);
+}
+
+uint64_t AdvisorSession::requests_served() const {
+  MutexLock lock(&mu_);
+  return requests_served_;
+}
+
+uint64_t AdvisorSession::warm_hits() const {
+  MutexLock lock(&mu_);
+  return warm_.warm_hits;
+}
+
+SessionManager::SessionManager() : SessionManager(Options()) {}
+
+SessionManager::SessionManager(Options options)
+    : options_(std::move(options)) {
+  if (!options_.now_ms) options_.now_ms = SteadyNowMs;
+}
+
+size_t SessionManager::EvictExpiredLocked() {
+  if (options_.ttl_ms <= 0) return 0;
+  const int64_t now = options_.now_ms();
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_used_ms >= options_.ttl_ms) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+Result<std::shared_ptr<AdvisorSession>> SessionManager::Create(
+    const std::string& name, ScenarioConfig config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be non-empty");
+  }
+  // Build outside the lock: scenario construction generates the
+  // lattice and can take a while.
+  CV_ASSIGN_OR_RETURN(CloudScenario scenario,
+                      CloudScenario::Create(std::move(config)));
+  auto session =
+      std::make_shared<AdvisorSession>(name, std::move(scenario));
+  MutexLock lock(&mu_);
+  EvictExpiredLocked();
+  if (sessions_.count(name) != 0) {
+    return Status::AlreadyExists("session \"" + name +
+                                 "\" already exists");
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(options_.max_sessions) +
+        "); drop one first");
+  }
+  sessions_[name] = Entry{session, options_.now_ms()};
+  return session;
+}
+
+Result<std::shared_ptr<AdvisorSession>> SessionManager::Find(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  EvictExpiredLocked();
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session named \"" + name +
+                            "\" (expired or never created)");
+  }
+  it->second.last_used_ms = options_.now_ms();
+  return it->second.session;
+}
+
+Status SessionManager::Drop(const std::string& name) {
+  MutexLock lock(&mu_);
+  EvictExpiredLocked();
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session named \"" + name + "\"");
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SessionManager::Names() {
+  MutexLock lock(&mu_);
+  EvictExpiredLocked();
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, entry] : sessions_) names.push_back(name);
+  return names;
+}
+
+size_t SessionManager::EvictExpired() {
+  MutexLock lock(&mu_);
+  return EvictExpiredLocked();
+}
+
+}  // namespace cloudview

@@ -1,0 +1,109 @@
+// Named advisor sessions (DESIGN.md §14): each session owns one
+// wired-up CloudScenario plus the warm-start slot Dispatch reuses
+// across requests — the prepared SelectionEvaluator and the persistent
+// EvaluationCache whose telemetry accumulates session-long.
+//
+// Lifecycle: sessions are created by name, looked up per request
+// (refreshing their TTL), and evicted after `ttl_ms` of idleness or on
+// explicit Drop. Handles are shared_ptr so an in-flight solve keeps
+// its session alive across a concurrent drop/eviction; the session's
+// own mutex serializes solves (the warm slot and the memoizing
+// evaluator are single-writer by contract).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "core/scenario.h"
+
+namespace cloudview {
+
+/// \brief One named scenario with warm-start state and telemetry.
+class AdvisorSession {
+ public:
+  AdvisorSession(std::string name, CloudScenario scenario)
+      : name_(std::move(name)), scenario_(std::move(scenario)) {}
+
+  const std::string& name() const { return name_; }
+  const CloudScenario& scenario() const { return scenario_; }
+
+  /// \brief Dispatches `request` against this session's scenario under
+  /// the session lock, wiring the warm slot through. Requests to one
+  /// session serialize; distinct sessions run concurrently.
+  Result<AdvisorResponse> Serve(const AdvisorRequest& request)
+      CLOUDVIEW_EXCLUDES(mu_);
+
+  /// \brief Requests served so far (all kinds, including failures).
+  uint64_t requests_served() const CLOUDVIEW_EXCLUDES(mu_);
+  /// \brief Requests served from the warm slot since it was last
+  /// (re)built.
+  uint64_t warm_hits() const CLOUDVIEW_EXCLUDES(mu_);
+
+ private:
+  const std::string name_;
+  const CloudScenario scenario_;
+  mutable Mutex mu_;
+  AdvisorWarmSlot warm_ CLOUDVIEW_GUARDED_BY(mu_);
+  uint64_t requests_served_ CLOUDVIEW_GUARDED_BY(mu_) = 0;
+};
+
+/// \brief Creates, finds, and expires sessions by name.
+class SessionManager {
+ public:
+  struct Options {
+    /// Idle time after which a session is evicted (sweeps run on every
+    /// create/find/drop). Zero or negative disables TTL eviction.
+    int64_t ttl_ms = 15 * 60 * 1000;
+    /// Hard cap on live sessions; Create fails beyond it.
+    size_t max_sessions = 64;
+    /// Injectable millisecond clock for tests; defaults to
+    /// steady_clock. Must be monotone.
+    std::function<int64_t()> now_ms;
+  };
+
+  SessionManager();  // == SessionManager(Options{}).
+  explicit SessionManager(Options options);
+
+  /// \brief Builds a CloudScenario from `config` and registers it
+  /// under `name`. AlreadyExists when the name is live;
+  /// ResourceExhausted at max_sessions.
+  Result<std::shared_ptr<AdvisorSession>> Create(const std::string& name,
+                                                 ScenarioConfig config)
+      CLOUDVIEW_EXCLUDES(mu_);
+
+  /// \brief Looks a live session up and refreshes its TTL. NotFound
+  /// when absent or already expired.
+  Result<std::shared_ptr<AdvisorSession>> Find(const std::string& name)
+      CLOUDVIEW_EXCLUDES(mu_);
+
+  /// \brief Unregisters `name` (in-flight holders keep their handle).
+  Status Drop(const std::string& name) CLOUDVIEW_EXCLUDES(mu_);
+
+  /// \brief Live session names, sorted.
+  std::vector<std::string> Names() CLOUDVIEW_EXCLUDES(mu_);
+
+  /// \brief Sweeps expired sessions now; returns how many were
+  /// evicted. (Also runs implicitly on create/find/drop.)
+  size_t EvictExpired() CLOUDVIEW_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::shared_ptr<AdvisorSession> session;
+    int64_t last_used_ms = 0;
+  };
+
+  size_t EvictExpiredLocked() CLOUDVIEW_REQUIRES(mu_);
+
+  Options options_;
+  Mutex mu_;
+  // std::map keeps Names() deterministic without a sort-on-read.
+  std::map<std::string, Entry> sessions_ CLOUDVIEW_GUARDED_BY(mu_);
+};
+
+}  // namespace cloudview

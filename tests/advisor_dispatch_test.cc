@@ -1,0 +1,156 @@
+// Facade <-> Dispatch parity: the five legacy CloudScenario methods
+// are shims over Dispatch, and this pins that the payloads stay
+// bit-identical — both paths serialized through the canonical codec
+// must produce byte-equal JSON (exact unit types make this an integer
+// comparison; doubles compare through their shortest round-trip form).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/scenario.h"
+#include "serving/advisor_codec.h"
+
+namespace cloudview {
+namespace {
+
+class DispatchParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioConfig config;
+    config.candidates.max_candidates = 8;
+    config.candidates.max_rows_fraction = 0.05;
+    scenario_ = std::make_unique<CloudScenario>(
+        CloudScenario::Create(config).MoveValue());
+    workload_ = std::make_unique<Workload>(
+        scenario_->DefaultWorkload().MoveValue());
+    spec_.scenario = Scenario::kMV1BudgetLimit;
+    spec_.budget_limit = Money::FromMicros(50'000'000);  // $50: loose.
+  }
+
+  // The payload member of the response, as canonical JSON.
+  static std::string PayloadJson(const AdvisorResponse& response) {
+    JsonValue json = AdvisorResponseToJson(response);
+    const JsonValue* payload =
+        json.Find(response.kind == AdvisorRequestKind::kSolve ? "solve"
+                  : response.kind == AdvisorRequestKind::kFrontier
+                      ? "frontier"
+                  : response.kind == AdvisorRequestKind::kTimeline
+                      ? "timeline"
+                  : response.kind == AdvisorRequestKind::kCompareProviders
+                      ? "providers"
+                      : "policies");
+    EXPECT_NE(payload, nullptr);
+    return payload != nullptr ? WriteJson(*payload) : std::string();
+  }
+
+  WorkloadTimeline MakeTimeline() const {
+    TimelineOptions options;
+    options.num_periods = 2;
+    return WorkloadTimeline::Generate(scenario_->lattice(), *workload_, {},
+                                      options)
+        .MoveValue();
+  }
+
+  std::unique_ptr<CloudScenario> scenario_;
+  std::unique_ptr<Workload> workload_;
+  ObjectiveSpec spec_;
+};
+
+TEST_F(DispatchParityTest, RunMatchesSolveDispatch) {
+  ScenarioRun facade =
+      scenario_->Run(*workload_, spec_, "greedy").MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.solver = "greedy";
+  request.objective = spec_;
+  request.inline_workload = workload_.get();
+  AdvisorResponse dispatched = scenario_->Dispatch(request).MoveValue();
+
+  AdvisorResponse wrapped;
+  wrapped.kind = AdvisorRequestKind::kSolve;
+  wrapped.solve = facade;
+  EXPECT_EQ(PayloadJson(wrapped), PayloadJson(dispatched));
+  EXPECT_EQ(dispatched.meta.solver, "greedy");
+}
+
+TEST_F(DispatchParityTest, SolveFrontierMatchesFrontierDispatch) {
+  FrontierRun facade =
+      scenario_->SolveFrontier(*workload_, spec_).MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kFrontier;
+  request.objective = spec_;
+  request.inline_workload = workload_.get();
+  AdvisorResponse dispatched = scenario_->Dispatch(request).MoveValue();
+
+  AdvisorResponse wrapped;
+  wrapped.kind = AdvisorRequestKind::kFrontier;
+  wrapped.frontier = facade;
+  EXPECT_EQ(PayloadJson(wrapped), PayloadJson(dispatched));
+  // Empty solver name defaulted to the configured frontier strategy.
+  EXPECT_EQ(dispatched.meta.solver, scenario_->config().frontier_solver);
+}
+
+TEST_F(DispatchParityTest, RunTimelineMatchesTimelineDispatch) {
+  WorkloadTimeline timeline = MakeTimeline();
+  TemporalRunResult facade =
+      scenario_->RunTimeline(timeline, spec_, ReselectPolicy::EveryK(1))
+          .MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kTimeline;
+  request.objective = spec_;
+  request.policy = ReselectPolicy::EveryK(1);
+  request.inline_timeline = &timeline;
+  AdvisorResponse dispatched = scenario_->Dispatch(request).MoveValue();
+
+  AdvisorResponse wrapped;
+  wrapped.kind = AdvisorRequestKind::kTimeline;
+  wrapped.timeline = facade;
+  EXPECT_EQ(PayloadJson(wrapped), PayloadJson(dispatched));
+}
+
+TEST_F(DispatchParityTest, CompareProvidersMatchesDispatch) {
+  std::vector<ProviderComparisonRow> facade =
+      scenario_->CompareProviders(*workload_, spec_).MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kCompareProviders;
+  request.objective = spec_;
+  request.inline_workload = workload_.get();
+  AdvisorResponse dispatched = scenario_->Dispatch(request).MoveValue();
+
+  AdvisorResponse wrapped;
+  wrapped.kind = AdvisorRequestKind::kCompareProviders;
+  wrapped.providers = facade;
+  ASSERT_EQ(dispatched.providers.size(), facade.size());
+  EXPECT_EQ(PayloadJson(wrapped), PayloadJson(dispatched));
+}
+
+TEST_F(DispatchParityTest, CompareReselectPoliciesMatchesDispatch) {
+  WorkloadTimeline timeline = MakeTimeline();
+  const std::vector<ReselectPolicy> policies = {ReselectPolicy::Static(),
+                                                ReselectPolicy::EveryK(1)};
+  std::vector<TemporalRunResult> facade =
+      scenario_->CompareReselectPolicies(timeline, spec_, policies)
+          .MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kComparePolicies;
+  request.objective = spec_;
+  request.policies = policies;
+  request.inline_timeline = &timeline;
+  AdvisorResponse dispatched = scenario_->Dispatch(request).MoveValue();
+
+  AdvisorResponse wrapped;
+  wrapped.kind = AdvisorRequestKind::kComparePolicies;
+  wrapped.policies = facade;
+  ASSERT_EQ(dispatched.policies.size(), facade.size());
+  EXPECT_EQ(PayloadJson(wrapped), PayloadJson(dispatched));
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,104 @@
+// EvaluationCache family telemetry: NewChild() task caches share the
+// parent's stats sink, so aggregate() reports session-level counters
+// across every fan-out child — including evictions — and moves never
+// double-flush.
+
+#include "core/optimizer/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace cloudview {
+namespace {
+
+EvaluationCache::Entry MakeEntry(int64_t cost_micros) {
+  EvaluationCache::Entry entry;
+  entry.total_cost = Money::FromMicros(cost_micros);
+  return entry;
+}
+
+TEST(CacheStats, LocalCountersTrackFinds) {
+  EvaluationCache cache;
+  EXPECT_EQ(cache.Find(1), nullptr);  // Miss.
+  cache.Insert(1, MakeEntry(10));
+  ASSERT_NE(cache.Find(1), nullptr);  // Hit.
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  EvaluationCache::AggregateCounts counts = cache.aggregate();
+  EXPECT_EQ(counts.lookups, 2u);
+  EXPECT_EQ(counts.hits, 1u);
+  EXPECT_EQ(counts.misses(), 1u);
+}
+
+TEST(CacheStats, ChildCountersAggregateIntoTheFamily) {
+  EvaluationCache parent;
+  parent.Insert(1, MakeEntry(10));
+  ASSERT_NE(parent.Find(1), nullptr);  // 1 lookup, 1 hit locally.
+
+  {
+    EvaluationCache child = parent.NewChild();
+    // Entries do NOT transfer — the child starts empty...
+    EXPECT_EQ(child.Find(1), nullptr);
+    child.Insert(2, MakeEntry(20));
+    ASSERT_NE(child.Find(2), nullptr);
+    // ...and its probes are invisible to the family until it flushes.
+    EXPECT_EQ(parent.aggregate().lookups, 1u);
+  }  // Destructor flushes the child's counters into the shared sink.
+
+  EvaluationCache::AggregateCounts counts = parent.aggregate();
+  EXPECT_EQ(counts.lookups, 3u);  // 1 parent + 2 child.
+  EXPECT_EQ(counts.hits, 2u);
+  EXPECT_EQ(counts.misses(), 1u);
+  // The parent's own entry table never saw the child's keys.
+  EXPECT_EQ(parent.size(), 1u);
+}
+
+TEST(CacheStats, ExplicitFlushMakesLiveChildVisible) {
+  EvaluationCache parent;
+  EvaluationCache child = parent.NewChild();
+  EXPECT_EQ(child.Find(7), nullptr);
+  child.FlushStats();
+  EXPECT_EQ(parent.aggregate().lookups, 1u);
+  // Flushing zeroes the locals: dying later must not double-count.
+  child.FlushStats();
+  EXPECT_EQ(parent.aggregate().lookups, 1u);
+}
+
+TEST(CacheStats, GrandchildrenShareTheSameSink) {
+  EvaluationCache parent;
+  {
+    EvaluationCache child = parent.NewChild();
+    EvaluationCache grandchild = child.NewChild();
+    EXPECT_EQ(grandchild.Find(3), nullptr);
+  }
+  EXPECT_EQ(parent.aggregate().lookups, 1u);
+}
+
+TEST(CacheStats, MovedCachesFlushExactlyOnce) {
+  EvaluationCache parent;
+  {
+    EvaluationCache child = parent.NewChild();
+    EXPECT_EQ(child.Find(5), nullptr);
+    EvaluationCache stolen = std::move(child);
+    // Both die here; only the move target holds the sink.
+  }
+  EXPECT_EQ(parent.aggregate().lookups, 1u);
+}
+
+TEST(CacheStats, EpochEvictionIsCounted) {
+  EvaluationCache cache(/*max_entries=*/2);
+  cache.Insert(1, MakeEntry(1));
+  cache.Insert(2, MakeEntry(2));
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Insert(3, MakeEntry(3));  // Full: epoch drop, then insert.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Find(1), nullptr);   // Dropped with the epoch.
+  EXPECT_NE(cache.Find(3), nullptr);   // Survived.
+  EXPECT_EQ(cache.aggregate().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -1,0 +1,213 @@
+// Cancellation and deadline semantics (DESIGN.md §14): token state
+// machine, cancelled solves keeping their best incumbent + gap
+// deterministically at any thread count, and the service-level status
+// contract (kCancelled / kDeadlineExceeded with the partial payload
+// attached; queue-expired requests failed without solving).
+
+#include "common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "core/scenario.h"
+#include "serving/advisor_service.h"
+
+namespace cloudview {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.candidates.max_candidates = 8;
+  config.candidates.max_rows_fraction = 0.05;
+  return config;
+}
+
+ObjectiveSpec LooseBudgetSpec() {
+  ObjectiveSpec spec;
+  spec.scenario = Scenario::kMV1BudgetLimit;
+  spec.budget_limit = Money::FromMicros(50'000'000);
+  return spec;
+}
+
+TEST(CancelToken, ExplicitCancelReportsCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.status().IsCancelled());
+}
+
+TEST(CancelToken, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancelToken token;
+  token.ArmDeadlineAfterMillis(0);  // Already expired.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.status().IsDeadlineExceeded());
+}
+
+TEST(CancelToken, ExpiredDeadlineWinsOverExplicitCancel) {
+  CancelToken token;
+  token.ArmDeadlineAfterMillis(0);
+  token.Cancel();
+  EXPECT_TRUE(token.status().IsDeadlineExceeded());
+}
+
+TEST(CancelToken, FutureDeadlineStaysLive) {
+  CancelToken token;
+  token.ArmDeadlineAfterMillis(60'000);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.status().ok());
+}
+
+// A pre-cancelled token makes every solver truncate at its first poll,
+// so the cancelled result is a pure function of the instance — the
+// strongest determinism check that needs no timing control.
+TEST(Cancellation, CancelledBranchAndBoundIsDeterministicAcrossThreads) {
+  CloudScenario scenario =
+      CloudScenario::Create(SmallConfig()).MoveValue();
+  Workload workload = scenario.DefaultWorkload().MoveValue();
+
+  CancelToken token;
+  token.Cancel();
+  ObjectiveSpec spec = LooseBudgetSpec();
+  spec.cancel = &token;
+
+  ThreadPool::SetGlobalConcurrency(1);
+  ScenarioRun one =
+      scenario.Run(workload, spec, "branch-and-bound").MoveValue();
+  ThreadPool::SetGlobalConcurrency(8);
+  ScenarioRun eight =
+      scenario.Run(workload, spec, "branch-and-bound").MoveValue();
+  ThreadPool::SetGlobalConcurrency(1);
+
+  EXPECT_TRUE(one.selection.cancelled);
+  EXPECT_TRUE(eight.selection.cancelled);
+  // Best incumbent and gap certificate are carried...
+  EXPECT_GE(one.selection.gap_fraction, 0.0);
+  // ...and bit-identical at any concurrency.
+  EXPECT_EQ(one.selection.evaluation.selected,
+            eight.selection.evaluation.selected);
+  EXPECT_EQ(one.selection.evaluation.cost.total().micros(),
+            eight.selection.evaluation.cost.total().micros());
+  EXPECT_EQ(std::memcmp(&one.selection.gap_fraction,
+                        &eight.selection.gap_fraction, sizeof(double)),
+            0);
+}
+
+TEST(Cancellation, ServiceReportsCancelledWithIncumbentPayload) {
+  AdvisorService::Options options;
+  options.default_config = SmallConfig();
+  std::unique_ptr<AdvisorService> service =
+      AdvisorService::Create(std::move(options)).MoveValue();
+
+  CancelToken token;
+  token.Cancel();
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.solver = "branch-and-bound";
+  request.objective = LooseBudgetSpec();
+  request.objective.cancel = &token;
+
+  ServeOutcome outcome = service->Serve(request);
+  EXPECT_TRUE(outcome.status.IsCancelled()) << outcome.status;
+  ASSERT_TRUE(outcome.has_response);
+  EXPECT_TRUE(outcome.response.meta.cancelled);
+  EXPECT_EQ(service->stats().cancelled, 1u);
+}
+
+TEST(Cancellation, ServiceReportsDeadlineExceededWithPayload) {
+  AdvisorService::Options options;
+  options.default_config = SmallConfig();
+  std::unique_ptr<AdvisorService> service =
+      AdvisorService::Create(std::move(options)).MoveValue();
+
+  CancelToken token;
+  token.ArmDeadlineAfterMillis(0);  // Expired before the solve starts.
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.objective = LooseBudgetSpec();
+  request.objective.cancel = &token;
+
+  ServeOutcome outcome = service->Serve(request);
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded()) << outcome.status;
+  ASSERT_TRUE(outcome.has_response);
+  EXPECT_TRUE(outcome.response.meta.cancelled);
+}
+
+TEST(Cancellation, DeadlineExpiredInQueueFailsFastWithoutSolving) {
+  // One worker, parked on a blocker task: the drain task sits queued
+  // until this thread's Wait() pulls it, by which point the deadline
+  // has deterministically lapsed.
+  ThreadPool::SetGlobalConcurrency(2);
+  Mutex mu;
+  CondVar cv;
+  bool started = false;
+  bool release = false;
+  ThreadPool::Global().Submit([&]() {
+    MutexLock lock(&mu);
+    started = true;
+    cv.NotifyAll();
+    while (!release) cv.Wait(mu);
+  });
+  {
+    MutexLock lock(&mu);
+    while (!started) cv.Wait(mu);
+  }
+
+  AdvisorService::Options options;
+  options.default_config = SmallConfig();
+  std::unique_ptr<AdvisorService> service =
+      AdvisorService::Create(std::move(options)).MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.objective = LooseBudgetSpec();
+  request.deadline_ms = 1;
+  std::shared_ptr<PendingResponse> pending =
+      service->SubmitAsync(request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  ServeOutcome outcome = pending->Wait();
+  {
+    MutexLock lock(&mu);
+    release = true;
+  }
+  cv.NotifyAll();
+  ThreadPool::SetGlobalConcurrency(1);
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded()) << outcome.status;
+  EXPECT_FALSE(outcome.has_response);  // Never solved.
+  EXPECT_EQ(service->stats().deadline_expired_in_queue, 1u);
+}
+
+TEST(Cancellation, AsyncSolvesCompleteThroughTheQueue) {
+  AdvisorService::Options options;
+  options.default_config = SmallConfig();
+  std::unique_ptr<AdvisorService> service =
+      AdvisorService::Create(std::move(options)).MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+  request.objective = LooseBudgetSpec();
+  std::shared_ptr<PendingResponse> a = service->SubmitAsync(request);
+  std::shared_ptr<PendingResponse> b = service->SubmitAsync(request);
+  ServeOutcome outcome_a = a->Wait();
+  ServeOutcome outcome_b = b->Wait();
+  EXPECT_TRUE(outcome_a.status.ok()) << outcome_a.status;
+  EXPECT_TRUE(outcome_b.status.ok()) << outcome_b.status;
+  ASSERT_TRUE(outcome_a.has_response);
+  ASSERT_TRUE(outcome_b.has_response);
+  // Identical requests, identical answers (determinism through the
+  // async path).
+  EXPECT_EQ(outcome_a.response.solve.selection.evaluation.selected,
+            outcome_b.response.solve.selection.evaluation.selected);
+  EXPECT_GE(service->stats().served, 2u);
+  EXPECT_GE(service->stats().batches, 1u);
+}
+
+}  // namespace
+}  // namespace cloudview

@@ -60,58 +60,29 @@ TEST(CloudScenario, CreateRejectsUnknownProvider) {
   EXPECT_NE(status.message().find("aws-2012"), std::string::npos);
 }
 
-TEST(CloudScenario, DeprecatedPricingShimWinsOverProvider) {
-  ScenarioConfig config = SmallScenario();
-  config.provider = "aws-2012";
-  config.pricing = GigaCloudPricing();  // Legacy explicit model.
-  config.instance_name = "g-small";
-  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
-  EXPECT_EQ(scenario.pricing().name(), "gigacloud");
-  // The configured overrides apply to the shim model exactly as they
-  // would to the registry sheet (the default is per-second billing).
-  EXPECT_EQ(scenario.pricing().compute_granularity(),
-            BillingGranularity::kSecond);
-}
-
-TEST(CloudScenario, DeprecatedShimHonoursNativeSemanticsWhenUnoverridden) {
+TEST(CloudScenario, RemovedPricingShimIsRejected) {
+  // The pre-registry explicit-model shim is gone: setting the field
+  // fails fast, and the error names the migration path.
   ScenarioConfig config = SmallScenario();
   config.pricing = GigaCloudPricing();
-  config.pricing_overrides = PricingOverrides{};
-  config.instance_name = "g-small";
-  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
-  EXPECT_EQ(scenario.pricing().compute_granularity(),
-            BillingGranularity::kMinute);  // GigaCloud bills by minute.
+  Status status = CloudScenario::Create(config).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("provider"), std::string::npos);
+  EXPECT_NE(status.message().find("pricing_overrides"), std::string::npos);
 }
 
-TEST(CloudScenario, DeprecatedShimMatchesNameBasedSelectionExactly) {
-  // The regression the shim fix pins down: the same sheet passed through
-  // the deprecated `pricing` field must produce bit-identical runs to
-  // selecting it by registry name — including the overrides, which the
-  // shim used to drop on the floor.
-  ScenarioConfig by_name = SmallScenario();
-  by_name.provider = "gigacloud";
-  by_name.instance_name = "g-small";
-
-  ScenarioConfig by_shim = by_name;
-  by_shim.provider = "aws-2012";  // Must be ignored when the shim is set.
-  by_shim.pricing = GigaCloudPricing();
-
-  CloudScenario named = CloudScenario::Create(by_name).MoveValue();
-  CloudScenario shimmed = CloudScenario::Create(by_shim).MoveValue();
-  Workload workload = named.PaperWorkload().MoveValue().Prefix(5);
-  ObjectiveSpec spec;
-  spec.scenario = Scenario::kMV3Tradeoff;
-  spec.alpha = 0.5;
-
-  ScenarioRun named_run = named.Run(workload, spec).MoveValue();
-  ScenarioRun shim_run = shimmed.Run(workload, spec).MoveValue();
-  EXPECT_EQ(named_run.selection.evaluation.selected,
-            shim_run.selection.evaluation.selected);
-  EXPECT_EQ(named_run.selection.evaluation.cost.total(),
-            shim_run.selection.evaluation.cost.total());
-  EXPECT_EQ(named_run.selection.time, shim_run.selection.time);
-  EXPECT_EQ(named_run.baseline.cost.total(),
-            shim_run.baseline.cost.total());
+TEST(CloudScenario, NameBasedSelectionCoversFormerShimModels) {
+  // What the shim used to express — an explicit GigaCloud sheet with
+  // native billing semantics — is exactly provider="gigacloud" with
+  // the overrides cleared.
+  ScenarioConfig config = SmallScenario();
+  config.provider = "gigacloud";
+  config.instance_name = "g-small";
+  config.pricing_overrides = PricingOverrides{};
+  CloudScenario scenario = CloudScenario::Create(config).MoveValue();
+  EXPECT_EQ(scenario.pricing().name(), "gigacloud");
+  EXPECT_EQ(scenario.pricing().compute_granularity(),
+            BillingGranularity::kMinute);  // GigaCloud bills by minute.
 }
 
 TEST(CloudScenario, CompareProvidersCoversRegistryInOrder) {

@@ -1,0 +1,130 @@
+// JsonValue / ParseJson / WriteJson: round-trips of every value type,
+// exact int64 preservation, escape handling, and malformed-input
+// rejection with 1-based line:column positions.
+
+#include "serving/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace cloudview {
+namespace {
+
+JsonValue ParseOk(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.MoveValue();
+}
+
+std::string ParseError(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  return parsed.ok() ? std::string() : parsed.status().message();
+}
+
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(ParseOk("null").is_null());
+  EXPECT_TRUE(ParseOk("true").bool_value());
+  EXPECT_FALSE(ParseOk("false").bool_value());
+  EXPECT_EQ(ParseOk("42").int_value(), 42);
+  EXPECT_EQ(ParseOk("-7").int_value(), -7);
+  EXPECT_TRUE(ParseOk("0.5").is_double());
+  EXPECT_EQ(ParseOk("\"hi\"").string_value(), "hi");
+}
+
+TEST(ParseJson, Int64ExtremesStayExact) {
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  JsonValue parsed_min = ParseOk(std::to_string(min));
+  JsonValue parsed_max = ParseOk(std::to_string(max));
+  ASSERT_TRUE(parsed_min.is_int());
+  ASSERT_TRUE(parsed_max.is_int());
+  EXPECT_EQ(parsed_min.int_value(), min);
+  EXPECT_EQ(parsed_max.int_value(), max);
+  // And back out through the writer without drifting through a double.
+  EXPECT_EQ(WriteJson(parsed_min), std::to_string(min));
+  EXPECT_EQ(WriteJson(parsed_max), std::to_string(max));
+}
+
+TEST(ParseJson, StringEscapes) {
+  EXPECT_EQ(ParseOk(R"("a\"b\\c\/d\n\t")").string_value(), "a\"b\\c/d\n\t");
+  // A = 'A'; a surrogate pair decodes to a 4-byte UTF-8 sequence.
+  EXPECT_EQ(ParseOk(R"("A")").string_value(), "A");
+  EXPECT_EQ(ParseOk(R"("😀")").string_value(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(ParseJson, NestedContainers) {
+  JsonValue doc = ParseOk(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[1].int_value(), 2);
+  EXPECT_TRUE(a->items()[2].Find("b")->bool_value());
+  EXPECT_TRUE(doc.Find("c")->Find("d")->is_null());
+}
+
+TEST(WriteJson, RoundTripIsIdempotent) {
+  const std::string text =
+      R"({"s":"q\"uote","i":-3,"d":0.25,"b":false,"n":null,"a":[1,[2]]})";
+  JsonValue once = ParseOk(text);
+  const std::string written = WriteJson(once);
+  JsonValue twice = ParseOk(written);
+  EXPECT_EQ(WriteJson(twice), written);
+}
+
+TEST(WriteJson, DoublesRoundTripBitExactly) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02e23, -2.5}) {
+    JsonValue parsed = ParseOk(WriteJson(JsonValue::Double(d)));
+    ASSERT_TRUE(parsed.is_double());
+    const double reparsed = parsed.double_value();
+    EXPECT_EQ(std::memcmp(&reparsed, &d, sizeof(double)), 0) << d;
+  }
+}
+
+TEST(WriteJson, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(WriteJson(JsonValue::Double(
+                std::numeric_limits<double>::quiet_NaN())),
+            "null");
+  EXPECT_EQ(WriteJson(JsonValue::Double(
+                std::numeric_limits<double>::infinity())),
+            "null");
+}
+
+TEST(ParseJson, RejectsMalformedWithPosition) {
+  // Errors carry a 1-based line:column position ("... at 1:8: ...").
+  EXPECT_NE(ParseError("{\"a\":1,}").find(" at 1:"), std::string::npos);
+  EXPECT_NE(ParseError("[1,2").find(" at 1:"), std::string::npos);
+  // The position advances across newlines.
+  EXPECT_NE(ParseError("{\n\"a\": tru\n}").find(" at 2:"),
+            std::string::npos);
+}
+
+TEST(ParseJson, RejectsTrailingContent) {
+  ParseError("1 2");
+  ParseError("{} []");
+}
+
+TEST(ParseJson, RejectsBadEscapesAndBareWords) {
+  ParseError(R"("\x41")");
+  ParseError(R"("\uD83D")");  // Lone high surrogate.
+  ParseError("{a:1}");        // Unquoted key.
+  ParseError("'single'");
+  ParseError("");
+}
+
+TEST(ParseJson, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  const std::string message = ParseError(deep);
+  EXPECT_NE(message.find("nest"), std::string::npos) << message;
+}
+
+}  // namespace
+}  // namespace cloudview

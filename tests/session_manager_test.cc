@@ -1,0 +1,141 @@
+// SessionManager: create/find/drop semantics, TTL eviction on an
+// injectable clock, the session cap, and the warm-slot telemetry a
+// served session accumulates.
+
+#include "serving/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+namespace cloudview {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.candidates.max_candidates = 6;
+  config.candidates.max_rows_fraction = 0.05;
+  return config;
+}
+
+SessionManager::Options FakeClockOptions(int64_t* now_ms,
+                                         int64_t ttl_ms = 100) {
+  SessionManager::Options options;
+  options.ttl_ms = ttl_ms;
+  options.now_ms = [now_ms]() { return *now_ms; };
+  return options;
+}
+
+TEST(SessionManager, CreateFindDrop) {
+  int64_t now = 0;
+  SessionManager manager(FakeClockOptions(&now));
+  Result<std::shared_ptr<AdvisorSession>> created =
+      manager.Create("a", SmallConfig());
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_EQ(created.value()->name(), "a");
+
+  Result<std::shared_ptr<AdvisorSession>> found = manager.Find("a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().get(), created.value().get());
+
+  EXPECT_TRUE(manager.Find("b").status().IsNotFound());
+  EXPECT_TRUE(manager.Drop("a").ok());
+  EXPECT_TRUE(manager.Find("a").status().IsNotFound());
+  EXPECT_TRUE(manager.Drop("a").IsNotFound());
+}
+
+TEST(SessionManager, DuplicateNameIsAlreadyExists) {
+  int64_t now = 0;
+  SessionManager manager(FakeClockOptions(&now));
+  ASSERT_TRUE(manager.Create("a", SmallConfig()).ok());
+  Status status = manager.Create("a", SmallConfig()).status();
+  EXPECT_TRUE(status.IsAlreadyExists()) << status;
+}
+
+TEST(SessionManager, EmptyNameRejected) {
+  SessionManager manager;
+  EXPECT_TRUE(
+      manager.Create("", SmallConfig()).status().IsInvalidArgument());
+}
+
+TEST(SessionManager, TtlEvictsIdleSessionsAndFindRefreshes) {
+  int64_t now = 0;
+  SessionManager manager(FakeClockOptions(&now, /*ttl_ms=*/100));
+  ASSERT_TRUE(manager.Create("a", SmallConfig()).ok());
+  ASSERT_TRUE(manager.Create("b", SmallConfig()).ok());
+
+  now = 60;
+  ASSERT_TRUE(manager.Find("a").ok());  // Refreshes a's TTL; b stays idle.
+
+  now = 120;  // b idle 120ms >= ttl; a idle 60ms.
+  EXPECT_EQ(manager.EvictExpired(), 1u);
+  EXPECT_TRUE(manager.Find("b").status().IsNotFound());
+  EXPECT_TRUE(manager.Find("a").ok());
+
+  now = 500;  // Everything idles out; the sweep also runs inside Find.
+  EXPECT_TRUE(manager.Find("a").status().IsNotFound());
+  EXPECT_TRUE(manager.Names().empty());
+}
+
+TEST(SessionManager, ZeroTtlDisablesEviction) {
+  int64_t now = 0;
+  SessionManager manager(FakeClockOptions(&now, /*ttl_ms=*/0));
+  ASSERT_TRUE(manager.Create("a", SmallConfig()).ok());
+  now = 1'000'000'000;
+  EXPECT_EQ(manager.EvictExpired(), 0u);
+  EXPECT_TRUE(manager.Find("a").ok());
+}
+
+TEST(SessionManager, SessionCapIsResourceExhausted) {
+  int64_t now = 0;
+  SessionManager::Options options = FakeClockOptions(&now);
+  options.max_sessions = 2;
+  SessionManager manager(std::move(options));
+  ASSERT_TRUE(manager.Create("a", SmallConfig()).ok());
+  ASSERT_TRUE(manager.Create("b", SmallConfig()).ok());
+  Status status = manager.Create("c", SmallConfig()).status();
+  EXPECT_TRUE(status.IsResourceExhausted()) << status;
+  ASSERT_TRUE(manager.Drop("a").ok());
+  EXPECT_TRUE(manager.Create("c", SmallConfig()).ok());
+}
+
+TEST(SessionManager, NamesAreSorted) {
+  SessionManager manager;
+  ASSERT_TRUE(manager.Create("zeta", SmallConfig()).ok());
+  ASSERT_TRUE(manager.Create("alpha", SmallConfig()).ok());
+  EXPECT_EQ(manager.Names(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(SessionManager, ServeAccumulatesWarmTelemetry) {
+  SessionManager manager;
+  std::shared_ptr<AdvisorSession> session =
+      manager.Create("s", SmallConfig()).MoveValue();
+
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolve;
+
+  Result<AdvisorResponse> first = session->Serve(request);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first.value().meta.warm);  // Slot built on first touch.
+
+  Result<AdvisorResponse> second = session->Serve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().meta.warm);
+  EXPECT_EQ(session->requests_served(), 2u);
+  EXPECT_EQ(session->warm_hits(), 1u);
+  // The persistent session cache accumulates across requests, so the
+  // second solve's aggregate counters strictly grow and start hitting.
+  EXPECT_GT(second.value().meta.cache_lookups,
+            first.value().meta.cache_lookups);
+  EXPECT_GT(second.value().meta.cache_hits, 0u);
+
+  // An in-flight handle keeps serving after a drop.
+  ASSERT_TRUE(manager.Drop("s").ok());
+  EXPECT_TRUE(session->Serve(request).ok());
+  EXPECT_EQ(session->warm_hits(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudview
