@@ -264,8 +264,17 @@ def main():
                 f"  {key}\n    {args.metric}: {value:,.0f} < "
                 f"{floor:.0%} of baseline {base_value:,.0f} "
                 f"({value / base_value:.0%})")
-    for key in sorted(set(current) - set(rows)):
-        print(f"note: new row not in baseline (run --update): {key}")
+    # New rows are warned about in one consolidated block, not failed:
+    # a fresh bench must be able to land before its baseline, but an
+    # unlisted row is ungated, and a gate that silently ignores it
+    # would read as coverage it doesn't have.
+    new_rows = sorted(set(current) - set(rows))
+    if new_rows:
+        print(f"WARNING: {len(new_rows)} row(s) in the output have no "
+              "baseline and are NOT gated — regenerate "
+              f"{args.baseline} with --update to cover them:")
+        for key in new_rows:
+            print(f"  {key}")
 
     if missing:
         print(f"FAIL: {len(missing)} baseline row(s) missing from output "

@@ -102,6 +102,8 @@ const char* AdvisorRequestKindName(AdvisorRequestKind kind) {
       return "compare-providers";
     case AdvisorRequestKind::kComparePolicies:
       return "compare-policies";
+    case AdvisorRequestKind::kSolveJoint:
+      return "solve-joint";
   }
   return "unknown";
 }
@@ -267,6 +269,23 @@ Result<FrontierRun> CloudScenario::FrontierImpl(const Workload& workload,
   return out;
 }
 
+Result<JointRun> CloudScenario::JointImpl(const Workload& workload,
+                                          const ObjectiveSpec& spec,
+                                          std::string_view solver,
+                                          AdvisorWarmSlot* warm,
+                                          ResponseMeta* meta) const {
+  CV_ASSIGN_OR_RETURN(
+      SolveRun run,
+      SolveImpl(workload, spec, solver, nullptr, warm, meta));
+  JointRun out;
+  out.baseline = std::move(run.baseline);
+  out.best = std::move(run.selection);
+  out.frontier = std::move(out.best.frontier);
+  out.best.frontier.clear();
+  out.best_architecture = out.best.architecture;
+  return out;
+}
+
 Result<AdvisorResponse> CloudScenario::Dispatch(
     const AdvisorRequest& request, AdvisorWarmSlot* warm) const {
   const auto start = std::chrono::steady_clock::now();
@@ -275,9 +294,17 @@ Result<AdvisorResponse> CloudScenario::Dispatch(
 
   std::string_view solver = request.solver;
   if (solver.empty()) {
-    solver = request.kind == AdvisorRequestKind::kFrontier
-                 ? std::string_view(config_.frontier_solver)
-                 : kDefaultSolverName;
+    switch (request.kind) {
+      case AdvisorRequestKind::kFrontier:
+        solver = config_.frontier_solver;
+        break;
+      case AdvisorRequestKind::kSolveJoint:
+        solver = "arch-sweep";
+        break;
+      default:
+        solver = kDefaultSolverName;
+        break;
+    }
   }
   response.meta.solver = std::string(solver);
 
@@ -313,6 +340,14 @@ Result<AdvisorResponse> CloudScenario::Dispatch(
       CV_ASSIGN_OR_RETURN(
           response.timeline,
           planner.Run(request.objective, request.policy, solver));
+      break;
+    }
+    case AdvisorRequestKind::kSolveJoint: {
+      CV_ASSIGN_OR_RETURN(response.joint,
+                          JointImpl(workload, request.objective, solver,
+                                    warm, &response.meta));
+      response.meta.cancelled = response.joint.best.cancelled;
+      response.meta.gap_fraction = response.joint.best.gap_fraction;
       break;
     }
     case AdvisorRequestKind::kCompareProviders: {

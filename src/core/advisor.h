@@ -40,6 +40,7 @@ enum class AdvisorRequestKind {
   kTimeline,
   kCompareProviders,
   kComparePolicies,
+  kSolveJoint,
 };
 
 /// \brief Registry name of a request kind ("solve", "frontier", ...).
@@ -186,6 +187,25 @@ struct FrontierRun {
   SubsetEvaluation baseline;
 };
 
+/// \brief A joint (deployment architecture, view set) solve
+/// (kSolveJoint): the four-axis frontier the "arch-sweep" strategy
+/// reduces its per-architecture optima onto, plus the winning pair and
+/// the identity-architecture baseline.
+struct JointRun {
+  /// Non-dominated (monthly cost, time, storage, unavailability ppm)
+  /// points in ParetoPoint order, each tagged with the architecture it
+  /// is billed under.
+  std::vector<ParetoPoint> frontier;
+  /// The spec's own best selection, billed under `best_architecture`.
+  SelectionResult best;
+  /// Name of the winning deployment architecture
+  /// (== best.architecture; lifted out for serving convenience).
+  std::string best_architecture;
+  /// The no-view baseline under the identity single-node architecture
+  /// — the paper's reference bill the frontier is judged against.
+  SubsetEvaluation baseline;
+};
+
 /// \brief A timeline walk (kTimeline / one kComparePolicies row).
 using TimelineRun = TemporalRunResult;
 
@@ -225,6 +245,8 @@ struct AdvisorResponse {
   std::vector<ProviderComparisonRow> providers;
   /// kComparePolicies, in request-policy order.
   std::vector<TimelineRun> policies;
+  /// kSolveJoint.
+  JointRun joint;
 };
 
 /// \brief A session's warm-start state: the prepared evaluator and the

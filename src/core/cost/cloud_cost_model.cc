@@ -2,8 +2,53 @@
 
 namespace cloudview {
 
+namespace {
+
+/// The architecture extension, applied identically here and in
+/// SelectionEvaluator::FastTotalCost (which reproduces these exact
+/// ScaleBy chains on memoized bills — keep the two in lockstep, the
+/// property suite pins their bit-equality). `breakdown` arrives with
+/// the identity-architecture bill already itemized.
+void ApplyArchitecture(const ArchitectureModel& arch,
+                       const PricingModel& pricing,
+                       const DeploymentSpec& spec, DataSize view_bytes,
+                       CostBreakdown& breakdown) {
+  if (arch.is_identity()) return;
+  breakdown.processing =
+      breakdown.processing.ScaleBy(arch.compute_num, arch.compute_den);
+  breakdown.materialization =
+      breakdown.materialization.ScaleBy(arch.fanout_num, arch.fanout_den);
+  breakdown.maintenance =
+      breakdown.maintenance.ScaleBy(arch.fanout_num, arch.fanout_den);
+  breakdown.interruption =
+      (breakdown.materialization + breakdown.maintenance)
+          .ScaleBy(arch.interruption_num, arch.interruption_den);
+  breakdown.storage =
+      breakdown.storage.ScaleBy(arch.storage_num, arch.storage_den);
+  if (arch.cross_az_copies > 0) {
+    DataSize written = ReplicatedWriteBytes(
+        spec.ingress.initial_dataset, view_bytes, spec.maintenance_cycles);
+    breakdown.inter_az = pricing.InterAzCost(
+        DataSize::FromBytes(written.bytes() * arch.cross_az_copies));
+  }
+}
+
+Status RejectSingleSessionArchitecture(const DeploymentSpec& spec) {
+  if (spec.single_compute_session && !spec.architecture.is_identity()) {
+    return Status::InvalidArgument(
+        "single_compute_session cannot be billed under a non-identity "
+        "deployment architecture ('" +
+        spec.architecture.name +
+        "'): a replicated or spot fleet is not one rental session");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<CostBreakdown> CloudCostModel::CostWithoutViews(
     const WorkloadCostInput& workload, const DeploymentSpec& spec) const {
+  CV_RETURN_IF_ERROR(RejectSingleSessionArchitecture(spec));
   CostBreakdown breakdown;
   breakdown.processing =
       compute_.ProcessingCost(workload, spec.instance, spec.nb_instances);
@@ -23,12 +68,15 @@ Result<CostBreakdown> CloudCostModel::CostWithoutViews(
   CV_ASSIGN_OR_RETURN(
       breakdown.storage,
       storage_.Cost(spec.base_storage, spec.storage_period));
+  ApplyArchitecture(spec.architecture, *pricing_, spec, DataSize::Zero(),
+                    breakdown);
   return breakdown;
 }
 
 Result<CostBreakdown> CloudCostModel::CostWithViews(
     const WorkloadCostInput& workload, const ViewSetCostInput& views,
     const DeploymentSpec& spec) const {
+  CV_RETURN_IF_ERROR(RejectSingleSessionArchitecture(spec));
   CostBreakdown breakdown;
   if (spec.single_compute_session) {
     // One rental session covering materialization, querying and
@@ -75,6 +123,8 @@ Result<CostBreakdown> CloudCostModel::CostWithViews(
       with_views.AddDelta(Months::Zero(), views.TotalSize()));
   CV_ASSIGN_OR_RETURN(breakdown.storage,
                       storage_.Cost(with_views, spec.storage_period));
+  ApplyArchitecture(spec.architecture, *pricing_, spec, views.TotalSize(),
+                    breakdown);
   return breakdown;
 }
 

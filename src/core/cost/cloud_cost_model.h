@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "catalog/architecture.h"
 #include "common/months.h"
 #include "core/cost/compute_cost.h"
 #include "core/cost/cost_breakdown.h"
@@ -48,6 +49,13 @@ struct DeploymentSpec {
   /// plan discount (negative) on sheets with reserved rates — is
   /// reported separately in CostBreakdown::session_rounding.
   bool single_compute_session = false;
+  /// Lowered deployment architecture (catalog/architecture.h). The
+  /// default identity model reproduces the paper's single-cluster bill
+  /// bit-for-bit; non-identity models scale compute/storage, add spot
+  /// interruption expectation and inter-AZ egress, and are rejected
+  /// alongside single_compute_session (a spot fleet cannot be one
+  /// uninterrupted rental session).
+  ArchitectureModel architecture;
 };
 
 /// \brief Evaluates complete scenario costs against one PricingModel.

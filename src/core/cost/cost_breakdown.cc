@@ -8,9 +8,15 @@ void CostBreakdown::Print(std::ostream& os) const {
   if (!session_rounding.is_zero()) {
     os << " round " << session_rounding;
   }
+  if (!interruption.is_zero()) {
+    os << " spot " << interruption;
+  }
   os << " stor " << storage << " xfer " << transfer;
   if (!requests.is_zero()) {
     os << " req " << requests;
+  }
+  if (!inter_az.is_zero()) {
+    os << " az " << inter_az;
   }
   os << ")";
 }

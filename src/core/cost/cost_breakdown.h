@@ -30,14 +30,25 @@ struct CostBreakdown {
   /// term carries the reserved discount. compute() is the billed truth
   /// either way.
   Money session_rounding;
+  /// Expected re-run compute for spot-interrupted view builds
+  /// (catalog/architecture.h); zero under the identity architecture.
+  Money interruption;
+  /// Inter-AZ egress for replicated writes (multi-AZ architectures);
+  /// zero under the identity architecture.
+  Money inter_az;
 
-  /// \brief Cc: all compute charges (Formula 6).
+  /// \brief Cc: all compute charges (Formula 6), including expected
+  /// spot re-runs.
   Money compute() const {
-    return processing + materialization + maintenance + session_rounding;
+    return processing + materialization + maintenance + session_rounding +
+           interruption;
   }
 
-  /// \brief C = Cc + Cs + Ct (Formula 1), plus the request extension Cr.
-  Money total() const { return compute() + storage + transfer + requests; }
+  /// \brief C = Cc + Cs + Ct (Formula 1), plus the request extension Cr
+  /// and the architecture extension's inter-AZ egress.
+  Money total() const {
+    return compute() + storage + transfer + requests + inter_az;
+  }
 
   CostBreakdown& operator+=(const CostBreakdown& other) {
     processing += other.processing;
@@ -47,6 +58,8 @@ struct CostBreakdown {
     transfer += other.transfer;
     requests += other.requests;
     session_rounding += other.session_rounding;
+    interruption += other.interruption;
+    inter_az += other.inter_az;
     return *this;
   }
 

@@ -101,6 +101,16 @@ Result<SelectionEvaluator> SelectionEvaluator::CloneWithSunkBuilds(
   return clone;
 }
 
+Result<SelectionEvaluator> SelectionEvaluator::CloneWithArchitecture(
+    const ArchitectureModel& architecture) const {
+  SelectionEvaluator clone = Clone();
+  clone.deployment_.architecture = architecture;
+  // Re-bill the baseline under the new architecture; this also rejects
+  // the single_compute_session conflict (CloudCostModel does).
+  CV_ASSIGN_OR_RETURN(clone.baseline_, clone.Evaluate({}));
+  return clone;
+}
+
 Result<SelectionEvaluator> SelectionEvaluator::Create(
     const CubeLattice& lattice, const Workload& workload,
     const MapReduceSimulator& simulator, const ClusterSpec& cluster,
@@ -198,12 +208,16 @@ Result<Money> SelectionEvaluator::FastTotalCost(
   // Mirrors CloudCostModel::CostWithViews — in the single-session mode
   // the per-activity exact charges cancel against the rounding surcharge,
   // so the compute total is the rounded bill of the whole busy span.
+  const ArchitectureModel& arch = deployment_.architecture;
   Money compute;
   if (deployment_.single_compute_session) {
+    // single_compute_session never pairs with a non-identity
+    // architecture: Create()/CloneWithArchitecture() reject the combo
+    // through CloudCostModel before a state can probe it.
     Duration busy = totals.processing + totals.materialization +
                     totals.maintenance * deployment_.maintenance_cycles;
     compute = ComputeBill(busy);
-  } else {
+  } else if (arch.is_identity()) {
     compute = ComputeBill(totals.processing);
     if (!totals.materialization.is_zero()) {
       compute += ComputeBill(totals.materialization);
@@ -213,6 +227,31 @@ Result<Money> SelectionEvaluator::FastTotalCost(
       compute += ComputeBill(totals.maintenance) *
                  deployment_.maintenance_cycles;
     }
+  } else {
+    // The ApplyArchitecture mirror (cloud_cost_model.cc): identical
+    // ScaleBy chains on the memoized per-activity bills, cycles
+    // multiplied in BEFORE the fanout scaling — the order the exact
+    // path uses, and rational ScaleBy floors, so order matters for the
+    // bit-equality the property suite pins. ComputeBill(0) == 0
+    // exactly, so the zero-total skips below change nothing.
+    Money processing = ComputeBill(totals.processing)
+                           .ScaleBy(arch.compute_num, arch.compute_den);
+    Money materialization;
+    if (!totals.materialization.is_zero()) {
+      materialization =
+          ComputeBill(totals.materialization)
+              .ScaleBy(arch.fanout_num, arch.fanout_den);
+    }
+    Money maintenance;
+    if (deployment_.maintenance_cycles != 0 &&
+        !totals.maintenance.is_zero()) {
+      maintenance = (ComputeBill(totals.maintenance) *
+                     deployment_.maintenance_cycles)
+                        .ScaleBy(arch.fanout_num, arch.fanout_den);
+    }
+    compute = processing + materialization + maintenance +
+              (materialization + maintenance)
+                  .ScaleBy(arch.interruption_num, arch.interruption_den);
   }
 
   // Storage (Formula 5): base timeline plus the duplicated bytes from
@@ -252,6 +291,21 @@ Result<Money> SelectionEvaluator::FastTotalCost(
       sum += cost_model_->storage().ConstantCost(size, end - cursor);
     }
     storage = sum;
+    if (!arch.is_identity()) {
+      // Architecture terms that are pure functions of the byte total —
+      // replica/durability storage scaling and the inter-AZ egress on
+      // replicated writes — fold into the memoized value, so the probe
+      // hot path stays allocation-free after warm-up. Same chains as
+      // ApplyArchitecture.
+      storage = storage.ScaleBy(arch.storage_num, arch.storage_den);
+      if (arch.cross_az_copies > 0) {
+        DataSize written = ReplicatedWriteBytes(
+            deployment_.ingress.initial_dataset, totals.view_bytes,
+            deployment_.maintenance_cycles);
+        storage += cost_model_->pricing().InterAzCost(DataSize::FromBytes(
+            written.bytes() * arch.cross_az_copies));
+      }
+    }
     storage_cost_memo_.Insert(key, storage.micros());
   }
 

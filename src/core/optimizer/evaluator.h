@@ -118,6 +118,7 @@ class SelectionEvaluator {
   const Workload& workload() const { return workload_; }
   size_t num_queries() const { return workload_.size(); }
   const DeploymentSpec& deployment() const { return deployment_; }
+  const CloudCostModel& cost_model() const { return *cost_model_; }
 
   /// \brief Query `q` answered from the base table (precomputed).
   Duration base_time(size_t q) const {
@@ -166,6 +167,16 @@ class SelectionEvaluator {
   /// index.
   Result<SelectionEvaluator> CloneWithSunkBuilds(
       const std::vector<size_t>& sunk) const;
+
+  /// \brief Clone() re-billed under `architecture` — the arch-sweep
+  /// solver's per-task handoff. Timing tables are shared unchanged (an
+  /// architecture rescales money, never query times); the baseline and
+  /// the cold memos are rebuilt under the new bill. InvalidArgument
+  /// when the deployment bills compute as a single session and the
+  /// architecture is not the identity (a replicated or spot fleet is
+  /// not one rental session).
+  Result<SelectionEvaluator> CloneWithArchitecture(
+      const ArchitectureModel& architecture) const;
 
   /// \brief Exact evaluation of a subset (indices into candidates()).
   Result<SubsetEvaluation> Evaluate(

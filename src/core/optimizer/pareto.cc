@@ -25,7 +25,8 @@ bool PointLess(const ParetoPoint& a, const ParetoPoint& b) {
   auto kb = b.score.AsTuple();
   if (ka != kb) return ka < kb;
   if (a.selected != b.selected) return a.selected < b.selected;
-  return a.origin < b.origin;
+  if (a.origin != b.origin) return a.origin < b.origin;
+  return a.architecture < b.architecture;
 }
 
 }  // namespace
@@ -35,7 +36,8 @@ bool MultiScore::WithinEpsilon(const MultiScore& other,
   return CloseRel(monthly_cost.micros(), other.monthly_cost.micros(),
                   epsilon) &&
          CloseRel(time.millis(), other.time.millis(), epsilon) &&
-         CloseRel(storage.bytes(), other.storage.bytes(), epsilon);
+         CloseRel(storage.bytes(), other.storage.bytes(), epsilon) &&
+         CloseRel(unavailability_ppm, other.unavailability_ppm, epsilon);
 }
 
 bool ParetoFront::Insert(ParetoPoint point) {

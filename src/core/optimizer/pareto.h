@@ -29,7 +29,7 @@
 
 namespace cloudview {
 
-/// \brief One subset's position in the three-objective space. Lower is
+/// \brief One subset's position in the objective space. Lower is
 /// better on every axis.
 struct MultiScore {
   /// Total deployment cost normalized to one month of the billed
@@ -40,33 +40,44 @@ struct MultiScore {
   Duration time;
   /// Duplicated bytes stored for the selected views.
   DataSize storage;
+  /// Expected system unavailability of the deployment architecture the
+  /// subset is billed under, in parts per million
+  /// (catalog/architecture.h). Zero for the legacy three-axis scoring —
+  /// a zero axis never changes dominance among same-architecture
+  /// points, so existing frontiers are unaffected; the joint solver
+  /// fills it so a cheap spot fleet and a durable multi-AZ fleet can
+  /// coexist on one frontier.
+  int64_t unavailability_ppm = 0;
 
   /// \brief Strict Pareto dominance: no worse on every axis, strictly
   /// better on at least one.
   bool Dominates(const MultiScore& other) const {
     bool no_worse = monthly_cost <= other.monthly_cost &&
-                    time <= other.time && storage <= other.storage;
+                    time <= other.time && storage <= other.storage &&
+                    unavailability_ppm <= other.unavailability_ppm;
     bool better = monthly_cost < other.monthly_cost ||
-                  time < other.time || storage < other.storage;
+                  time < other.time || storage < other.storage ||
+                  unavailability_ppm < other.unavailability_ppm;
     return no_worse && better;
   }
 
   /// \brief Dominates-or-equals (weak dominance).
   bool WeaklyDominates(const MultiScore& other) const {
     return monthly_cost <= other.monthly_cost && time <= other.time &&
-           storage <= other.storage;
+           storage <= other.storage &&
+           unavailability_ppm <= other.unavailability_ppm;
   }
 
   /// \brief Per-axis relative closeness: |a-b| <= eps * max(|a|, |b|)
-  /// on all three axes. Used by the frontier's dedup, so points that
+  /// on all axes. Used by the frontier's dedup, so points that
   /// differ by rounding noise do not bloat it.
   bool WithinEpsilon(const MultiScore& other, double epsilon) const;
 
-  /// \brief Deterministic total order (cost, time, storage) — the
-  /// frontier's presentation order.
+  /// \brief Deterministic total order (cost, time, storage,
+  /// unavailability) — the frontier's presentation order.
   auto AsTuple() const {
     return std::make_tuple(monthly_cost.micros(), time.millis(),
-                           storage.bytes());
+                           storage.bytes(), unavailability_ppm);
   }
 
   friend bool operator==(const MultiScore& a, const MultiScore& b) {
@@ -85,6 +96,9 @@ struct ParetoPoint {
   std::vector<size_t> selected;
   /// Provenance label, e.g. "knapsack-dp" or "greedy a=0.3".
   std::string origin;
+  /// Deployment architecture the point is billed under; empty for the
+  /// legacy single-architecture frontiers.
+  std::string architecture;
 };
 
 /// \brief The set of mutually non-dominated points seen so far.

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "catalog/architecture.h"
 #include "common/cancellation.h"
 #include "common/data_size.h"
 #include "common/duration.h"
@@ -84,6 +85,17 @@ struct ObjectiveSpec {
   /// strategies.
   double frontier_epsilon = 1e-6;
 
+  // --- Joint architecture search ("arch-sweep" only) -------------------
+
+  /// Deployment architectures to race (catalog/architecture.h). Empty
+  /// means DefaultArchitectureRoster(). Architectures that do not lower
+  /// against the deployment's sheet/instance (e.g. a reserved plan on a
+  /// sheet without reserved rates) are skipped deterministically.
+  std::vector<ArchitectureSpec> architectures;
+  /// Single-objective strategy the arch-sweep runs per architecture;
+  /// empty means kDefaultSolverName.
+  std::string architecture_inner_solver;
+
   /// Cooperative cancellation (DESIGN.md §14): when non-null, solvers
   /// poll the token (SolverContext::Cancelled) in their inner loops and
   /// truncate the search like a node-budget cutoff — the best incumbent
@@ -118,6 +130,11 @@ struct SelectionResult {
   /// "pareto-genetic"): the non-dominated frontier discovered during the
   /// solve, in ParetoPoint order. Empty for single-objective solvers.
   std::vector<ParetoPoint> frontier;
+
+  /// \brief "arch-sweep" only: the deployment architecture the winning
+  /// selection is billed under. Empty for every other strategy (the
+  /// evaluator's fixed architecture applies).
+  std::string architecture;
 
   /// \brief True when the solve was truncated by the spec's CancelToken
   /// (explicit cancel or deadline): `evaluation` then holds the best

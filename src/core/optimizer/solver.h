@@ -140,10 +140,16 @@ class SolverContext {
   /// a non-positive period degenerates to the unscaled total.
   Money MonthlyCost(Money total) const;
 
-  /// \brief The probe's position in the three-objective space
-  /// (DESIGN.md §10).
+  /// \brief The probe's position in the objective space (DESIGN.md
+  /// §10). The unavailability axis comes from the evaluator's
+  /// deployment architecture — every probe through one context shares
+  /// it (zero under the identity default), so single-architecture
+  /// frontiers are unchanged; the arch-sweep reduction compares scores
+  /// from per-architecture contexts.
   MultiScore MultiScoreOf(const Probe& probe) const {
-    return MultiScore{MonthlyCost(probe.cost), probe.time, probe.storage};
+    return MultiScore{
+        MonthlyCost(probe.cost), probe.time, probe.storage,
+        evaluator_->deployment().architecture.unavailability_ppm};
   }
   MultiScore MultiScoreOf(const SubsetEvaluation& eval) const {
     return MultiScoreOf(ProbeOf(eval));

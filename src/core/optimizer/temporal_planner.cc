@@ -62,12 +62,13 @@ Result<TemporalPlanner> TemporalPlanner::Create(
     const CubeLattice& lattice, const MapReduceSimulator& simulator,
     const ClusterSpec& cluster, const CloudCostModel& cost_model,
     WorkloadTimeline timeline, const CandidateGenOptions& options,
-    int64_t maintenance_cycles) {
+    int64_t maintenance_cycles, ArchitectureModel architecture) {
   if (maintenance_cycles < 0) {
     return Status::InvalidArgument("maintenance cycles must be >= 0");
   }
   TemporalPlanner planner(lattice, simulator, cluster, cost_model,
-                          std::move(timeline), maintenance_cycles);
+                          std::move(timeline), maintenance_cycles,
+                          architecture);
   CV_ASSIGN_OR_RETURN(
       planner.candidates_,
       GenerateCandidates(lattice, UnionWorkload(planner.timeline_),
@@ -136,6 +137,9 @@ DeploymentSpec TemporalPlanner::PeriodDeployment(size_t p) const {
       base_at_period_[p + 1] - base_at_period_[p];
   deployment.maintenance_cycles = maintenance_cycles_;
   deployment.single_compute_session = false;
+  // Re-selection scoring sees the architecture-adjusted bill, so the
+  // solver's trade-offs (e.g. cheap spot builds) match the ledger's.
+  deployment.architecture = architecture_;
   return deployment;
 }
 
@@ -282,6 +286,45 @@ Result<TemporalRunResult> TemporalPlanner::Run(
         storage.Cost(horizon_storage, timeline_.PeriodStart(p + 1)));
     row.cost.storage = storage_to_here - storage_billed;
     storage_billed = storage_to_here;
+
+    // --- Architecture lowering of the period bill --------------------
+    // Mirrors ApplyArchitecture in the cost model (same ScaleBy order:
+    // cycles multiplied in before the rational scale), so the ledger
+    // agrees with the architecture-adjusted evaluator the solver just
+    // scored against.
+    if (!architecture_.is_identity()) {
+      const ArchitectureModel& arch = architecture_;
+      row.cost.processing = row.cost.processing.ScaleBy(
+          arch.compute_num, arch.compute_den);
+      row.cost.materialization = row.cost.materialization.ScaleBy(
+          arch.fanout_num, arch.fanout_den);
+      row.cost.maintenance = row.cost.maintenance.ScaleBy(
+          arch.fanout_num, arch.fanout_den);
+      // Spot-interruption transition surcharge: an interruption
+      // mid-build loses the in-flight materialization (and maintenance
+      // rewrite) work, which must be redone on a fresh node. The
+      // expectation is re-run compute proportional to the transition
+      // bill — billed here, so a spot horizon pays for its churn on
+      // exactly the periods that transition.
+      row.cost.interruption =
+          (row.cost.materialization + row.cost.maintenance)
+              .ScaleBy(arch.interruption_num, arch.interruption_den);
+      row.cost.storage = row.cost.storage.ScaleBy(
+          arch.storage_num, arch.storage_den);
+      if (arch.cross_az_copies > 0) {
+        // Bytes written this period and replicated across AZ
+        // boundaries: the initial upload (period 0), base growth plus
+        // new-view builds (both in inserted_data), and maintenance
+        // rewrites of the resident set.
+        DataSize resident;
+        for (size_t c : row.selected) resident += candidates_[c].size;
+        int64_t written = ingress.initial_dataset.bytes() +
+                          ingress.inserted_data.bytes() +
+                          resident.bytes() * maintenance_cycles_;
+        row.cost.inter_az = cost_model_->pricing().InterAzCost(
+            DataSize::FromBytes(written * arch.cross_az_copies));
+      }
+    }
 
     result.total += row.cost;
     prev_selected = row.selected;

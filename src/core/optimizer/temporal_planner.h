@@ -55,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "catalog/architecture.h"
 #include "catalog/lattice.h"
 #include "common/result.h"
 #include "core/cost/cloud_cost_model.h"
@@ -148,11 +149,21 @@ class TemporalPlanner {
   /// scaffolding, and pre-materializes each period's SelectionEvaluator
   /// (timing table + baseline) in parallel on the global ThreadPool.
   /// `maintenance_cycles` is charged per period.
+  ///
+  /// `architecture` (default: identity, i.e. single-node on-demand)
+  /// deploys the whole horizon on one lowered ArchitectureModel: every
+  /// period's deployment carries it, so re-selection scoring sees the
+  /// architecture-adjusted bill, and the ledger applies the same
+  /// scaling — including the spot-interruption transition surcharge on
+  /// builds and maintenance (an interrupted spot node loses in-flight
+  /// materialization work and must redo it; the surcharge is that
+  /// expected redo compute, billed into CostBreakdown::interruption).
   static Result<TemporalPlanner> Create(
       const CubeLattice& lattice, const MapReduceSimulator& simulator,
       const ClusterSpec& cluster, const CloudCostModel& cost_model,
       WorkloadTimeline timeline, const CandidateGenOptions& options,
-      int64_t maintenance_cycles = 0);
+      int64_t maintenance_cycles = 0,
+      ArchitectureModel architecture = {});
 
   const std::vector<ViewCandidate>& candidates() const {
     return candidates_;
@@ -181,10 +192,12 @@ class TemporalPlanner {
                   const MapReduceSimulator& simulator,
                   const ClusterSpec& cluster,
                   const CloudCostModel& cost_model,
-                  WorkloadTimeline timeline, int64_t maintenance_cycles)
+                  WorkloadTimeline timeline, int64_t maintenance_cycles,
+                  ArchitectureModel architecture)
       : lattice_(&lattice), simulator_(&simulator), cluster_(cluster),
         cost_model_(&cost_model), timeline_(std::move(timeline)),
-        maintenance_cycles_(maintenance_cycles) {}
+        maintenance_cycles_(maintenance_cycles),
+        architecture_(architecture) {}
 
   /// Whether `policy` re-solves in period `p` given the drift since the
   /// last solve.
@@ -200,6 +213,7 @@ class TemporalPlanner {
   const CloudCostModel* cost_model_;
   WorkloadTimeline timeline_;
   int64_t maintenance_cycles_ = 0;
+  ArchitectureModel architecture_;
   std::vector<ViewCandidate> candidates_;
   /// Base-data volume at the start of each period (initial dataset plus
   /// accumulated growth); index num_periods() holds the end state.

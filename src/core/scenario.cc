@@ -112,6 +112,18 @@ Result<ScenarioRun> CloudScenario::Run(const Workload& workload,
   return std::move(response.solve);
 }
 
+Result<JointRun> CloudScenario::SolveJoint(const Workload& workload,
+                                           const ObjectiveSpec& spec,
+                                           std::string_view solver) const {
+  AdvisorRequest request;
+  request.kind = AdvisorRequestKind::kSolveJoint;
+  request.solver = std::string(solver);
+  request.objective = spec;
+  request.inline_workload = &workload;
+  CV_ASSIGN_OR_RETURN(AdvisorResponse response, Dispatch(request));
+  return std::move(response.joint);
+}
+
 Result<std::vector<ProviderComparisonRow>> CloudScenario::CompareProviders(
     const Workload& workload, const ObjectiveSpec& spec,
     std::string_view solver) const {

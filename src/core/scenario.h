@@ -147,6 +147,17 @@ class CloudScenario {
                                     const ObjectiveSpec& spec,
                                     std::string_view solver = {}) const;
 
+  /// \brief Joint (deployment architecture, view set) optimization:
+  /// races one solve per candidate architecture (empty `architectures`
+  /// on the spec means DefaultArchitectureRoster()) via the
+  /// "arch-sweep" strategy and returns the four-axis frontier (monthly
+  /// cost, time, storage, unavailability) plus the winning pair. The
+  /// scenario's own deployment must bill under the identity
+  /// architecture (the default).
+  Result<JointRun> SolveJoint(const Workload& workload,
+                              const ObjectiveSpec& spec,
+                              std::string_view solver = {}) const;
+
   /// \brief CompareProviders, frontier-aware: every registered sheet is
   /// rebuilt with its native billing semantics and SolveFrontier is
   /// re-run, so tenants can compare whole trade-off curves — not just
@@ -236,6 +247,13 @@ class CloudScenario {
                                    std::string_view solver,
                                    AdvisorWarmSlot* warm,
                                    ResponseMeta* meta) const;
+  /// The kSolveJoint body: SolveImpl under "arch-sweep", repackaged as
+  /// the four-axis frontier + winning (architecture, view set) pair.
+  Result<JointRun> JointImpl(const Workload& workload,
+                             const ObjectiveSpec& spec,
+                             std::string_view solver,
+                             AdvisorWarmSlot* warm,
+                             ResponseMeta* meta) const;
 
   ScenarioConfig config_;
   // Heap-held so CloudScenario stays movable while internal references

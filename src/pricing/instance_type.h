@@ -32,12 +32,21 @@ struct InstanceType {
   /// Table 2, which is on-demand only.
   Money reserved_upfront;
   Money reserved_price_per_hour;
+  /// Spot/preemptible hourly rate (zero = no spot offer). Spot capacity
+  /// is billed at this discounted rate but may be interrupted at the
+  /// sheet-level interruption rate (PricingModel::spot_interruption_ppm);
+  /// the architecture layer (catalog/architecture.h) turns both into a
+  /// compute multiplier plus an expected re-run charge.
+  Money spot_price_per_hour;
 
   /// \brief Whether this type carries a reserved-rate offer.
   bool has_reserved_rate() const {
     return !reserved_upfront.is_zero() ||
            !reserved_price_per_hour.is_zero();
   }
+
+  /// \brief Whether this type carries a spot/preemptible offer.
+  bool has_spot_rate() const { return !spot_price_per_hour.is_zero(); }
 };
 
 /// \brief An ordered list of instance types with name lookup.

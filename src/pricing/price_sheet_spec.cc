@@ -63,6 +63,20 @@ Result<PricingModel> PriceSheetSpec::Lower() const {
       type.reserved_upfront = entry.reserved->upfront;
       type.reserved_price_per_hour = entry.reserved->price_per_hour;
     }
+    if (!entry.spot_price_per_hour.is_zero()) {
+      if (entry.spot_price_per_hour.is_negative()) {
+        return Status::InvalidArgument(StrFormat(
+            "sheet '%s', instance '%s': negative spot rate",
+            name.c_str(), entry.name.c_str()));
+      }
+      if (entry.spot_price_per_hour >= entry.price_per_hour) {
+        return Status::InvalidArgument(StrFormat(
+            "sheet '%s', instance '%s': spot hourly rate must "
+            "undercut the on-demand rate",
+            name.c_str(), entry.name.c_str()));
+      }
+      type.spot_price_per_hour = entry.spot_price_per_hour;
+    }
     opts.instances.Add(std::move(type));
   }
 
@@ -75,6 +89,14 @@ Result<PricingModel> PriceSheetSpec::Lower() const {
   CV_ASSIGN_OR_RETURN(
       opts.transfer_in_per_gb,
       LowerSchedule(name, "transfer-in", transfer_in_per_gb));
+  CV_ASSIGN_OR_RETURN(opts.inter_az_per_gb,
+                      LowerSchedule(name, "inter-az", inter_az_per_gb));
+  if (spot_interruption_ppm < 0 || spot_interruption_ppm >= 1'000'000) {
+    return Status::InvalidArgument(StrFormat(
+        "sheet '%s': spot_interruption_ppm must lie in [0, 1000000)",
+        name.c_str()));
+  }
+  opts.spot_interruption_ppm = spot_interruption_ppm;
   opts.compute_granularity = compute_granularity;
   opts.storage_billing = storage_billing;
   opts.requests = requests;

@@ -40,6 +40,10 @@ struct InstanceSpec {
   DataSize local_storage = DataSize::Zero();
   /// Optional reserved-rate pair (beyond the paper's Table 2).
   std::optional<ReservedRateSpec> reserved;
+  /// Optional spot/preemptible hourly rate (zero = not offered). Must
+  /// undercut the on-demand rate; interruption odds are sheet-level
+  /// (PriceSheetSpec::spot_interruption_ppm).
+  Money spot_price_per_hour;
 };
 
 /// \brief Everything that defines a provider. Plain data: build one in
@@ -55,6 +59,14 @@ struct PriceSheetSpec {
   std::vector<RateTier> storage_per_gb_month;
   std::vector<RateTier> transfer_out_per_gb;
   std::vector<RateTier> transfer_in_per_gb;
+  /// Inter-AZ egress schedule (per GB crossing an AZ boundary within
+  /// the region; empty = free). Billed by multi-AZ architectures for
+  /// replicated writes (catalog/architecture.h).
+  std::vector<RateTier> inter_az_per_gb;
+  /// Expected spot interruptions per million instance-billing-windows,
+  /// in [0, 1'000'000); only meaningful when some instance carries a
+  /// spot rate.
+  int64_t spot_interruption_ppm = 0;
   BillingGranularity compute_granularity = BillingGranularity::kHour;
   StorageBilling storage_billing = StorageBilling::kFlatBracket;
   /// Per-request I/O charges (default: not billed).

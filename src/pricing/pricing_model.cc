@@ -96,6 +96,18 @@ Result<PricingModel> PricingModel::Create(PricingModelOptions options) {
           StrFormat("instance '%s' has a negative reserved rate",
                     type.name.c_str()));
     }
+    if (type.spot_price_per_hour.is_negative()) {
+      return Status::InvalidArgument(
+          StrFormat("instance '%s' has a negative spot rate",
+                    type.name.c_str()));
+    }
+    if (type.has_spot_rate() &&
+        type.spot_price_per_hour >= type.price_per_hour) {
+      return Status::InvalidArgument(StrFormat(
+          "instance '%s': spot hourly rate must undercut the "
+          "on-demand rate",
+          type.name.c_str()));
+    }
   }
   CV_RETURN_IF_ERROR(
       ValidateSchedule("storage", options.storage_per_gb_month));
@@ -103,6 +115,13 @@ Result<PricingModel> PricingModel::Create(PricingModelOptions options) {
       ValidateSchedule("transfer-out", options.transfer_out_per_gb));
   CV_RETURN_IF_ERROR(
       ValidateSchedule("transfer-in", options.transfer_in_per_gb));
+  CV_RETURN_IF_ERROR(
+      ValidateSchedule("inter-az", options.inter_az_per_gb));
+  if (options.spot_interruption_ppm < 0 ||
+      options.spot_interruption_ppm >= 1'000'000) {
+    return Status::InvalidArgument(
+        "spot_interruption_ppm must lie in [0, 1000000)");
+  }
   if (options.requests.price_per_10k.is_negative()) {
     return Status::InvalidArgument("negative per-request price");
   }
@@ -186,6 +205,10 @@ Money PricingModel::TransferOutCost(DataSize volume) const {
 
 Money PricingModel::TransferInCost(DataSize volume) const {
   return options_.transfer_in_per_gb.MarginalCost(volume);
+}
+
+Money PricingModel::InterAzCost(DataSize volume) const {
+  return options_.inter_az_per_gb.MarginalCost(volume);
 }
 
 Money PricingModel::RequestCost(int64_t num_requests) const {

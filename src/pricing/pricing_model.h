@@ -87,6 +87,14 @@ struct PricingModelOptions {
   RequestCharge requests;
   /// Free allowances (default: none).
   FreeTier free_tier;
+  /// Inter-AZ egress schedule (per GB crossing an availability-zone
+  /// boundary within the region; default: free). Multi-AZ architectures
+  /// bill replicated writes against it (catalog/architecture.h).
+  TieredRate inter_az_per_gb = TieredRate::Flat(Money::Zero());
+  /// Expected spot interruptions per million instance-billing-windows,
+  /// in [0, 1'000'000). Zero with spot rates present models
+  /// never-reclaimed capacity.
+  int64_t spot_interruption_ppm = 0;
 };
 
 /// \brief Optional semantic overrides applied on top of a provider's
@@ -129,6 +137,12 @@ class PricingModel {
   StorageBilling storage_billing() const { return options_.storage_billing; }
   const RequestCharge& request_charge() const { return options_.requests; }
   const FreeTier& free_tier() const { return options_.free_tier; }
+  const TieredRate& inter_az_schedule() const {
+    return options_.inter_az_per_gb;
+  }
+  int64_t spot_interruption_ppm() const {
+    return options_.spot_interruption_ppm;
+  }
 
   /// \brief Charge for running `count` instances of `type` for `busy` time
   /// each. Rounds `busy` up to the billing granularity per instance
@@ -157,6 +171,10 @@ class PricingModel {
 
   /// \brief In-bound transfer charge (zero for AWS-like models).
   Money TransferInCost(DataSize volume) const;
+
+  /// \brief Charge for `volume` crossing an AZ boundary within the
+  /// region (always marginal tiers; no free allowance applies).
+  Money InterAzCost(DataSize volume) const;
 
   /// \brief Charge for `num_requests` billable I/O requests, after the
   /// free-request allowance. Zero when requests are not billed.

@@ -25,17 +25,20 @@ PriceSheetSpec AwsSpec() {
        .price_per_hour = Money::FromCents(12),
        .compute_units = 1.0,
        .ram = DataSize::FromMB(1740),
-       .local_storage = DataSize::FromGB(160)},
+       .local_storage = DataSize::FromGB(160),
+       .spot_price_per_hour = Money::FromMicros(37'000)},  // ~0.31x
       {.name = "large",
        .price_per_hour = Money::FromCents(48),
        .compute_units = 4.0,
        .ram = DataSize::FromMB(7680),
-       .local_storage = DataSize::FromGB(850)},
+       .local_storage = DataSize::FromGB(850),
+       .spot_price_per_hour = Money::FromMicros(148'000)},
       {.name = "xlarge",
        .price_per_hour = Money::FromCents(96),
        .compute_units = 8.0,
        .ram = DataSize::FromMB(15360),
-       .local_storage = DataSize::FromGB(1690)},
+       .local_storage = DataSize::FromGB(1690),
+       .spot_price_per_hour = Money::FromMicros(296'000)},
   };
   // Table 4, cumulative bounds. The final rate extrapolates the "...".
   spec.storage_per_gb_month = {
@@ -52,6 +55,11 @@ PriceSheetSpec AwsSpec() {
       {DataSize::FromTB(150), Money::FromMicros(70'000)},
       {DataSize::Zero(), Money::FromMicros(50'000)},
   };
+  // Spot markets and multi-AZ replication post-date the paper's tables;
+  // rates follow the 2012-era EC2 spot discount (~70% off on-demand)
+  // with a region-internal $0.01/GB AZ-crossing charge.
+  spec.inter_az_per_gb = {{DataSize::Zero(), Money::FromMicros(10'000)}};
+  spec.spot_interruption_ppm = 50'000;  // ~5% of billing windows
   spec.compute_granularity = BillingGranularity::kHour;
   spec.storage_billing = StorageBilling::kFlatBracket;
   return spec;
@@ -66,9 +74,12 @@ PriceSheetSpec IntroExampleSpec() {
        .price_per_hour = Money::FromCents(24),
        .compute_units = 2.0,
        .ram = DataSize::FromGB(4),
-       .local_storage = DataSize::FromGB(320)},
+       .local_storage = DataSize::FromGB(320),
+       .spot_price_per_hour = Money::FromCents(8)},
   };
   spec.storage_per_gb_month = {{DataSize::Zero(), Money::FromCents(10)}};
+  spec.inter_az_per_gb = {{DataSize::Zero(), Money::FromMicros(20'000)}};
+  spec.spot_interruption_ppm = 30'000;
   spec.compute_granularity = BillingGranularity::kHour;
   spec.storage_billing = StorageBilling::kFlatBracket;
   return spec;
@@ -88,12 +99,14 @@ PriceSheetSpec GigaCloudSpec() {
        .price_per_hour = Money::FromCents(10),
        .compute_units = 1.1,
        .ram = DataSize::FromGB(2),
-       .local_storage = DataSize::FromGB(120)},
+       .local_storage = DataSize::FromGB(120),
+       .spot_price_per_hour = Money::FromCents(3)},
       {.name = "g-large",
        .price_per_hour = Money::FromCents(42),
        .compute_units = 4.4,
        .ram = DataSize::FromGB(8),
-       .local_storage = DataSize::FromGB(500)},
+       .local_storage = DataSize::FromGB(500),
+       .spot_price_per_hour = Money::FromCents(13)},
   };
   spec.storage_per_gb_month = {{DataSize::Zero(), Money::FromCents(12)}};
   spec.transfer_out_per_gb = {
@@ -101,6 +114,12 @@ PriceSheetSpec GigaCloudSpec() {
       {DataSize::FromTB(10), Money::FromMicros(110'000)},
       {DataSize::Zero(), Money::FromMicros(80'000)},
   };
+  // Deep preemptible discount paired with aggressive reclamation.
+  spec.inter_az_per_gb = {
+      {DataSize::FromTB(1), Money::FromMicros(15'000)},
+      {DataSize::Zero(), Money::FromMicros(10'000)},
+  };
+  spec.spot_interruption_ppm = 80'000;
   spec.compute_granularity = BillingGranularity::kMinute;
   spec.storage_billing = StorageBilling::kMarginalTiers;
   return spec;
@@ -115,12 +134,14 @@ PriceSheetSpec BlueCloudSpec() {
        .price_per_hour = Money::FromCents(11),
        .compute_units = 1.0,
        .ram = DataSize::FromMB(1536),
-       .local_storage = DataSize::FromGB(128)},
+       .local_storage = DataSize::FromGB(128),
+       .spot_price_per_hour = Money::FromCents(4)},
       {.name = "b4",
        .price_per_hour = Money::FromCents(44),
        .compute_units = 4.0,
        .ram = DataSize::FromGB(6),
-       .local_storage = DataSize::FromGB(512)},
+       .local_storage = DataSize::FromGB(512),
+       .spot_price_per_hour = Money::FromCents(15)},
   };
   spec.storage_per_gb_month = {
       {DataSize::FromTB(1), Money::FromMicros(130'000)},
@@ -130,6 +151,8 @@ PriceSheetSpec BlueCloudSpec() {
   spec.transfer_out_per_gb = {{DataSize::Zero(), Money::FromMicros(100'000)}};
   // BlueCloud charges for ingress too: exercises Formula 2's input terms.
   spec.transfer_in_per_gb = {{DataSize::Zero(), Money::FromMicros(50'000)}};
+  spec.inter_az_per_gb = {{DataSize::Zero(), Money::FromMicros(20'000)}};
+  spec.spot_interruption_ppm = 40'000;
   spec.compute_granularity = BillingGranularity::kHour;
   spec.storage_billing = StorageBilling::kMarginalTiers;
   return spec;
@@ -153,19 +176,23 @@ PriceSheetSpec NimbusSpec() {
        // Break-even vs on-demand at ~1.1 h: short sessions stay
        // on-demand, the long no-view baseline flips to reserved.
        .reserved = ReservedRateSpec{.upfront = Money::FromCents(10),
-                                    .price_per_hour = Money::FromCents(4)}},
+                                    .price_per_hour = Money::FromCents(4)},
+       .spot_price_per_hour = Money::FromCents(5)},
       {.name = "n4",
        .price_per_hour = Money::FromCents(50),
        .compute_units = 4.0,
        .ram = DataSize::FromGB(8),
        .local_storage = DataSize::FromGB(400),
        .reserved = ReservedRateSpec{.upfront = Money::FromCents(40),
-                                    .price_per_hour = Money::FromCents(16)}},
+                                    .price_per_hour = Money::FromCents(16)},
+       .spot_price_per_hour = Money::FromCents(18)},
   };
   spec.storage_per_gb_month = {{DataSize::Zero(), Money::FromCents(11)}};
   // No zero-rate bottom tier: the free transfer allowance below plays
   // that role.
   spec.transfer_out_per_gb = {{DataSize::Zero(), Money::FromMicros(100'000)}};
+  spec.inter_az_per_gb = {{DataSize::Zero(), Money::FromMicros(12'000)}};
+  spec.spot_interruption_ppm = 60'000;
   spec.compute_granularity = BillingGranularity::kMinute;
   spec.storage_billing = StorageBilling::kMarginalTiers;
   spec.requests = RequestCharge{.price_per_10k = Money::FromCents(50),

@@ -138,6 +138,85 @@ Status ReadMonths(const JsonValue& obj, std::string_view key,
   return Status::OK();
 }
 
+// --- Architectures -----------------------------------------------------
+
+Result<ArchitectureSpec> ParseArchitecture(const JsonValue& json) {
+  constexpr std::string_view kWhere = "objective.architectures[i]";
+  CV_RETURN_IF_ERROR(RequireObject(json, kWhere));
+  CV_RETURN_IF_ERROR(
+      CheckKeys(json, kWhere, {"name", "durability", "groups"}));
+  ArchitectureSpec spec;
+  CV_RETURN_IF_ERROR(ReadString(json, "name", kWhere, &spec.name));
+  std::string durability = "local";
+  CV_RETURN_IF_ERROR(ReadString(json, "durability", kWhere, &durability));
+  if (durability == "local") {
+    spec.durability = DurabilityTier::kLocal;
+  } else if (durability == "zonal") {
+    spec.durability = DurabilityTier::kZonal;
+  } else if (durability == "regional") {
+    spec.durability = DurabilityTier::kRegional;
+  } else {
+    return Status::InvalidArgument(
+        std::string(kWhere) + ".durability \"" + durability +
+        "\" is not a durability tier; accepted: local, zonal, regional");
+  }
+  const JsonValue* groups = json.Find("groups");
+  if (groups != nullptr) {
+    if (!groups->is_array()) {
+      return Status::InvalidArgument(std::string(kWhere) +
+                                     ".groups must be an array");
+    }
+    for (const JsonValue& g : groups->items()) {
+      constexpr std::string_view kGroupWhere =
+          "objective.architectures[i].groups[j]";
+      CV_RETURN_IF_ERROR(RequireObject(g, kGroupWhere));
+      CV_RETURN_IF_ERROR(CheckKeys(g, kGroupWhere,
+                                   {"name", "replicas", "zones", "plan"}));
+      NodeGroupSpec group;
+      CV_RETURN_IF_ERROR(ReadString(g, "name", kGroupWhere, &group.name));
+      CV_RETURN_IF_ERROR(
+          ReadInt(g, "replicas", kGroupWhere, &group.replicas));
+      CV_RETURN_IF_ERROR(ReadInt(g, "zones", kGroupWhere, &group.zones));
+      std::string plan = "on-demand";
+      CV_RETURN_IF_ERROR(ReadString(g, "plan", kGroupWhere, &plan));
+      if (plan == "on-demand") {
+        group.plan = PurchasePlan::kOnDemand;
+      } else if (plan == "reserved") {
+        group.plan = PurchasePlan::kReserved;
+      } else if (plan == "spot") {
+        group.plan = PurchasePlan::kSpot;
+      } else {
+        return Status::InvalidArgument(
+            std::string(kGroupWhere) + ".plan \"" + plan +
+            "\" is not a purchase plan; accepted: on-demand, reserved, "
+            "spot");
+      }
+      spec.groups.push_back(std::move(group));
+    }
+  }
+  CV_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+JsonValue ArchitectureToJson(const ArchitectureSpec& spec) {
+  JsonValue json = JsonValue::Object();
+  json.Set("name", JsonValue::Str(spec.name));
+  json.Set("durability", JsonValue::Str(ToString(spec.durability)));
+  if (!spec.groups.empty()) {
+    JsonValue groups = JsonValue::Array();
+    for (const NodeGroupSpec& g : spec.groups) {
+      JsonValue group = JsonValue::Object();
+      group.Set("name", JsonValue::Str(g.name));
+      group.Set("replicas", JsonValue::Int(g.replicas));
+      group.Set("zones", JsonValue::Int(g.zones));
+      group.Set("plan", JsonValue::Str(ToString(g.plan)));
+      groups.Push(std::move(group));
+    }
+    json.Set("groups", std::move(groups));
+  }
+  return json;
+}
+
 // --- Objective ---------------------------------------------------------
 
 Result<ObjectiveSpec> ParseObjective(const JsonValue& json) {
@@ -147,7 +226,8 @@ Result<ObjectiveSpec> ParseObjective(const JsonValue& json) {
       {"scenario", "budget_limit_micros", "time_limit_ms", "alpha",
        "time_includes_materialization", "mv3_reference_time_ms",
        "mv3_reference_cost_micros", "max_monthly_cost_micros",
-       "max_storage_bytes", "max_makespan_ms", "frontier_epsilon"}));
+       "max_storage_bytes", "max_makespan_ms", "frontier_epsilon",
+       "architectures", "architecture_inner_solver"}));
   ObjectiveSpec spec;
   std::string scenario = "mv3";
   CV_RETURN_IF_ERROR(ReadString(json, "scenario", "objective", &scenario));
@@ -185,6 +265,19 @@ Result<ObjectiveSpec> ParseObjective(const JsonValue& json) {
                                   &spec.max_makespan));
   CV_RETURN_IF_ERROR(ReadDouble(json, "frontier_epsilon", "objective",
                                 &spec.frontier_epsilon));
+  if (const JsonValue* architectures = json.Find("architectures")) {
+    if (!architectures->is_array()) {
+      return Status::InvalidArgument(
+          "objective.architectures must be an array");
+    }
+    for (const JsonValue& a : architectures->items()) {
+      CV_ASSIGN_OR_RETURN(ArchitectureSpec arch, ParseArchitecture(a));
+      spec.architectures.push_back(std::move(arch));
+    }
+  }
+  CV_RETURN_IF_ERROR(ReadString(json, "architecture_inner_solver",
+                                "objective",
+                                &spec.architecture_inner_solver));
   return spec;
 }
 
@@ -210,6 +303,17 @@ JsonValue ObjectiveToJson(const ObjectiveSpec& spec) {
   json.Set("max_storage_bytes", JsonValue::Int(spec.max_storage.bytes()));
   json.Set("max_makespan_ms", JsonValue::Int(spec.max_makespan.millis()));
   json.Set("frontier_epsilon", JsonValue::Double(spec.frontier_epsilon));
+  if (!spec.architectures.empty()) {
+    JsonValue architectures = JsonValue::Array();
+    for (const ArchitectureSpec& a : spec.architectures) {
+      architectures.Push(ArchitectureToJson(a));
+    }
+    json.Set("architectures", std::move(architectures));
+  }
+  if (!spec.architecture_inner_solver.empty()) {
+    json.Set("architecture_inner_solver",
+             JsonValue::Str(spec.architecture_inner_solver));
+  }
   return json;
 }
 
@@ -419,6 +523,9 @@ JsonValue CostToJson(const CostBreakdown& cost) {
   json.Set("requests_micros", JsonValue::Int(cost.requests.micros()));
   json.Set("session_rounding_micros",
            JsonValue::Int(cost.session_rounding.micros()));
+  json.Set("interruption_micros",
+           JsonValue::Int(cost.interruption.micros()));
+  json.Set("inter_az_micros", JsonValue::Int(cost.inter_az.micros()));
   json.Set("total_micros", JsonValue::Int(cost.total().micros()));
   return json;
 }
@@ -447,6 +554,7 @@ JsonValue MultiToJson(const MultiScore& multi) {
            JsonValue::Int(multi.monthly_cost.micros()));
   json.Set("time_ms", JsonValue::Int(multi.time.millis()));
   json.Set("storage_bytes", JsonValue::Int(multi.storage.bytes()));
+  json.Set("unavailability_ppm", JsonValue::Int(multi.unavailability_ppm));
   return json;
 }
 
@@ -455,6 +563,9 @@ JsonValue ParetoPointToJson(const ParetoPoint& point) {
   json.Set("score", MultiToJson(point.score));
   json.Set("selected", SelectedToJson(point.selected));
   json.Set("origin", JsonValue::Str(point.origin));
+  if (!point.architecture.empty()) {
+    json.Set("architecture", JsonValue::Str(point.architecture));
+  }
   return json;
 }
 
@@ -466,6 +577,9 @@ JsonValue SelectionToJson(const SelectionResult& selection) {
   json.Set("solver", JsonValue::Str(selection.solver));
   json.Set("time_ms", JsonValue::Int(selection.time.millis()));
   json.Set("multi", MultiToJson(selection.multi));
+  if (!selection.architecture.empty()) {
+    json.Set("architecture", JsonValue::Str(selection.architecture));
+  }
   if (!selection.frontier.empty()) {
     JsonValue frontier = JsonValue::Array();
     for (const ParetoPoint& p : selection.frontier) {
@@ -493,6 +607,19 @@ JsonValue FrontierRunToJson(const FrontierRun& run) {
   }
   json.Set("frontier", std::move(frontier));
   json.Set("best", SelectionToJson(run.best));
+  json.Set("baseline", EvaluationToJson(run.baseline));
+  return json;
+}
+
+JsonValue JointRunToJson(const JointRun& run) {
+  JsonValue json = JsonValue::Object();
+  JsonValue frontier = JsonValue::Array();
+  for (const ParetoPoint& p : run.frontier) {
+    frontier.Push(ParetoPointToJson(p));
+  }
+  json.Set("frontier", std::move(frontier));
+  json.Set("best", SelectionToJson(run.best));
+  json.Set("best_architecture", JsonValue::Str(run.best_architecture));
   json.Set("baseline", EvaluationToJson(run.baseline));
   return json;
 }
@@ -643,10 +770,11 @@ Result<AdvisorRequestKind> ParseAdvisorRequestKind(std::string_view name) {
   if (name == "compare-policies") {
     return AdvisorRequestKind::kComparePolicies;
   }
+  if (name == "solve-joint") return AdvisorRequestKind::kSolveJoint;
   return Status::InvalidArgument(
       "\"" + std::string(name) +
       "\" is not a request kind; accepted: solve, frontier, timeline, "
-      "compare-providers, compare-policies");
+      "compare-providers, compare-policies, solve-joint");
 }
 
 Result<AdvisorRequest> ParseAdvisorRequest(const JsonValue& json) {
@@ -661,7 +789,7 @@ Result<AdvisorRequest> ParseAdvisorRequest(const JsonValue& json) {
   if (kind.empty()) {
     return Status::InvalidArgument(
         "request.kind is required; accepted: solve, frontier, timeline, "
-        "compare-providers, compare-policies");
+        "compare-providers, compare-policies, solve-joint");
   }
   CV_ASSIGN_OR_RETURN(request.kind, ParseAdvisorRequestKind(kind));
   CV_RETURN_IF_ERROR(
@@ -764,6 +892,9 @@ JsonValue AdvisorResponseToJson(const AdvisorResponse& response) {
       json.Set("policies", std::move(policies));
       break;
     }
+    case AdvisorRequestKind::kSolveJoint:
+      json.Set("joint", JointRunToJson(response.joint));
+      break;
   }
   return json;
 }

@@ -50,8 +50,8 @@ JsonValue AdvisorResponseToJson(const AdvisorResponse& response);
 Result<ScenarioConfig> ParseScenarioConfig(const JsonValue& json);
 
 /// \brief Parses "solve" / "frontier" / "timeline" /
-/// "compare-providers" / "compare-policies" (the AdvisorRequestKindName
-/// strings).
+/// "compare-providers" / "compare-policies" / "solve-joint" (the
+/// AdvisorRequestKindName strings).
 Result<AdvisorRequestKind> ParseAdvisorRequestKind(std::string_view name);
 
 }  // namespace cloudview
